@@ -1,0 +1,186 @@
+//! HMM+DC: grid-observation HMM for regions + density clustering for
+//! events (the method previously used by the authors' TRIPS system [12]).
+
+use crate::density_events;
+use ism_cluster::StDbscanParams;
+use ism_indoor::{IndoorSpace, RegionId};
+use ism_mobility::{LabeledSequence, MobilityEvent, PositioningRecord};
+use ism_pgm::{Hmm, HmmConfig};
+use std::collections::HashMap;
+
+/// HMM+DC parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HmmDcConfig {
+    /// Grid cell size (m) used to discretise observed locations.
+    pub cell_size: f64,
+    /// Additive smoothing for the HMM counts.
+    pub smoothing: f64,
+    /// ST-DBSCAN parameters for event labeling.
+    pub dbscan: StDbscanParams,
+}
+
+impl Default for HmmDcConfig {
+    fn default() -> Self {
+        HmmDcConfig {
+            cell_size: 8.0,
+            smoothing: 0.1,
+            dbscan: StDbscanParams::default(),
+        }
+    }
+}
+
+/// The trained HMM+DC baseline.
+#[derive(Debug, Clone)]
+pub struct HmmDc<'a> {
+    space: &'a IndoorSpace,
+    config: HmmDcConfig,
+    hmm: Hmm,
+    /// Grid cell → observation symbol; unseen cells map to the shared
+    /// "unknown" symbol (the last one).
+    symbols: HashMap<(u16, i32, i32), usize>,
+    unknown_symbol: usize,
+}
+
+impl<'a> HmmDc<'a> {
+    /// Trains the HMM by frequency counting over labelled sequences.
+    pub fn train(
+        space: &'a IndoorSpace,
+        train: &[LabeledSequence],
+        config: HmmDcConfig,
+    ) -> Self {
+        // Build the observation alphabet from the training data.
+        let mut symbols: HashMap<(u16, i32, i32), usize> = HashMap::new();
+        let cell = |r: &PositioningRecord| -> (u16, i32, i32) {
+            (
+                space.clamp_floor(r.location.floor),
+                (r.location.xy.x / config.cell_size).floor() as i32,
+                (r.location.xy.y / config.cell_size).floor() as i32,
+            )
+        };
+        for seq in train {
+            for rec in &seq.records {
+                let key = cell(&rec.record);
+                let next = symbols.len();
+                symbols.entry(key).or_insert(next);
+            }
+        }
+        let unknown_symbol = symbols.len();
+
+        let data: Vec<(Vec<usize>, Vec<usize>)> = train
+            .iter()
+            .map(|seq| {
+                let states: Vec<usize> = seq.records.iter().map(|r| r.region.index()).collect();
+                let obs: Vec<usize> = seq
+                    .records
+                    .iter()
+                    .map(|r| *symbols.get(&cell(&r.record)).unwrap())
+                    .collect();
+                (states, obs)
+            })
+            .collect();
+        let hmm = Hmm::fit(
+            &HmmConfig {
+                num_states: space.regions().len(),
+                num_symbols: unknown_symbol + 1,
+                smoothing: config.smoothing,
+            },
+            &data,
+        );
+        HmmDc {
+            space,
+            config,
+            hmm,
+            symbols,
+            unknown_symbol,
+        }
+    }
+
+    /// Labels a p-sequence: regions by Viterbi over grid observations,
+    /// events by ST-DBSCAN density classes.
+    pub fn label(&self, records: &[PositioningRecord]) -> Vec<(RegionId, MobilityEvent)> {
+        if records.is_empty() {
+            return Vec::new();
+        }
+        let obs: Vec<usize> = records
+            .iter()
+            .map(|r| {
+                let key = (
+                    self.space.clamp_floor(r.location.floor),
+                    (r.location.xy.x / self.config.cell_size).floor() as i32,
+                    (r.location.xy.y / self.config.cell_size).floor() as i32,
+                );
+                *self.symbols.get(&key).unwrap_or(&self.unknown_symbol)
+            })
+            .collect();
+        let states = self.hmm.viterbi(&obs);
+        let events = density_events(records, &self.config.dbscan);
+        states
+            .into_iter()
+            .map(|s| RegionId(s as u32))
+            .zip(events)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ism_indoor::BuildingGenerator;
+    use ism_mobility::{Dataset, PositioningConfig, SimulationConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hmm_dc_learns_reasonable_regions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let space = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+        let dataset = Dataset::generate(
+            "d",
+            &space,
+            SimulationConfig::quick(),
+            PositioningConfig::synthetic(8.0, 1.0),
+            None,
+            8,
+            &mut rng,
+        );
+        let (train, test) = dataset.split(0.7, &mut rng);
+        let model = HmmDc::train(&space, &train, HmmDcConfig::default());
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for seq in &test {
+            let records: Vec<_> = seq.positioning().collect();
+            let labels = model.label(&records);
+            assert_eq!(labels.len(), records.len());
+            for (lab, truth) in labels.iter().zip(seq.truth_labels()) {
+                correct += usize::from(lab.0 == truth.0);
+                total += 1;
+            }
+        }
+        assert!(total > 0);
+        let ra = correct as f64 / total as f64;
+        assert!(ra > 0.3, "HMM+DC region accuracy {ra}");
+    }
+
+    #[test]
+    fn unseen_cells_fall_back_to_unknown() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let space = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+        let dataset = Dataset::generate(
+            "d",
+            &space,
+            SimulationConfig::quick(),
+            PositioningConfig::synthetic(8.0, 1.0),
+            None,
+            3,
+            &mut rng,
+        );
+        let model = HmmDc::train(&space, &dataset.sequences, HmmDcConfig::default());
+        // A record far outside any training cell.
+        use ism_geometry::Point2;
+        use ism_indoor::IndoorPoint;
+        let rec = PositioningRecord::new(IndoorPoint::new(0, Point2::new(-500.0, -500.0)), 0.0);
+        let labels = model.label(&[rec]);
+        assert_eq!(labels.len(), 1);
+        assert!(labels[0].0.index() < space.regions().len());
+    }
+}

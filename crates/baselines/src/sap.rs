@@ -1,0 +1,364 @@
+//! SAP: the layered semantic-annotation framework of Yan et al. [26].
+//!
+//! SAP first segments a sequence into stay and pass segments — the paper
+//! selects the **dynamic-velocity** and **density-area** segmentation
+//! algorithms, yielding SAPDV and SAPDA — then annotates each stay segment
+//! with one region via an HMM whose observation probability is the overlap
+//! between the segment's location distribution and the region, and each
+//! pass record with its nearest region.
+
+use ism_geometry::{Circle, Point2};
+use ism_indoor::{IndoorPoint, IndoorSpace, RegionId};
+use ism_mobility::{MobilityEvent, PositioningRecord};
+
+/// Which SAP segmentation algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segmentation {
+    /// Dynamic velocity: stay candidates move slower than a fraction of the
+    /// sequence's average speed.
+    DynamicVelocity,
+    /// Density area: stay candidates have a bounded covered area within a
+    /// temporal window.
+    DensityArea,
+}
+
+/// SAP parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SapConfig {
+    /// DV: stay when speed < `velocity_factor × mean sequence speed`.
+    pub velocity_factor: f64,
+    /// DA: temporal window length (s) around each record.
+    pub window: f64,
+    /// DA: maximum bounding-box diagonal (m) of the window for a stay.
+    pub max_diameter: f64,
+    /// Minimum duration (s) of a stay segment.
+    pub min_stay_duration: f64,
+    /// Scale of the expected-MIWD transition cost between consecutive stay
+    /// segments in the region HMM.
+    pub gamma: f64,
+}
+
+impl Default for SapConfig {
+    fn default() -> Self {
+        SapConfig {
+            velocity_factor: 0.8,
+            window: 90.0,
+            max_diameter: 22.0,
+            min_stay_duration: 30.0,
+            gamma: 0.1,
+        }
+    }
+}
+
+/// The SAP annotator (shared by both segmentation flavours).
+#[derive(Debug, Clone, Copy)]
+pub struct Sap<'a> {
+    space: &'a IndoorSpace,
+    config: SapConfig,
+    segmentation: Segmentation,
+}
+
+/// SAP with dynamic-velocity segmentation.
+pub struct SapDv<'a>(Sap<'a>);
+
+/// SAP with density-area segmentation.
+pub struct SapDa<'a>(Sap<'a>);
+
+impl<'a> SapDv<'a> {
+    /// Creates a SAPDV annotator.
+    pub fn new(space: &'a IndoorSpace, config: SapConfig) -> Self {
+        SapDv(Sap {
+            space,
+            config,
+            segmentation: Segmentation::DynamicVelocity,
+        })
+    }
+
+    /// Labels every record with a (region, event) pair.
+    pub fn label(&self, records: &[PositioningRecord]) -> Vec<(RegionId, MobilityEvent)> {
+        self.0.label(records)
+    }
+}
+
+impl<'a> SapDa<'a> {
+    /// Creates a SAPDA annotator.
+    pub fn new(space: &'a IndoorSpace, config: SapConfig) -> Self {
+        SapDa(Sap {
+            space,
+            config,
+            segmentation: Segmentation::DensityArea,
+        })
+    }
+
+    /// Labels every record with a (region, event) pair.
+    pub fn label(&self, records: &[PositioningRecord]) -> Vec<(RegionId, MobilityEvent)> {
+        self.0.label(records)
+    }
+}
+
+impl Sap<'_> {
+    /// Stay-candidate flags according to the configured segmentation.
+    fn stay_candidates(&self, records: &[PositioningRecord]) -> Vec<bool> {
+        let n = records.len();
+        match self.segmentation {
+            Segmentation::DynamicVelocity => {
+                let speeds: Vec<f64> = records
+                    .windows(2)
+                    .map(|w| {
+                        w[0].location.xy.distance(w[1].location.xy)
+                            / (w[1].t - w[0].t).max(1e-6)
+                    })
+                    .collect();
+                let mean = if speeds.is_empty() {
+                    0.0
+                } else {
+                    speeds.iter().sum::<f64>() / speeds.len() as f64
+                };
+                let threshold = (self.config.velocity_factor * mean).max(1e-9);
+                (0..n)
+                    .map(|i| {
+                        let left = if i > 0 { Some(speeds[i - 1]) } else { None };
+                        let right = if i < speeds.len() { Some(speeds[i]) } else { None };
+                        match (left, right) {
+                            (Some(a), Some(b)) => a.min(b) < threshold,
+                            (Some(a), None) => a < threshold,
+                            (None, Some(b)) => b < threshold,
+                            (None, None) => true,
+                        }
+                    })
+                    .collect()
+            }
+            Segmentation::DensityArea => {
+                let half = self.config.window * 0.5;
+                (0..n)
+                    .map(|i| {
+                        let (mut min, mut max) =
+                            (records[i].location.xy, records[i].location.xy);
+                        for r in records.iter() {
+                            if (r.t - records[i].t).abs() <= half {
+                                min = Point2::new(min.x.min(r.location.xy.x), min.y.min(r.location.xy.y));
+                                max = Point2::new(max.x.max(r.location.xy.x), max.y.max(r.location.xy.y));
+                            }
+                        }
+                        min.distance(max) <= self.config.max_diameter
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn label(&self, records: &[PositioningRecord]) -> Vec<(RegionId, MobilityEvent)> {
+        let n = records.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Segment events.
+        let candidates = self.stay_candidates(records);
+        let mut events = vec![MobilityEvent::Pass; n];
+        let mut stay_segments: Vec<(usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < n {
+            if !candidates[i] {
+                i += 1;
+                continue;
+            }
+            let mut j = i;
+            while j + 1 < n && candidates[j + 1] {
+                j += 1;
+            }
+            if records[j].t - records[i].t >= self.config.min_stay_duration {
+                for e in events.iter_mut().take(j + 1).skip(i) {
+                    *e = MobilityEvent::Stay;
+                }
+                stay_segments.push((i, j));
+            }
+            i = j + 1;
+        }
+
+        // Region annotation: Viterbi over stay segments.
+        let mut regions = vec![RegionId(0); n];
+        if !stay_segments.is_empty() {
+            let labels = self.decode_stay_regions(records, &stay_segments);
+            for ((a, b), region) in stay_segments.iter().zip(labels) {
+                for r in regions.iter_mut().take(b + 1).skip(*a) {
+                    *r = region;
+                }
+            }
+        }
+        for k in 0..n {
+            if events[k] == MobilityEvent::Pass {
+                regions[k] = self.space.nearest_region(&records[k].location);
+            }
+        }
+        regions.into_iter().zip(events).collect()
+    }
+
+    /// Viterbi over the stay segments: observation score from the overlap
+    /// of the segment's Gaussian location distribution with each candidate
+    /// region, transitions from the expected MIWD between regions.
+    fn decode_stay_regions(
+        &self,
+        records: &[PositioningRecord],
+        segments: &[(usize, usize)],
+    ) -> Vec<RegionId> {
+        // Candidate regions and observation log-scores per segment.
+        let mut cand: Vec<Vec<RegionId>> = Vec::with_capacity(segments.len());
+        let mut obs: Vec<Vec<f64>> = Vec::with_capacity(segments.len());
+        let mut buf = Vec::new();
+        for &(a, b) in segments {
+            // Gaussian summary of the segment's locations.
+            let len = (b - a + 1) as f64;
+            let mut mean = Point2::ZERO;
+            for r in &records[a..=b] {
+                mean = mean + r.location.xy;
+            }
+            mean = mean / len;
+            let mut var = 0.0;
+            for r in &records[a..=b] {
+                var += r.location.xy.distance_sq(mean);
+            }
+            let sigma = (var / len).sqrt().max(1.0);
+            let floor = records[a].location.floor;
+            let center = IndoorPoint::new(floor, mean);
+            // 2σ disk ≈ 95 % of the location mass.
+            let circle = Circle::new(mean, 2.0 * sigma);
+            self.space.candidate_regions(&center, 2.0 * sigma + 5.0, &mut buf);
+            let scores: Vec<f64> = buf
+                .iter()
+                .map(|&r| {
+                    let ratio = self.space.region_circle_overlap(r, floor, circle)
+                        / circle.area().max(f64::EPSILON);
+                    (ratio + 1e-6).ln()
+                })
+                .collect();
+            cand.push(buf.clone());
+            obs.push(scores);
+        }
+
+        // Viterbi across segments.
+        let mut delta: Vec<f64> = obs[0].clone();
+        let mut psi: Vec<Vec<usize>> = vec![vec![0; 0]];
+        for s in 1..segments.len() {
+            let mut next = vec![f64::NEG_INFINITY; cand[s].len()];
+            let mut back = vec![0usize; cand[s].len()];
+            for (q, &rq) in cand[s].iter().enumerate() {
+                for (p, &rp) in cand[s - 1].iter().enumerate() {
+                    let d = self.space.region_expected_miwd(rp, rq);
+                    let trans = if d.is_finite() {
+                        -self.config.gamma * d
+                    } else {
+                        -1e6
+                    };
+                    let v = delta[p] + trans;
+                    if v > next[q] {
+                        next[q] = v;
+                        back[q] = p;
+                    }
+                }
+                next[q] += obs[s][q];
+            }
+            delta = next;
+            psi.push(back);
+        }
+        let mut best = delta
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut out = vec![RegionId(0); segments.len()];
+        for s in (0..segments.len()).rev() {
+            out[s] = cand[s][best];
+            if s > 0 {
+                best = psi[s][best];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ism_indoor::BuildingGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn venue() -> IndoorSpace {
+        BuildingGenerator::small_office()
+            .generate(&mut StdRng::seed_from_u64(1))
+            .unwrap()
+    }
+
+    fn stay_then_walk(space: &IndoorSpace) -> Vec<PositioningRecord> {
+        let c = space.partitions()[4].rect.center();
+        let mut recs: Vec<PositioningRecord> = (0..6)
+            .map(|i| {
+                PositioningRecord::new(
+                    IndoorPoint::new(0, Point2::new(c.x + 0.2 * i as f64, c.y)),
+                    15.0 * i as f64,
+                )
+            })
+            .collect();
+        // Fast walk away.
+        for i in 0..4 {
+            recs.push(PositioningRecord::new(
+                IndoorPoint::new(0, Point2::new(c.x + 8.0 * (i + 1) as f64, c.y)),
+                90.0 + 5.0 * i as f64,
+            ));
+        }
+        recs
+    }
+
+    #[test]
+    fn sapdv_separates_stay_and_pass() {
+        let space = venue();
+        let sap = SapDv::new(&space, SapConfig::default());
+        let recs = stay_then_walk(&space);
+        let labels = sap.label(&recs);
+        assert_eq!(labels.len(), recs.len());
+        assert_eq!(labels[2].1, MobilityEvent::Stay);
+        assert_eq!(labels[recs.len() - 1].1, MobilityEvent::Pass);
+        // Stay region = the region containing the cluster.
+        let truth = space.partitions()[4].region;
+        assert_eq!(labels[2].0, truth);
+    }
+
+    #[test]
+    fn sapda_separates_stay_and_pass() {
+        let space = venue();
+        let sap = SapDa::new(&space, SapConfig::default());
+        let recs = stay_then_walk(&space);
+        let labels = sap.label(&recs);
+        assert_eq!(labels[1].1, MobilityEvent::Stay);
+        assert_eq!(labels[recs.len() - 1].1, MobilityEvent::Pass);
+    }
+
+    #[test]
+    fn all_fast_is_all_pass() {
+        let space = venue();
+        let sap = SapDa::new(&space, SapConfig::default());
+        let c = space.partitions()[2].rect.center();
+        let recs: Vec<PositioningRecord> = (0..5)
+            .map(|i| {
+                PositioningRecord::new(
+                    IndoorPoint::new(0, Point2::new(c.x + 10.0 * i as f64, c.y)),
+                    6.0 * i as f64,
+                )
+            })
+            .collect();
+        let labels = sap.label(&recs);
+        assert!(labels.iter().all(|l| l.1 == MobilityEvent::Pass));
+        // Pass records use nearest regions.
+        for (lab, rec) in labels.iter().zip(&recs) {
+            assert_eq!(lab.0, space.nearest_region(&rec.location));
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let space = venue();
+        assert!(SapDv::new(&space, SapConfig::default()).label(&[]).is_empty());
+        assert!(SapDa::new(&space, SapConfig::default()).label(&[]).is_empty());
+    }
+}

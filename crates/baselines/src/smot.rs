@@ -1,0 +1,186 @@
+//! SMoT: speed-threshold stay/pass detection with nearest-neighbour
+//! regions (Alvares et al. [2], as instantiated in §V-A).
+
+use ism_geometry::Point2;
+use ism_indoor::{IndoorPoint, IndoorSpace, RegionId};
+use ism_mobility::{MobilityEvent, PositioningRecord};
+
+/// SMoT parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SmotConfig {
+    /// Records moving slower than this (m/s) are stay candidates.
+    pub speed_threshold: f64,
+    /// Minimum duration (s) for a run of stay candidates to become a stay.
+    pub min_stay_duration: f64,
+}
+
+impl Default for SmotConfig {
+    fn default() -> Self {
+        SmotConfig {
+            speed_threshold: 0.8,
+            min_stay_duration: 30.0,
+        }
+    }
+}
+
+/// The SMoT baseline annotator.
+#[derive(Debug, Clone, Copy)]
+pub struct Smot<'a> {
+    space: &'a IndoorSpace,
+    config: SmotConfig,
+}
+
+impl<'a> Smot<'a> {
+    /// Creates the annotator for a venue.
+    pub fn new(space: &'a IndoorSpace, config: SmotConfig) -> Self {
+        Smot { space, config }
+    }
+
+    /// Labels every record with a (region, event) pair.
+    ///
+    /// Events: a record is a stay candidate when the slower of its adjacent
+    /// segment speeds is below the threshold; candidate runs shorter than
+    /// `min_stay_duration` are demoted to pass. Regions: each stay run is
+    /// labelled with the nearest region of its centroid; pass records are
+    /// labelled individually with their nearest region.
+    pub fn label(&self, records: &[PositioningRecord]) -> Vec<(RegionId, MobilityEvent)> {
+        let n = records.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Per-record speed: min of adjacent gap speeds (a stationary record
+        // next to a fast segment still counts as slow on one side).
+        let gap_speed = |i: usize| -> f64 {
+            let d = records[i].location.xy.distance(records[i + 1].location.xy);
+            d / (records[i + 1].t - records[i].t).max(1e-6)
+        };
+        let is_slow: Vec<bool> = (0..n)
+            .map(|i| {
+                let left = if i > 0 { Some(gap_speed(i - 1)) } else { None };
+                let right = if i + 1 < n { Some(gap_speed(i)) } else { None };
+                match (left, right) {
+                    (Some(a), Some(b)) => a.min(b) < self.config.speed_threshold,
+                    (Some(a), None) => a < self.config.speed_threshold,
+                    (None, Some(b)) => b < self.config.speed_threshold,
+                    (None, None) => true,
+                }
+            })
+            .collect();
+
+        let mut events = vec![MobilityEvent::Pass; n];
+        let mut i = 0;
+        while i < n {
+            if !is_slow[i] {
+                i += 1;
+                continue;
+            }
+            let mut j = i;
+            while j + 1 < n && is_slow[j + 1] {
+                j += 1;
+            }
+            if records[j].t - records[i].t >= self.config.min_stay_duration {
+                for e in events.iter_mut().take(j + 1).skip(i) {
+                    *e = MobilityEvent::Stay;
+                }
+            }
+            i = j + 1;
+        }
+
+        // Regions.
+        let mut regions = vec![RegionId(0); n];
+        let mut i = 0;
+        while i < n {
+            if events[i] == MobilityEvent::Stay {
+                let mut j = i;
+                while j + 1 < n && events[j + 1] == MobilityEvent::Stay {
+                    j += 1;
+                }
+                // Representative location: centroid of the stay run.
+                let mut c = Point2::ZERO;
+                for r in &records[i..=j] {
+                    c = c + r.location.xy;
+                }
+                c = c / (j - i + 1) as f64;
+                let floor = records[i].location.floor;
+                let region = self.space.nearest_region(&IndoorPoint::new(floor, c));
+                for r in regions.iter_mut().take(j + 1).skip(i) {
+                    *r = region;
+                }
+                i = j + 1;
+            } else {
+                regions[i] = self.space.nearest_region(&records[i].location);
+                i += 1;
+            }
+        }
+        regions.into_iter().zip(events).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ism_indoor::BuildingGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn venue() -> IndoorSpace {
+        BuildingGenerator::small_office()
+            .generate(&mut StdRng::seed_from_u64(1))
+            .unwrap()
+    }
+
+    fn rec(space: &IndoorSpace, part: usize, dx: f64, t: f64) -> PositioningRecord {
+        let c = space.partitions()[part].rect.center();
+        PositioningRecord::new(IndoorPoint::new(0, Point2::new(c.x + dx, c.y)), t)
+    }
+
+    #[test]
+    fn stationary_run_is_a_stay_in_the_right_region() {
+        let space = venue();
+        let smot = Smot::new(&space, SmotConfig::default());
+        let records: Vec<PositioningRecord> =
+            (0..6).map(|i| rec(&space, 4, 0.1 * i as f64, 15.0 * i as f64)).collect();
+        let labels = smot.label(&records);
+        assert!(labels.iter().all(|l| l.1 == MobilityEvent::Stay));
+        let truth = space.partitions()[4].region;
+        assert!(labels.iter().all(|l| l.0 == truth));
+    }
+
+    #[test]
+    fn fast_movement_is_pass() {
+        let space = venue();
+        let smot = Smot::new(&space, SmotConfig::default());
+        // 10 m per 5 s = 2 m/s > threshold.
+        let records: Vec<PositioningRecord> =
+            (0..5).map(|i| rec(&space, 2, 10.0 * i as f64, 5.0 * i as f64)).collect();
+        let labels = smot.label(&records);
+        assert!(labels.iter().all(|l| l.1 == MobilityEvent::Pass));
+    }
+
+    #[test]
+    fn short_pause_is_demoted_to_pass() {
+        let space = venue();
+        let cfg = SmotConfig {
+            speed_threshold: 0.3,
+            min_stay_duration: 60.0,
+        };
+        let smot = Smot::new(&space, cfg);
+        // Slow for only 10 seconds, then fast.
+        let records = vec![
+            rec(&space, 2, 0.0, 0.0),
+            rec(&space, 2, 0.5, 10.0),
+            rec(&space, 2, 30.0, 15.0),
+            rec(&space, 2, 60.0, 20.0),
+        ];
+        let labels = smot.label(&records);
+        assert_eq!(labels[0].1, MobilityEvent::Pass);
+        assert_eq!(labels[1].1, MobilityEvent::Pass);
+    }
+
+    #[test]
+    fn empty_input() {
+        let space = venue();
+        let smot = Smot::new(&space, SmotConfig::default());
+        assert!(smot.label(&[]).is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the hot kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ism_cluster::{StDbscan, StDbscanParams, StPoint};
+use ism_geometry::{circle_rect_intersection_area, Circle, Point2, Rect};
+use ism_indoor::{BuildingGenerator, IndoorPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_geometry(c: &mut Criterion) {
+    let circle = Circle::new(Point2::new(1.0, 1.0), 1.5);
+    let rect = Rect::from_origin_size(0.0, 0.0, 1.2, 0.9);
+    c.bench_function("geometry/circle_rect_area", |b| {
+        b.iter(|| circle_rect_intersection_area(black_box(circle), black_box(&rect)))
+    });
+}
+
+fn bench_miwd(c: &mut Criterion) {
+    let space = BuildingGenerator::mall()
+        .generate(&mut StdRng::seed_from_u64(1))
+        .unwrap();
+    let a = IndoorPoint::new(0, Point2::new(20.0, 5.0));
+    let b = IndoorPoint::new(3, Point2::new(120.0, 30.0));
+    c.bench_function("miwd/cross_floor_point_pair", |bch| {
+        bch.iter(|| space.miwd(black_box(&a), black_box(&b)))
+    });
+    let r1 = space.regions()[10].id;
+    let r2 = space.regions()[150].id;
+    // Warm the cache once, then measure the cached path (the hot case in
+    // feature extraction).
+    space.region_expected_miwd(r1, r2);
+    c.bench_function("miwd/region_expected_cached", |bch| {
+        bch.iter(|| space.region_expected_miwd(black_box(r1), black_box(r2)))
+    });
+}
+
+fn bench_stdbscan(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let pts: Vec<StPoint> = (0..200)
+        .map(|i| {
+            StPoint::new(
+                Point2::new(rng.random_range(0.0..60.0), rng.random_range(0.0..30.0)),
+                i as f64 * 10.0,
+                0,
+            )
+        })
+        .collect();
+    let alg = StDbscan::new(StDbscanParams::default());
+    c.bench_function("stdbscan/200_records", |b| {
+        b.iter(|| alg.run(black_box(&pts)))
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    use ism_c2mn::{C2mnConfig, CoupledNetwork, SequenceContext, Weights, NUM_FEATURES};
+    use ism_mobility::{MobilityEvent, PositioningRecord};
+    let space = BuildingGenerator::mall()
+        .generate(&mut StdRng::seed_from_u64(1))
+        .unwrap();
+    let config = C2mnConfig::quick_test();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut xy = Point2::new(40.0, 15.0);
+    let records: Vec<PositioningRecord> = (0..100)
+        .map(|i| {
+            xy = Point2::new(
+                (xy.x + rng.random_range(-4.0..4.0)).clamp(5.0, 140.0),
+                (xy.y + rng.random_range(-2.0..2.0)).clamp(1.0, 35.0),
+            );
+            PositioningRecord::new(IndoorPoint::new(0, xy), 10.0 * i as f64)
+        })
+        .collect();
+    c.bench_function("features/context_build_100_records", |b| {
+        b.iter(|| SequenceContext::build(&space, &config, black_box(&records), &[]))
+    });
+    let ctx = SequenceContext::build(&space, &config, &records, &[]);
+    let weights = Weights::uniform(1.0);
+    let net = CoupledNetwork::new(&ctx, &weights);
+    let regions: Vec<_> = (0..ctx.len()).map(|i| ctx.candidates[i][0]).collect();
+    let events = vec![MobilityEvent::Stay; ctx.len()];
+    c.bench_function("features/region_local_features", |b| {
+        let mut out = [0.0; NUM_FEATURES];
+        b.iter(|| {
+            net.region_local_features(
+                black_box(50),
+                regions[50],
+                |k| regions[k],
+                |k| events[k],
+                &mut out,
+            );
+            out
+        })
+    });
+    c.bench_function("features/total_energy_100_records", |b| {
+        b.iter(|| net.total_energy(black_box(&regions), black_box(&events)))
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_geometry, bench_miwd, bench_stdbscan, bench_features
+}
+criterion_main!(benches);

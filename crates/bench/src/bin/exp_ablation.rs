@@ -1,0 +1,69 @@
+//! Ablation of the paper's optional extensions (beyond the published
+//! experiments): the historical-frequency prior on fsm and the time-decay
+//! multipliers on fst / fsc.
+
+use ism_bench::{evaluate_accuracy, f3, mall_dataset, print_table, Method, Scale};
+use ism_c2mn::{C2mn, C2mnConfig};
+use ism_eval::PAPER_LAMBDA;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (space, dataset) = mall_dataset(&scale, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let (train, test) = dataset.split(0.7, &mut rng);
+    let base = scale.c2mn_config();
+    let configs: Vec<(&str, C2mnConfig)> = vec![
+        ("C2MN (base)", base.clone()),
+        (
+            "+freq prior",
+            C2mnConfig {
+                use_frequency_prior: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "+time-decay fst",
+            C2mnConfig {
+                time_decay_transition: Some(0.01),
+                ..base.clone()
+            },
+        ),
+        (
+            "+time-decay fsc",
+            C2mnConfig {
+                time_decay_consistency: Some(0.01),
+                ..base.clone()
+            },
+        ),
+        (
+            "+all extensions",
+            C2mnConfig {
+                use_frequency_prior: true,
+                time_decay_transition: Some(0.01),
+                time_decay_consistency: Some(0.01),
+                ..base.clone()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, config) in &configs {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = C2mn::train(&space, &train, config, &mut rng).unwrap();
+        let method = Method::new("x", |r, rng| model.label(r, rng));
+        let acc = evaluate_accuracy(&method, &test, 4);
+        rows.push(vec![
+            name.to_string(),
+            f3(acc.region),
+            f3(acc.event),
+            f3(acc.combined(PAPER_LAMBDA)),
+            f3(acc.perfect),
+        ]);
+    }
+    print_table(
+        "Ablation — optional extensions (Eq. 3/4/5 discussions)",
+        &["configuration", "RA", "EA", "CA", "PA"],
+        &rows,
+    );
+}

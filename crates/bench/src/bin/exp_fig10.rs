@@ -1,0 +1,31 @@
+//! Figure 10: training time of the C2MN family vs training-data fraction.
+
+use ism_bench::{f3, mall_dataset, print_table, train_c2mn_family, Scale, C2MN_VARIANTS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (space, dataset) = mall_dataset(&scale, 1);
+    let mut rows = Vec::new();
+    for frac in [0.4, 0.5, 0.6, 0.7, 0.8] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, _) = dataset.split(frac, &mut rng);
+        let mut config = scale.c2mn_config();
+        config.delta = 0.0;
+        let family = train_c2mn_family(&space, &train, &config, &C2MN_VARIANTS, 3);
+        let mut row = vec![format!("{:.0}%", frac * 100.0)];
+        for (_, model) in &family {
+            row.push(f3(model.report().train_seconds));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("train%")
+        .chain(C2MN_VARIANTS.iter().map(|(n, _)| *n))
+        .collect();
+    print_table(
+        "Figure 10 — training time (s) vs training fraction",
+        &headers,
+        &rows,
+    );
+}

@@ -1,0 +1,37 @@
+//! Figures 12 & 13: TkPRQ / TkFRPQ precision vs the query interval QT
+//! (60 / 120 / 180 minutes) for all ten methods on the mall dataset.
+
+use ism_bench::{
+    all_methods, annotate_store, f3, mall_dataset, print_table, query_precision,
+    train_c2mn_family, truth_store, Scale, C2MN_VARIANTS,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (space, dataset) = mall_dataset(&scale, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let (train, test) = dataset.split(0.7, &mut rng);
+    let family = train_c2mn_family(&space, &train, &scale.c2mn_config(), &C2MN_VARIANTS, 3);
+    let methods = all_methods(&space, &train, &family);
+    let truth = truth_store(&test);
+
+    let mut prq_rows = Vec::new();
+    let mut frpq_rows = Vec::new();
+    for m in &methods {
+        let store = annotate_store(m, &test, 4);
+        let mut prq_row = vec![m.name.to_string()];
+        let mut frpq_row = vec![m.name.to_string()];
+        for qt in [60.0, 120.0, 180.0] {
+            let (prq, frpq) = query_precision(&space, &store, &truth, scale.k, qt, 10, 5);
+            prq_row.push(f3(prq));
+            frpq_row.push(f3(frpq));
+        }
+        prq_rows.push(prq_row);
+        frpq_rows.push(frpq_row);
+    }
+    let headers = ["method", "QT=60", "QT=120", "QT=180"];
+    print_table("Figure 12 — TkPRQ precision vs QT", &headers, &prq_rows);
+    print_table("Figure 13 — TkFRPQ precision vs QT", &headers, &frpq_rows);
+}

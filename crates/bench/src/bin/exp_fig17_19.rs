@@ -1,0 +1,67 @@
+//! Figures 17–19: perfect accuracy and TkPRQ / TkFRPQ precision vs the
+//! positioning error μ (3/5/7 m, T = 5 s) on synthetic data.
+
+use ism_bench::{
+    all_methods, annotate_store, evaluate_accuracy, f3, print_table, query_precision,
+    synthetic_dataset, train_c2mn_family, truth_store, vita_space, Scale,
+};
+use ism_c2mn::{C2mnConfig, ModelStructure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let space = vita_space(7);
+    let variants: [(&'static str, ModelStructure); 2] = [
+        ("CMN", ModelStructure::cmn()),
+        ("C2MN", ModelStructure::full()),
+    ];
+    let mut names: Vec<String> = Vec::new();
+    let mut columns: Vec<Vec<(f64, f64, f64)>> = Vec::new();
+    for (mi_idx, mu) in [3.0, 5.0, 7.0].into_iter().enumerate() {
+        let dataset = synthetic_dataset(&space, 5.0, mu, scale.objects, 11);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, test) = dataset.split(0.7, &mut rng);
+        let config = C2mnConfig {
+            sigma_sq: 0.2,
+            ..scale.c2mn_config()
+        };
+        let family = train_c2mn_family(&space, &train, &config, &variants, 3);
+        let methods = all_methods(&space, &train, &family);
+        let truth = truth_store(&test);
+        for (mi, m) in methods.iter().enumerate() {
+            if mi_idx == 0 {
+                names.push(m.name.to_string());
+                columns.push(Vec::new());
+            }
+            let acc = evaluate_accuracy(m, &test, 4);
+            let store = annotate_store(m, &test, 4);
+            let (prq, frpq) = query_precision(&space, &store, &truth, scale.k, 120.0, 10, 5);
+            columns[mi].push((acc.perfect, prq, frpq));
+        }
+    }
+    let mut pa_rows = Vec::new();
+    let mut prq_rows = Vec::new();
+    let mut frpq_rows = Vec::new();
+    for (name, vals) in names.iter().zip(&columns) {
+        pa_rows.push(
+            std::iter::once(name.clone())
+                .chain(vals.iter().map(|v| f3(v.0)))
+                .collect::<Vec<String>>(),
+        );
+        prq_rows.push(
+            std::iter::once(name.clone())
+                .chain(vals.iter().map(|v| f3(v.1)))
+                .collect::<Vec<String>>(),
+        );
+        frpq_rows.push(
+            std::iter::once(name.clone())
+                .chain(vals.iter().map(|v| f3(v.2)))
+                .collect::<Vec<String>>(),
+        );
+    }
+    let headers = ["method", "mu=3", "mu=5", "mu=7"];
+    print_table("Figure 17 — PA vs mu (T=5s)", &headers, &pa_rows);
+    print_table("Figure 18 — TkPRQ precision vs mu", &headers, &prq_rows);
+    print_table("Figure 19 — TkFRPQ precision vs mu", &headers, &frpq_rows);
+}

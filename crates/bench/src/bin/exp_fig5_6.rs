@@ -1,0 +1,37 @@
+//! Figures 5 & 6: combined / perfect accuracy of the C2MN family vs the
+//! training-data fraction (40–80 %).
+
+use ism_bench::{
+    evaluate_accuracy, f3, mall_dataset, print_table, train_c2mn_family, Method, Scale,
+    C2MN_VARIANTS,
+};
+use ism_eval::PAPER_LAMBDA;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (space, dataset) = mall_dataset(&scale, 1);
+    let mut ca_rows = Vec::new();
+    let mut pa_rows = Vec::new();
+    for frac in [0.4, 0.5, 0.6, 0.7, 0.8] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, test) = dataset.split(frac, &mut rng);
+        let family = train_c2mn_family(&space, &train, &scale.c2mn_config(), &C2MN_VARIANTS, 3);
+        let mut ca_row = vec![format!("{:.0}%", frac * 100.0)];
+        let mut pa_row = vec![format!("{:.0}%", frac * 100.0)];
+        for (name, model) in &family {
+            let method = Method::new(name, move |r, rng| model.label(r, rng));
+            let acc = evaluate_accuracy(&method, &test, 4);
+            ca_row.push(f3(acc.combined(PAPER_LAMBDA)));
+            pa_row.push(f3(acc.perfect));
+        }
+        ca_rows.push(ca_row);
+        pa_rows.push(pa_row);
+    }
+    let headers: Vec<&str> = std::iter::once("train%")
+        .chain(C2MN_VARIANTS.iter().map(|(n, _)| *n))
+        .collect();
+    print_table("Figure 5 — CA vs training fraction", &headers, &ca_rows);
+    print_table("Figure 6 — PA vs training fraction", &headers, &pa_rows);
+}

@@ -1,0 +1,41 @@
+//! Figures 7 & 8: region / event accuracy of the C2MN family vs the MCMC
+//! sample count M (the paper sweeps 400–1000; values here scale with
+//! REPRO_MCMC_M so the default run sweeps M/2 .. 2M).
+
+use ism_bench::{
+    evaluate_accuracy, f3, mall_dataset, print_table, train_c2mn_family, Method, Scale,
+    C2MN_VARIANTS,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (space, dataset) = mall_dataset(&scale, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let (train, test) = dataset.split(0.7, &mut rng);
+    let base_m = scale.mcmc_m.max(4);
+    let sweep = [base_m / 2, (base_m * 3) / 4, base_m, base_m * 2];
+    let mut ra_rows = Vec::new();
+    let mut ea_rows = Vec::new();
+    for m in sweep {
+        let mut config = scale.c2mn_config();
+        config.mcmc_m = m.max(2);
+        let family = train_c2mn_family(&space, &train, &config, &C2MN_VARIANTS, 3);
+        let mut ra_row = vec![format!("{m}")];
+        let mut ea_row = vec![format!("{m}")];
+        for (name, model) in &family {
+            let method = Method::new(name, move |r, rng| model.label(r, rng));
+            let acc = evaluate_accuracy(&method, &test, 4);
+            ra_row.push(f3(acc.region));
+            ea_row.push(f3(acc.event));
+        }
+        ra_rows.push(ra_row);
+        ea_rows.push(ea_row);
+    }
+    let headers: Vec<&str> = std::iter::once("M")
+        .chain(C2MN_VARIANTS.iter().map(|(n, _)| *n))
+        .collect();
+    print_table("Figure 7 — RA vs MCMC instances M", &headers, &ra_rows);
+    print_table("Figure 8 — EA vs MCMC instances M", &headers, &ea_rows);
+}

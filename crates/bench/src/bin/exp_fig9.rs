@@ -1,0 +1,35 @@
+//! Figure 9: training time of the C2MN family vs max_iter (paper sweeps
+//! 50–120; values here scale with REPRO_MAX_ITER).
+
+use ism_bench::{f3, mall_dataset, print_table, train_c2mn_family, Scale, C2MN_VARIANTS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (space, dataset) = mall_dataset(&scale, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let (train, _) = dataset.split(0.7, &mut rng);
+    let base = scale.max_iter.max(2);
+    let sweep = [base / 2, base, (base * 3) / 2, base * 2];
+    let mut rows = Vec::new();
+    for iters in sweep {
+        let mut config = scale.c2mn_config();
+        config.max_iter = iters.max(1);
+        config.delta = 0.0; // force running all iterations, as in the sweep
+        let family = train_c2mn_family(&space, &train, &config, &C2MN_VARIANTS, 3);
+        let mut row = vec![format!("{iters}")];
+        for (_, model) in &family {
+            row.push(f3(model.report().train_seconds));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("max_iter")
+        .chain(C2MN_VARIANTS.iter().map(|(n, _)| *n))
+        .collect();
+    print_table(
+        "Figure 9 — training time (s) vs max_iter",
+        &headers,
+        &rows,
+    );
+}

@@ -1,0 +1,40 @@
+//! Table IV: labeling accuracy (RA / EA / CA / PA) of all ten methods on
+//! the mall dataset with a 70/30 split.
+
+use ism_bench::{
+    all_methods, evaluate_accuracy, f3, mall_dataset, print_table, train_c2mn_family, Scale,
+    C2MN_VARIANTS,
+};
+use ism_eval::PAPER_LAMBDA;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (space, dataset) = mall_dataset(&scale, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let (train, test) = dataset.split(0.7, &mut rng);
+    eprintln!(
+        "mall: {} train / {} test sequences",
+        train.len(),
+        test.len()
+    );
+    let family = train_c2mn_family(&space, &train, &scale.c2mn_config(), &C2MN_VARIANTS, 3);
+    let methods = all_methods(&space, &train, &family);
+    let mut rows = Vec::new();
+    for m in &methods {
+        let acc = evaluate_accuracy(m, &test, 4);
+        rows.push(vec![
+            m.name.to_string(),
+            f3(acc.region),
+            f3(acc.event),
+            f3(acc.combined(PAPER_LAMBDA)),
+            f3(acc.perfect),
+        ]);
+    }
+    print_table(
+        "Table IV — labeling accuracy",
+        &["method", "RA", "EA", "CA", "PA"],
+        &rows,
+    );
+}

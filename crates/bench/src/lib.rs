@@ -1,0 +1,417 @@
+//! Shared harness for the paper-reproduction experiments.
+//!
+//! Every table and figure of the paper's evaluation (§V) has a binary in
+//! `src/bin/` built on these helpers: dataset construction, method
+//! training/labeling, accuracy evaluation, query-precision evaluation, and
+//! aligned table printing.
+//!
+//! **Scaling.** The paper's experiments ran on a 10-core Xeon over five
+//! million records with `M = 800` MCMC samples. The defaults here are
+//! scaled down to finish in minutes on a laptop; set the environment
+//! variables `REPRO_OBJECTS`, `REPRO_MCMC_M`, `REPRO_MAX_ITER`, `REPRO_K`
+//! to approach paper scale. The *shape* of the results (method ranking,
+//! trends across sweeps) is what the harness reproduces; absolute numbers
+//! depend on scale.
+
+#![deny(missing_docs)]
+
+use ism_baselines::{HmmDc, HmmDcConfig, SapConfig, SapDa, SapDv, Smot, SmotConfig};
+use ism_c2mn::{C2mn, C2mnConfig, FirstConfigured, ModelStructure};
+use ism_eval::{top_k_precision, AccuracyAccumulator, LabelAccuracy};
+use ism_indoor::{BuildingGenerator, IndoorSpace, RegionId, RegionKind};
+use ism_mobility::{
+    merge_labels, Dataset, LabeledSequence, MobilityEvent, PositioningConfig, PositioningRecord,
+    PreprocessConfig, SimulationConfig, TimePeriod,
+};
+use ism_queries::{tk_frpq, tk_prq, SemanticsStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Experiment scale, overridable through environment variables.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Objects simulated for each dataset (`REPRO_OBJECTS`).
+    pub objects: usize,
+    /// MCMC samples per learning step (`REPRO_MCMC_M`).
+    pub mcmc_m: usize,
+    /// Outer iterations of Algorithm 1 (`REPRO_MAX_ITER`).
+    pub max_iter: usize,
+    /// Top-k size for the query experiments (`REPRO_K`).
+    pub k: usize,
+}
+
+impl Scale {
+    /// Reads the scale from the environment, with laptop defaults.
+    pub fn from_env() -> Self {
+        let get = |name: &str, default: usize| -> usize {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Scale {
+            objects: get("REPRO_OBJECTS", 60),
+            mcmc_m: get("REPRO_MCMC_M", 10),
+            max_iter: get("REPRO_MAX_ITER", 6),
+            k: get("REPRO_K", 10),
+        }
+    }
+
+    /// The C2MN configuration at this scale (real-data profile).
+    pub fn c2mn_config(&self) -> C2mnConfig {
+        C2mnConfig {
+            max_iter: self.max_iter,
+            mcmc_m: self.mcmc_m,
+            mcmc_burn_in: 1,
+            inner_lbfgs_iters: 5,
+            uncertainty_radius: 10.0,
+            ..C2mnConfig::paper_real()
+        }
+    }
+}
+
+/// Splits long sequences into chunks so segment-window costs stay bounded.
+pub fn chunk_sequences(seqs: &[LabeledSequence], max_len: usize) -> Vec<LabeledSequence> {
+    let mut out = Vec::new();
+    for s in seqs {
+        for chunk in s.records.chunks(max_len) {
+            if chunk.len() >= 2 {
+                out.push(LabeledSequence {
+                    object_id: s.object_id,
+                    records: chunk.to_vec(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Builds the "mall" dataset standing in for the paper's real Wi-Fi data:
+/// a generated 7-floor mall, Wi-Fi-like noise, η/ψ preprocessing.
+pub fn mall_dataset(scale: &Scale, seed: u64) -> (IndoorSpace, Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let space = BuildingGenerator::mall().generate(&mut rng).unwrap();
+    let mut dataset = Dataset::generate(
+        "mall",
+        &space,
+        SimulationConfig::paper(),
+        PositioningConfig::wifi_mall(),
+        Some(PreprocessConfig::default()),
+        scale.objects,
+        &mut rng,
+    );
+    dataset.sequences = chunk_sequences(&dataset.sequences, 200);
+    (space, dataset)
+}
+
+/// Builds one synthetic dataset over a Vita-like building for a `(T, μ)`
+/// grid point (Table V).
+pub fn synthetic_dataset(
+    space: &IndoorSpace,
+    t: f64,
+    mu: f64,
+    objects: usize,
+    seed: u64,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dataset = Dataset::generate(
+        &format!("T{}mu{}", t as u32, mu as u32),
+        space,
+        SimulationConfig::paper(),
+        PositioningConfig::synthetic(t, mu),
+        None,
+        objects,
+        &mut rng,
+    );
+    dataset.sequences = chunk_sequences(&dataset.sequences, 250);
+    dataset
+}
+
+/// Generates the Vita-like venue of the synthetic experiments.
+pub fn vita_space(seed: u64) -> IndoorSpace {
+    BuildingGenerator::vita_like()
+        .generate(&mut StdRng::seed_from_u64(seed))
+        .unwrap()
+}
+
+/// A method under evaluation: a name plus a labeling closure.
+pub struct Method<'a> {
+    /// Display name matching the paper's tables.
+    pub name: &'static str,
+    labeler: Box<dyn Fn(&[PositioningRecord], &mut StdRng) -> Vec<(RegionId, MobilityEvent)> + 'a>,
+}
+
+impl<'a> Method<'a> {
+    /// Creates a method from a name and labeling closure.
+    pub fn new<F>(name: &'static str, labeler: F) -> Self
+    where
+        F: Fn(&[PositioningRecord], &mut StdRng) -> Vec<(RegionId, MobilityEvent)> + 'a,
+    {
+        Method {
+            name,
+            labeler: Box::new(labeler),
+        }
+    }
+
+    /// Labels one positioning sequence.
+    pub fn label(
+        &self,
+        records: &[PositioningRecord],
+        rng: &mut StdRng,
+    ) -> Vec<(RegionId, MobilityEvent)> {
+        (self.labeler)(records, rng)
+    }
+}
+
+/// The C2MN structural variants in the paper's table order.
+pub const C2MN_VARIANTS: [(&str, ModelStructure); 6] = [
+    ("CMN", ModelStructure::cmn()),
+    ("C2MN/Tran", ModelStructure::no_transitions()),
+    ("C2MN/Syn", ModelStructure::no_synchronizations()),
+    ("C2MN/ES", ModelStructure::no_event_segmentation()),
+    ("C2MN/SS", ModelStructure::no_space_segmentation()),
+    ("C2MN", ModelStructure::full()),
+];
+
+/// Trains the C2MN family on `train`, returning `(name, model)` pairs.
+pub fn train_c2mn_family<'a>(
+    space: &'a IndoorSpace,
+    train: &[LabeledSequence],
+    base: &C2mnConfig,
+    variants: &[(&'static str, ModelStructure)],
+    seed: u64,
+) -> Vec<(&'static str, C2mn<'a>)> {
+    variants
+        .iter()
+        .map(|(name, structure)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let config = base.clone().with_structure(*structure);
+            let model = C2mn::train(space, train, &config, &mut rng).expect("training data");
+            (*name, model)
+        })
+        .collect()
+}
+
+/// Builds all ten methods of Table IV: the four non-C2MN baselines plus
+/// the six C2MN structures (pre-trained).
+pub fn all_methods<'a>(
+    space: &'a IndoorSpace,
+    train: &'a [LabeledSequence],
+    family: &'a [(&'static str, C2mn<'a>)],
+) -> Vec<Method<'a>> {
+    let mut methods: Vec<Method<'a>> = Vec::new();
+    let smot = Smot::new(space, SmotConfig::default());
+    methods.push(Method {
+        name: "SMoT",
+        labeler: Box::new(move |r, _| smot.label(r)),
+    });
+    let hmm_dc = HmmDc::train(space, train, HmmDcConfig::default());
+    methods.push(Method {
+        name: "HMM+DC",
+        labeler: Box::new(move |r, _| hmm_dc.label(r)),
+    });
+    let sapdv = SapDv::new(space, SapConfig::default());
+    methods.push(Method {
+        name: "SAPDV",
+        labeler: Box::new(move |r, _| sapdv.label(r)),
+    });
+    let sapda = SapDa::new(space, SapConfig::default());
+    methods.push(Method {
+        name: "SAPDA",
+        labeler: Box::new(move |r, _| sapda.label(r)),
+    });
+    for (name, model) in family {
+        methods.push(Method {
+            name,
+            labeler: Box::new(move |r, rng| model.label(r, rng)),
+        });
+    }
+    methods
+}
+
+/// Evaluates one method's labeling accuracy over the test sequences.
+pub fn evaluate_accuracy(
+    method: &Method<'_>,
+    test: &[LabeledSequence],
+    seed: u64,
+) -> LabelAccuracy {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = AccuracyAccumulator::new();
+    for seq in test {
+        let records: Vec<PositioningRecord> = seq.positioning().collect();
+        let labels = method.label(&records, &mut rng);
+        acc.add(&labels, seq.truth_labels());
+    }
+    acc.finish()
+}
+
+/// Builds a [`SemanticsStore`] from a method's annotations of the test set.
+pub fn annotate_store(method: &Method<'_>, test: &[LabeledSequence], seed: u64) -> SemanticsStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = SemanticsStore::new();
+    for seq in test {
+        let records: Vec<PositioningRecord> = seq.positioning().collect();
+        let labels = method.label(&records, &mut rng);
+        let times: Vec<f64> = records.iter().map(|r| r.t).collect();
+        store.insert(seq.object_id, merge_labels(&times, &labels));
+    }
+    store
+}
+
+/// Ground-truth store from the test labels themselves.
+pub fn truth_store(test: &[LabeledSequence]) -> SemanticsStore {
+    let mut store = SemanticsStore::new();
+    for seq in test {
+        let times: Vec<f64> = seq.records.iter().map(|r| r.record.t).collect();
+        let labels: Vec<(RegionId, MobilityEvent)> = seq.truth_labels().collect();
+        store.insert(seq.object_id, merge_labels(&times, &labels));
+    }
+    store
+}
+
+/// Average TkPRQ and TkFRPQ precision of a store against the ground truth
+/// over `trials` random query sets within `qt_minutes`-long windows.
+pub fn query_precision(
+    space: &IndoorSpace,
+    store: &SemanticsStore,
+    truth: &SemanticsStore,
+    k: usize,
+    qt_minutes: f64,
+    trials: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shops: Vec<RegionId> = space
+        .regions()
+        .iter()
+        .filter(|r| r.kind == RegionKind::Shop)
+        .map(|r| r.id)
+        .collect();
+    let horizon = SimulationConfig::paper().duration;
+    let mut prq_sum = 0.0;
+    let mut frpq_sum = 0.0;
+    for _ in 0..trials {
+        // Random query set: half of the shop regions (paper: 101 of 202).
+        let mut q = shops.clone();
+        for i in (1..q.len()).rev() {
+            let j = rng.random_range(0..=i);
+            q.swap(i, j);
+        }
+        q.truncate((shops.len() / 2).max(1));
+        let start = rng.random_range(0.0..(horizon - qt_minutes * 60.0).max(1.0));
+        let qt = TimePeriod::new(start, start + qt_minutes * 60.0);
+
+        let true_prq: Vec<RegionId> = tk_prq(truth, &q, k, qt).into_iter().map(|x| x.0).collect();
+        let got_prq: Vec<RegionId> = tk_prq(store, &q, k, qt).into_iter().map(|x| x.0).collect();
+        prq_sum += top_k_precision(&got_prq, &true_prq);
+
+        let true_frpq: Vec<(RegionId, RegionId)> =
+            tk_frpq(truth, &q, k, qt).into_iter().map(|x| x.0).collect();
+        let got_frpq: Vec<(RegionId, RegionId)> =
+            tk_frpq(store, &q, k, qt).into_iter().map(|x| x.0).collect();
+        frpq_sum += top_k_precision(&got_frpq, &true_frpq);
+    }
+    (prq_sum / trials as f64, frpq_sum / trials as f64)
+}
+
+/// Prints an aligned table followed by a machine-readable CSV block.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+    println!("\ncsv:{}", headers.join(","));
+    for row in rows {
+        println!("csv:{}", row.join(","));
+    }
+}
+
+/// Convenience: format a float with three decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Returns a C2MN config with `first_configured = Regions` (the C2MN@R
+/// variant of Fig. 11).
+pub fn at_r_config(base: &C2mnConfig) -> C2mnConfig {
+    C2mnConfig {
+        first_configured: FirstConfigured::Regions,
+        ..base.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_reads_defaults() {
+        let s = Scale::from_env();
+        assert!(s.objects > 0 && s.mcmc_m > 0 && s.max_iter > 0 && s.k > 0);
+    }
+
+    #[test]
+    fn chunking_respects_bounds() {
+        let space = BuildingGenerator::small_office()
+            .generate(&mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Dataset::generate(
+            "d",
+            &space,
+            SimulationConfig::quick(),
+            PositioningConfig::synthetic(5.0, 2.0),
+            None,
+            3,
+            &mut rng,
+        );
+        let chunks = chunk_sequences(&d.sequences, 40);
+        assert!(chunks
+            .iter()
+            .all(|c| c.records.len() <= 40 && c.records.len() >= 2));
+        let total: usize = chunks.iter().map(|c| c.records.len()).sum();
+        let orig: usize = d.sequences.iter().map(|c| c.records.len()).sum();
+        assert!(total <= orig);
+    }
+
+    #[test]
+    fn truth_store_has_one_entry_per_sequence() {
+        let space = BuildingGenerator::small_office()
+            .generate(&mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Dataset::generate(
+            "d",
+            &space,
+            SimulationConfig::quick(),
+            PositioningConfig::synthetic(5.0, 2.0),
+            None,
+            4,
+            &mut rng,
+        );
+        let store = truth_store(&d.sequences);
+        assert_eq!(store.len(), d.sequences.len());
+    }
+}

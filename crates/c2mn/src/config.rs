@@ -1,0 +1,183 @@
+//! Hyper-parameters of the C2MN pipeline.
+
+use crate::ModelStructure;
+use ism_cluster::StDbscanParams;
+use serde::{Deserialize, Serialize};
+
+/// Which target variable is configured first in Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FirstConfigured {
+    /// Configure the event chain by ST-DBSCAN (the paper's default; only
+    /// two labels, so the initialisation is cheap and reliable).
+    Events,
+    /// Configure the region chain by nearest-neighbour matching — the
+    /// paper's C2MN@R variant (Fig. 11).
+    Regions,
+}
+
+/// All tunables of the C2MN model, learning algorithm and decoder.
+///
+/// Field defaults follow §V-B1 (real-data experiments); see
+/// [`C2mnConfig::paper_synthetic`] for the §V-C setting and
+/// [`C2mnConfig::quick_test`] for a fast profile used in unit tests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct C2mnConfig {
+    /// Active clique templates (structural variant).
+    pub structure: ModelStructure,
+    /// Uncertainty-region radius `v` in metres (feature `fsm`).
+    pub uncertainty_radius: f64,
+    /// `α` of `fem`: stay affinity of border points (0 < β < α < 1).
+    pub alpha: f64,
+    /// `β` of `fem`: pass affinity of border points.
+    pub beta: f64,
+    /// `γ_st` of `fst`: scale of the expected-MIWD transition cost.
+    pub gamma_st: f64,
+    /// `γ_ec` of `fec`: scale of the observed moving speed.
+    pub gamma_ec: f64,
+    /// Normalising speed (m/s) for the segment-speed component of `fes`.
+    pub speed_norm: f64,
+    /// Gaussian prior variance σ² of the pseudo-likelihood.
+    pub sigma_sq: f64,
+    /// Convergence threshold δ on the Chebyshev distance of weights.
+    pub delta: f64,
+    /// Maximum outer iterations of Algorithm 1.
+    pub max_iter: usize,
+    /// Number of MCMC samples `M` per step.
+    pub mcmc_m: usize,
+    /// Gibbs burn-in sweeps before collecting samples.
+    pub mcmc_burn_in: usize,
+    /// Inner L-BFGS iterations per outer step.
+    pub inner_lbfgs_iters: usize,
+    /// Trust region per outer step: the weight update is clamped to
+    /// `‖w − ŵ‖∞ ≤ step_cap`, keeping the sampled surrogate (Eq. 8) inside
+    /// the region where its importance weights are reliable.
+    pub step_cap: f64,
+    /// ST-DBSCAN parameters for `fem` and the initial event configuration.
+    pub dbscan: StDbscanParams,
+    /// Which chain Algorithm 1 configures first.
+    pub first_configured: FirstConfigured,
+    /// Maximum number of candidate regions per record.
+    pub max_candidates: usize,
+    /// Decoder: number of annealed Gibbs sweeps.
+    pub anneal_sweeps: usize,
+    /// Decoder: initial annealing temperature.
+    pub anneal_t_start: f64,
+    /// Decoder: final annealing temperature.
+    pub anneal_t_end: f64,
+    /// Optional extension: multiply `fsm` by the normalised historical
+    /// region frequency (discussed after Eq. 3).
+    pub use_frequency_prior: bool,
+    /// Optional extension: time-decay multiplier `e^{−γ′ Δt}` on `fst`.
+    pub time_decay_transition: Option<f64>,
+    /// Optional extension: time-decay multiplier `e^{−γ″ Δt}` on `fsc`.
+    pub time_decay_consistency: Option<f64>,
+}
+
+impl C2mnConfig {
+    /// The paper's real-data setting (§V-B1): `v = 15 m`, `α = 0.8`,
+    /// `β = 0.6`, `γ_st = 0.1`, `γ_ec = 0.2`, `σ² = 0.5`, `δ = 1e−3`,
+    /// `max_iter = 90`, `M = 800`, ST-DBSCAN (8 m, 60 s, 4).
+    pub fn paper_real() -> Self {
+        C2mnConfig {
+            structure: ModelStructure::full(),
+            uncertainty_radius: 15.0,
+            alpha: 0.8,
+            beta: 0.6,
+            gamma_st: 0.1,
+            gamma_ec: 0.2,
+            speed_norm: 2.0,
+            sigma_sq: 0.5,
+            delta: 1e-3,
+            max_iter: 90,
+            mcmc_m: 800,
+            mcmc_burn_in: 2,
+            inner_lbfgs_iters: 8,
+            step_cap: 0.5,
+            dbscan: StDbscanParams {
+                eps_s: 8.0,
+                eps_t: 60.0,
+                min_pts: 4,
+            },
+            first_configured: FirstConfigured::Events,
+            max_candidates: 12,
+            anneal_sweeps: 12,
+            anneal_t_start: 2.0,
+            anneal_t_end: 0.2,
+            use_frequency_prior: false,
+            time_decay_transition: None,
+            time_decay_consistency: None,
+        }
+    }
+
+    /// The paper's synthetic-data setting (§V-C): `σ² = 0.2`,
+    /// `max_iter = 50`, `M = 500`, `v = 10 m`.
+    pub fn paper_synthetic() -> Self {
+        C2mnConfig {
+            uncertainty_radius: 10.0,
+            sigma_sq: 0.2,
+            max_iter: 50,
+            mcmc_m: 500,
+            ..Self::paper_real()
+        }
+    }
+
+    /// A scaled-down profile that trains in seconds — used by unit tests,
+    /// examples and the default experiment scale.
+    pub fn quick_test() -> Self {
+        C2mnConfig {
+            uncertainty_radius: 6.0,
+            max_iter: 6,
+            mcmc_m: 12,
+            mcmc_burn_in: 1,
+            inner_lbfgs_iters: 5,
+            dbscan: StDbscanParams {
+                eps_s: 5.0,
+                eps_t: 45.0,
+                min_pts: 3,
+            },
+            max_candidates: 8,
+            anneal_sweeps: 8,
+            ..Self::paper_real()
+        }
+    }
+
+    /// Returns a copy with a different structural variant.
+    pub fn with_structure(mut self, structure: ModelStructure) -> Self {
+        self.structure = structure;
+        self
+    }
+}
+
+impl Default for C2mnConfig {
+    fn default() -> Self {
+        Self::paper_real()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let real = C2mnConfig::paper_real();
+        assert_eq!(real.uncertainty_radius, 15.0);
+        assert_eq!(real.mcmc_m, 800);
+        assert_eq!(real.max_iter, 90);
+        assert_eq!(real.dbscan.eps_s, 8.0);
+
+        let synth = C2mnConfig::paper_synthetic();
+        assert_eq!(synth.uncertainty_radius, 10.0);
+        assert_eq!(synth.sigma_sq, 0.2);
+        assert_eq!(synth.max_iter, 50);
+        assert_eq!(synth.mcmc_m, 500);
+        // Unchanged fields inherit the real preset.
+        assert_eq!(synth.alpha, 0.8);
+    }
+
+    #[test]
+    fn with_structure_overrides() {
+        let c = C2mnConfig::quick_test().with_structure(ModelStructure::cmn());
+        assert!(!c.structure.is_coupled());
+    }
+}

@@ -1,0 +1,347 @@
+//! Per-sequence preprocessed context: cached observations, density classes,
+//! candidate regions and matching features.
+
+use crate::C2mnConfig;
+use ism_cluster::{DensityClass, StDbscan, StPoint};
+use ism_geometry::{is_turn, Circle};
+use ism_indoor::{IndoorSpace, RegionId};
+use ism_mobility::{MobilityEvent, PositioningRecord};
+
+/// Everything the coupled network needs about one positioning sequence,
+/// computed once before learning or decoding.
+pub struct SequenceContext<'a> {
+    /// The indoor venue.
+    pub space: &'a IndoorSpace,
+    /// Model configuration.
+    pub config: &'a C2mnConfig,
+    /// The observed records.
+    pub records: Vec<PositioningRecord>,
+    /// Candidate regions per record (pruned by the spatial index; always
+    /// non-empty).
+    pub candidates: Vec<Vec<RegionId>>,
+    /// `fsm` value aligned with `candidates`.
+    pub fsm: Vec<Vec<f64>>,
+    /// `fem` values per record: `[stay, pass]`.
+    pub fem: Vec<[f64; 2]>,
+    /// ST-DBSCAN density class per record.
+    pub density: Vec<DensityClass>,
+    /// Euclidean distance between consecutive observed locations (`n − 1`).
+    pub de: Vec<f64>,
+    /// Time gap between consecutive records (`n − 1`).
+    pub dt: Vec<f64>,
+    /// `min(1, γ_ec · speed)` per gap (`n − 1`), the speed term of `fec`.
+    pub speed_term: Vec<f64>,
+    /// Prefix sums of `de` (`n` entries, `de_prefix[0] = 0`).
+    pub de_prefix: Vec<f64>,
+    /// Prefix sums of observed turns (`n + 1` entries); a record `i`
+    /// (interior) is a turn when the heading change exceeds 90°.
+    pub turn_prefix: Vec<u32>,
+    /// Candidate index of the nearest region per record (decoder init).
+    pub nearest_idx: Vec<usize>,
+    /// Event configuration from ST-DBSCAN (clustered → stay, noise → pass).
+    pub dbscan_events: Vec<MobilityEvent>,
+}
+
+impl<'a> SequenceContext<'a> {
+    /// Builds the context for decoding (candidates from the spatial index
+    /// only).
+    pub fn build(
+        space: &'a IndoorSpace,
+        config: &'a C2mnConfig,
+        records: &[PositioningRecord],
+        region_freq: &[f64],
+    ) -> Self {
+        Self::build_inner(space, config, records, region_freq, None)
+    }
+
+    /// Builds the context for training: the ground-truth region of each
+    /// record is force-included in its candidate set so empirical features
+    /// are always defined.
+    pub fn build_for_training(
+        space: &'a IndoorSpace,
+        config: &'a C2mnConfig,
+        records: &[PositioningRecord],
+        region_freq: &[f64],
+        truth_regions: &[RegionId],
+    ) -> Self {
+        Self::build_inner(space, config, records, region_freq, Some(truth_regions))
+    }
+
+    fn build_inner(
+        space: &'a IndoorSpace,
+        config: &'a C2mnConfig,
+        records: &[PositioningRecord],
+        region_freq: &[f64],
+        truth: Option<&[RegionId]>,
+    ) -> Self {
+        let n = records.len();
+        let v = config.uncertainty_radius;
+
+        // Density classes over the whole p-sequence (fem + event init).
+        let st_points: Vec<StPoint> = records
+            .iter()
+            .map(|r| StPoint::new(r.location.xy, r.t, r.location.floor))
+            .collect();
+        let clustering = StDbscan::new(config.dbscan).run(&st_points);
+        let density = clustering.classes.clone();
+        let dbscan_events: Vec<MobilityEvent> = density
+            .iter()
+            .map(|c| match c {
+                DensityClass::Noise => MobilityEvent::Pass,
+                _ => MobilityEvent::Stay,
+            })
+            .collect();
+        let fem: Vec<[f64; 2]> = density
+            .iter()
+            .map(|c| match c {
+                DensityClass::Core => [1.0, 0.0],
+                DensityClass::Border => [config.alpha, config.beta],
+                DensityClass::Noise => [0.0, 1.0],
+            })
+            .collect();
+
+        // Candidate regions + spatial matching features.
+        let max_freq = region_freq.iter().copied().fold(0.0f64, f64::max);
+        let mut candidates = Vec::with_capacity(n);
+        let mut fsm = Vec::with_capacity(n);
+        let mut nearest_idx = Vec::with_capacity(n);
+        let mut cand_buf: Vec<RegionId> = Vec::new();
+        for (i, rec) in records.iter().enumerate() {
+            space.candidate_regions(&rec.location, v, &mut cand_buf);
+            // Sort by distance to the record and truncate.
+            let floor = space.clamp_floor(rec.location.floor);
+            let dist_to = |r: RegionId| -> f64 {
+                space
+                    .region(r)
+                    .partitions
+                    .iter()
+                    .filter(|p| space.partition(**p).floor == floor)
+                    .map(|p| space.partition(*p).rect.distance_to_point(rec.location.xy))
+                    .fold(f64::INFINITY, f64::min)
+            };
+            cand_buf.sort_by(|&a, &b| dist_to(a).partial_cmp(&dist_to(b)).unwrap());
+            cand_buf.truncate(config.max_candidates);
+            let nearest = space.nearest_region(&rec.location);
+            if !cand_buf.contains(&nearest) {
+                cand_buf.push(nearest);
+            }
+            if let Some(truth) = truth {
+                if !cand_buf.contains(&truth[i]) {
+                    cand_buf.push(truth[i]);
+                }
+            }
+            let circle = Circle::new(rec.location.xy, v);
+            let denom = circle.area().max(f64::EPSILON);
+            let row: Vec<f64> = cand_buf
+                .iter()
+                .map(|&r| {
+                    let mut val = space.region_circle_overlap(r, rec.location.floor, circle) / denom;
+                    if config.use_frequency_prior && max_freq > 0.0 {
+                        let f = region_freq.get(r.index()).copied().unwrap_or(0.0);
+                        val *= f / max_freq;
+                    }
+                    val
+                })
+                .collect();
+            nearest_idx.push(cand_buf.iter().position(|&r| r == nearest).unwrap());
+            candidates.push(cand_buf.clone());
+            fsm.push(row);
+        }
+
+        // Pairwise observation quantities.
+        let mut de = Vec::with_capacity(n.saturating_sub(1));
+        let mut dt = Vec::with_capacity(n.saturating_sub(1));
+        let mut speed_term = Vec::with_capacity(n.saturating_sub(1));
+        for w in records.windows(2) {
+            let d = w[0].location.xy.distance(w[1].location.xy);
+            let g = (w[1].t - w[0].t).max(1e-6);
+            de.push(d);
+            dt.push(g);
+            speed_term.push((config.gamma_ec * d / g).min(1.0));
+        }
+        let mut de_prefix = Vec::with_capacity(n);
+        de_prefix.push(0.0);
+        for (k, &d) in de.iter().enumerate() {
+            de_prefix.push(de_prefix[k] + d);
+        }
+
+        // Turn flags (footnote 4) as prefix sums: turn_prefix[i+1] counts
+        // turns among records 0..=i.
+        let mut turn_prefix = Vec::with_capacity(n + 1);
+        turn_prefix.push(0u32);
+        for i in 0..n {
+            let is = i > 0
+                && i + 1 < n
+                && is_turn(
+                    records[i - 1].location.xy,
+                    records[i].location.xy,
+                    records[i + 1].location.xy,
+                );
+            turn_prefix.push(turn_prefix[i] + u32::from(is));
+        }
+
+        SequenceContext {
+            space,
+            config,
+            records: records.to_vec(),
+            candidates,
+            fsm,
+            fem,
+            density,
+            de,
+            dt,
+            speed_term,
+            de_prefix,
+            turn_prefix,
+            nearest_idx,
+            dbscan_events,
+        }
+    }
+
+    /// Sequence length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of turns among records `a..=b` (interior vertices only).
+    #[inline]
+    pub fn turns_in(&self, a: usize, b: usize) -> u32 {
+        self.turn_prefix[b + 1] - self.turn_prefix[a]
+    }
+
+    /// Total observed Euclidean path length from record `a` to record `b`.
+    #[inline]
+    pub fn path_length(&self, a: usize, b: usize) -> f64 {
+        self.de_prefix[b] - self.de_prefix[a]
+    }
+
+    /// The candidate index of a region at record `i`, if present.
+    pub fn candidate_index(&self, i: usize, region: RegionId) -> Option<usize> {
+        self.candidates[i].iter().position(|&r| r == region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ism_geometry::Point2;
+    use ism_indoor::{BuildingGenerator, IndoorPoint};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (IndoorSpace, C2mnConfig) {
+        let space = BuildingGenerator::small_office()
+            .generate(&mut StdRng::seed_from_u64(1))
+            .unwrap();
+        (space, C2mnConfig::quick_test())
+    }
+
+    fn records(space: &IndoorSpace) -> Vec<PositioningRecord> {
+        // A short walk across the venue.
+        let b = space.partitions()[3].rect.center();
+        (0..8)
+            .map(|i| {
+                PositioningRecord::new(
+                    IndoorPoint::new(0, Point2::new(b.x - 8.0 + 2.0 * i as f64, b.y)),
+                    10.0 * i as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn candidates_are_nonempty_and_contain_nearest() {
+        let (space, config) = setup();
+        let recs = records(&space);
+        let ctx = SequenceContext::build(&space, &config, &recs, &[]);
+        assert_eq!(ctx.len(), 8);
+        for i in 0..ctx.len() {
+            assert!(!ctx.candidates[i].is_empty());
+            let nearest = ctx.candidates[i][ctx.nearest_idx[i]];
+            assert_eq!(nearest, space.nearest_region(&recs[i].location));
+            // fsm rows align with candidates and are valid probabilities.
+            assert_eq!(ctx.fsm[i].len(), ctx.candidates[i].len());
+            for &v in &ctx.fsm[i] {
+                assert!((0.0..=1.0 + 1e-9).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn training_context_includes_truth() {
+        let (space, config) = setup();
+        let recs = records(&space);
+        // Force an unlikely truth region (far away) for every record.
+        let far = space.regions().last().unwrap().id;
+        let truth = vec![far; recs.len()];
+        let ctx = SequenceContext::build_for_training(&space, &config, &recs, &[], &truth);
+        for i in 0..ctx.len() {
+            assert!(ctx.candidates[i].contains(&far));
+        }
+    }
+
+    #[test]
+    fn pairwise_quantities_have_correct_lengths() {
+        let (space, config) = setup();
+        let recs = records(&space);
+        let ctx = SequenceContext::build(&space, &config, &recs, &[]);
+        assert_eq!(ctx.de.len(), 7);
+        assert_eq!(ctx.dt.len(), 7);
+        assert_eq!(ctx.speed_term.len(), 7);
+        assert_eq!(ctx.de_prefix.len(), 8);
+        assert!((ctx.path_length(0, 7) - ctx.de.iter().sum::<f64>()).abs() < 1e-12);
+        for &s in &ctx.speed_term {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn straight_walk_has_no_turns() {
+        let (space, config) = setup();
+        let recs = records(&space);
+        let ctx = SequenceContext::build(&space, &config, &recs, &[]);
+        assert_eq!(ctx.turns_in(0, ctx.len() - 1), 0);
+    }
+
+    #[test]
+    fn fem_reflects_density() {
+        let (space, config) = setup();
+        // A tight cluster of records (a stay): all should be core/border.
+        let c = space.partitions()[3].rect.center();
+        let recs: Vec<PositioningRecord> = (0..6)
+            .map(|i| {
+                PositioningRecord::new(
+                    IndoorPoint::new(0, Point2::new(c.x + 0.3 * i as f64, c.y)),
+                    8.0 * i as f64,
+                )
+            })
+            .collect();
+        let ctx = SequenceContext::build(&space, &config, &recs, &[]);
+        assert!(ctx
+            .density
+            .iter()
+            .all(|d| *d != ism_cluster::DensityClass::Noise));
+        for f in &ctx.fem {
+            assert!(f[0] >= f[1], "stay affinity should dominate: {f:?}");
+        }
+        assert!(ctx
+            .dbscan_events
+            .iter()
+            .all(|e| *e == MobilityEvent::Stay));
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let (space, config) = setup();
+        let ctx = SequenceContext::build(&space, &config, &[], &[]);
+        assert!(ctx.is_empty());
+        assert_eq!(ctx.len(), 0);
+    }
+}

@@ -1,0 +1,413 @@
+//! Alternate learning with MCMC inference (Algorithm 1).
+//!
+//! Training minimises the regularised negative pseudo-likelihood (Eq. 6)
+//! over the clique-template weights. Because the two target chains are
+//! coupled by the segmentation cliques, each outer iteration fixes one
+//! chain at its *configured* value (initially ST-DBSCAN events /
+//! nearest-neighbour regions, later the averaged MCMC samples), draws `M`
+//! Gibbs samples of the other chain, and takes L-BFGS steps on the sampled
+//! surrogate of Eqs. 8–9: at the sampling anchor the surrogate's gradient
+//! equals the paper's Eq. 9 exactly, and away from it the samples are
+//! importance-reweighted (Geyer's MCMC-MLE), which keeps the inner line
+//! search well-defined.
+
+use crate::structure::NUM_FEATURES;
+use crate::{C2mnConfig, CoupledNetwork, FirstConfigured, SequenceContext, Weights};
+use ism_indoor::{IndoorSpace, RegionId};
+use ism_mobility::{LabeledSequence, MobilityEvent};
+use ism_optim::{minimize, LbfgsParams, Objective};
+use rand::Rng;
+use std::time::Instant;
+
+/// Diagnostics of one training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Whether both chains' weight groups converged (Chebyshev ≤ δ).
+    pub converged: bool,
+    /// Wall-clock training time in seconds.
+    pub train_seconds: f64,
+    /// Surrogate objective value after each outer iteration.
+    pub objective_trace: Vec<f64>,
+}
+
+/// Per-site MCMC sample summary: Δf = f(sampled) − f(empirical), stored
+/// only for samples that differ from the empirical label.
+struct SiteSamples {
+    zero: u32,
+    deltas: Vec<[f32; NUM_FEATURES]>,
+}
+
+/// The sampled pseudo-likelihood surrogate (Eq. 8) restricted to the
+/// active weight components of the current step.
+struct Surrogate<'a> {
+    sites: &'a [SiteSamples],
+    anchor: [f64; NUM_FEATURES],
+    active: &'a [usize],
+    m_total: f64,
+    sigma_sq: f64,
+}
+
+impl Objective for Surrogate<'_> {
+    fn dim(&self) -> usize {
+        self.active.len()
+    }
+
+    fn eval(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
+        // Reconstruct the full displacement d = w − ŵ (frozen dims are 0).
+        let mut d = [0.0f64; NUM_FEATURES];
+        for (j, &k) in self.active.iter().enumerate() {
+            d[k] = x[j] - self.anchor[k];
+        }
+        grad.fill(0.0);
+        let mut value = 0.0;
+        let log_m = self.m_total.ln();
+        for site in self.sites {
+            if site.deltas.is_empty() {
+                // All samples matched the empirical label: log(zero/M).
+                value += (site.zero as f64).ln() - log_m;
+                continue;
+            }
+            // log-sum-exp over {0 (×zero), e_d}.
+            let mut m = if site.zero > 0 { 0.0 } else { f64::NEG_INFINITY };
+            let mut exps: Vec<f64> = Vec::with_capacity(site.deltas.len());
+            for df in &site.deltas {
+                let mut e = 0.0;
+                for k in 0..NUM_FEATURES {
+                    e += d[k] * df[k] as f64;
+                }
+                m = m.max(e);
+                exps.push(e);
+            }
+            let mut denom = if site.zero > 0 {
+                site.zero as f64 * (-m).exp()
+            } else {
+                0.0
+            };
+            for e in exps.iter_mut() {
+                *e = (*e - m).exp();
+                denom += *e;
+            }
+            value += m + denom.ln() - log_m;
+            for (e, df) in exps.iter().zip(&site.deltas) {
+                let wgt = e / denom;
+                for (j, &k) in self.active.iter().enumerate() {
+                    grad[j] += wgt * df[k] as f64;
+                }
+            }
+        }
+        // Gaussian prior on the active components.
+        for (j, &k) in self.active.iter().enumerate() {
+            let w = x[j];
+            value += 0.5 * w * w / self.sigma_sq;
+            grad[j] += w / self.sigma_sq;
+            let _ = k;
+        }
+        value
+    }
+}
+
+/// Output of the alternate learning algorithm.
+pub(crate) struct LearnOutput {
+    pub weights: Weights,
+    pub report: TrainReport,
+}
+
+/// Runs Algorithm 1 over fully-labelled training sequences.
+pub(crate) fn alternate_learning<R: Rng + ?Sized>(
+    space: &IndoorSpace,
+    train: &[LabeledSequence],
+    config: &C2mnConfig,
+    region_freq: &[f64],
+    rng: &mut R,
+) -> LearnOutput {
+    let start = Instant::now();
+
+    // Preprocess every training sequence.
+    let truth_regions: Vec<Vec<RegionId>> = train
+        .iter()
+        .map(|s| s.records.iter().map(|r| r.region).collect())
+        .collect();
+    let truth_events: Vec<Vec<MobilityEvent>> = train
+        .iter()
+        .map(|s| s.records.iter().map(|r| r.event).collect())
+        .collect();
+    let contexts: Vec<SequenceContext> = train
+        .iter()
+        .zip(&truth_regions)
+        .map(|(s, tr)| {
+            let records: Vec<_> = s.positioning().collect();
+            SequenceContext::build_for_training(space, config, &records, region_freq, tr)
+        })
+        .collect();
+    let truth_r_idx: Vec<Vec<usize>> = contexts
+        .iter()
+        .zip(&truth_regions)
+        .map(|(ctx, tr)| {
+            (0..ctx.len())
+                .map(|i| ctx.candidate_index(i, tr[i]).expect("truth in candidates"))
+                .collect()
+        })
+        .collect();
+
+    // Initial configured chains (line 1 of Algorithm 1 / footnote 6).
+    let mut events_cfg: Vec<Vec<MobilityEvent>> =
+        contexts.iter().map(|c| c.dbscan_events.clone()).collect();
+    let mut regions_cfg: Vec<Vec<RegionId>> = contexts
+        .iter()
+        .map(|c| {
+            (0..c.len())
+                .map(|i| c.candidates[i][c.nearest_idx[i]])
+                .collect()
+        })
+        .collect();
+
+    let mut weights = Weights::uniform(0.5);
+    let mut report = TrainReport::default();
+    let mut region_converged = false;
+    let mut event_converged = false;
+    let mut did_region_step = false;
+    let mut did_event_step = false;
+
+    let region_mask = config.structure.region_step_mask();
+    let event_mask = config.structure.event_step_mask();
+
+    for iter in 0..config.max_iter {
+        report.iterations = iter + 1;
+        let sample_regions = match config.first_configured {
+            FirstConfigured::Events => iter % 2 == 0,
+            FirstConfigured::Regions => iter % 2 == 1,
+        };
+        let mask = if sample_regions {
+            &region_mask
+        } else {
+            &event_mask
+        };
+        let active: Vec<usize> = (0..NUM_FEATURES).filter(|&k| mask[k]).collect();
+        if active.is_empty() {
+            continue;
+        }
+
+        // --- MCMC sampling of the free chain (lines 5–8) ----------------
+        // Pseudo-likelihood conditions each site on its Markov blanket at
+        // the EMPIRICAL values (Eq. 6): per site we compute the local
+        // feature vector of every candidate with the blanket fixed at the
+        // training labels (and Ā for the other chain), then draw the M
+        // samples from that conditional. The candidate feature vectors are
+        // reused for both the sampling weights and the Δf of Eq. 8/9.
+        let mut sites: Vec<SiteSamples> = Vec::new();
+        // Majority-vote accumulators for updating the configured chain.
+        let mut vote: Vec<Vec<Vec<u32>>> = Vec::with_capacity(contexts.len());
+        let mut feats: Vec<[f64; NUM_FEATURES]> = Vec::new();
+        let mut log_pot: Vec<f64> = Vec::new();
+        for (s, ctx) in contexts.iter().enumerate() {
+            let net = CoupledNetwork::new(ctx, &weights);
+            let n = ctx.len();
+            let mut counts: Vec<Vec<u32>> = (0..n)
+                .map(|i| vec![0u32; if sample_regions { ctx.candidates[i].len() } else { 2 }])
+                .collect();
+            for i in 0..n {
+                let (num_cand, truth_idx) = if sample_regions {
+                    (ctx.candidates[i].len(), truth_r_idx[s][i])
+                } else {
+                    (2, truth_events[s][i].index())
+                };
+                feats.clear();
+                feats.resize(num_cand, [0.0; NUM_FEATURES]);
+                for (c, f) in feats.iter_mut().enumerate() {
+                    if sample_regions {
+                        net.region_local_features(
+                            i,
+                            ctx.candidates[i][c],
+                            |k| truth_regions[s][k],
+                            |k| events_cfg[s][k],
+                            f,
+                        );
+                    } else {
+                        net.event_local_features(
+                            i,
+                            MobilityEvent::ALL[c],
+                            |k| regions_cfg[s][k],
+                            |k| truth_events[s][k],
+                            f,
+                        );
+                    }
+                }
+                log_pot.clear();
+                log_pot.extend(feats.iter().map(|f| weights.dot(f)));
+                let mut slot = SiteSamples {
+                    zero: 0,
+                    deltas: Vec::new(),
+                };
+                for _ in 0..config.mcmc_m {
+                    let c = ism_pgm::sample_from_log_weights(&log_pot, rng);
+                    counts[i][c] += 1;
+                    if c == truth_idx {
+                        slot.zero += 1;
+                    } else {
+                        let mut df = [0.0f32; NUM_FEATURES];
+                        for k in 0..NUM_FEATURES {
+                            df[k] = (feats[c][k] - feats[truth_idx][k]) as f32;
+                        }
+                        slot.deltas.push(df);
+                    }
+                }
+                sites.push(slot);
+            }
+            vote.push(counts);
+        }
+
+        // --- Inner L-BFGS on the surrogate (lines 9–17) ------------------
+        let mut surrogate = Surrogate {
+            sites: &sites,
+            anchor: weights.0,
+            active: &active,
+            m_total: config.mcmc_m.max(1) as f64,
+            sigma_sq: config.sigma_sq,
+        };
+        let x0: Vec<f64> = active.iter().map(|&k| weights.0[k]).collect();
+        let params = LbfgsParams {
+            max_iters: config.inner_lbfgs_iters,
+            ..Default::default()
+        };
+        let result = minimize(&mut surrogate, &x0, &params);
+        let mut new_weights = weights.clone();
+        for (j, &k) in active.iter().enumerate() {
+            // Trust region: the surrogate's importance weights are only
+            // reliable near the sampling anchor, so clamp the step, then
+            // project onto the non-negative orthant (every feature is a
+            // compatibility; a negative template weight would invert its
+            // semantics, which under heavy positioning noise destroys
+            // decoding).
+            let lo = weights.0[k] - config.step_cap;
+            let hi = weights.0[k] + config.step_cap;
+            new_weights.0[k] = result.x[j].clamp(lo, hi).max(0.0);
+        }
+        report.objective_trace.push(result.value);
+
+        // --- Convergence bookkeeping (lines 18–26) -----------------------
+        let step = new_weights.chebyshev(&weights, Some(mask));
+        if sample_regions {
+            did_region_step = true;
+            region_converged = step <= config.delta;
+        } else {
+            did_event_step = true;
+            event_converged = step <= config.delta;
+        }
+        weights = new_weights;
+
+        // Update the configured value of the just-sampled chain by
+        // averaging (majority-voting) the M samples (line 25).
+        for (s, ctx) in contexts.iter().enumerate() {
+            for i in 0..ctx.len() {
+                let argmax = vote[s][i]
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, c)| **c)
+                    .map(|(j, _)| j)
+                    .unwrap_or(0);
+                if sample_regions {
+                    regions_cfg[s][i] = ctx.candidates[i][argmax];
+                } else {
+                    events_cfg[s][i] = MobilityEvent::ALL[argmax];
+                }
+            }
+        }
+
+        if did_region_step && did_event_step && region_converged && event_converged {
+            report.converged = true;
+            break;
+        }
+    }
+
+    report.train_seconds = start.elapsed().as_secs_f64();
+    LearnOutput { weights, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ism_indoor::BuildingGenerator;
+    use ism_mobility::{Dataset, PositioningConfig, SimulationConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_training_data() -> (ism_indoor::IndoorSpace, Vec<LabeledSequence>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let space = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+        let dataset = Dataset::generate(
+            "train",
+            &space,
+            SimulationConfig::quick(),
+            PositioningConfig::synthetic(8.0, 2.0),
+            None,
+            5,
+            &mut rng,
+        );
+        (space, dataset.sequences)
+    }
+
+    #[test]
+    fn learning_runs_and_improves_weights() {
+        let (space, seqs) = tiny_training_data();
+        let config = C2mnConfig::quick_test();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = alternate_learning(&space, &seqs, &config, &[], &mut rng);
+        assert!(out.report.iterations >= 2);
+        assert!(out.report.train_seconds > 0.0);
+        // Weights moved away from the uniform init on active templates.
+        let moved = out
+            .weights
+            .0
+            .iter()
+            .filter(|w| (**w - 0.5).abs() > 1e-6)
+            .count();
+        assert!(moved >= 4, "weights barely moved: {:?}", out.weights.0);
+        // All weights finite.
+        assert!(out.weights.0.iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn surrogate_gradient_is_exact() {
+        use ism_optim::gradcheck::max_gradient_error;
+        // Synthetic site samples.
+        let mut sites = Vec::new();
+        let mut seed = 11u64;
+        for _ in 0..5 {
+            let mut deltas = Vec::new();
+            for _ in 0..4 {
+                let mut df = [0.0f32; NUM_FEATURES];
+                for v in df.iter_mut() {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    *v = ((seed >> 33) as f32 / u32::MAX as f32 - 0.25) * 2.0;
+                }
+                deltas.push(df);
+            }
+            sites.push(SiteSamples { zero: 2, deltas });
+        }
+        let active: Vec<usize> = (0..NUM_FEATURES).collect();
+        let mut s = Surrogate {
+            sites: &sites,
+            anchor: [0.3; NUM_FEATURES],
+            active: &active,
+            m_total: 6.0,
+            sigma_sq: 0.5,
+        };
+        let x: Vec<f64> = (0..NUM_FEATURES).map(|k| 0.2 + 0.05 * k as f64).collect();
+        let err = max_gradient_error(&mut s, &x, 1e-5);
+        assert!(err < 1e-5, "gradient error {err}");
+    }
+
+    #[test]
+    fn cmn_structure_trains_without_segmentation() {
+        let (space, seqs) = tiny_training_data();
+        let config = C2mnConfig::quick_test().with_structure(crate::ModelStructure::cmn());
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = alternate_learning(&space, &seqs, &config, &[], &mut rng);
+        // Segmentation weights stay at their initial value.
+        for k in 6..12 {
+            assert!((out.weights.0[k] - 0.5).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! The public C2MN model: training, labeling, annotation.
+
+use crate::learn::{alternate_learning, TrainReport};
+use crate::{C2mnConfig, CoupledNetwork, EventSites, RegionSites, SequenceContext, Weights};
+use ism_indoor::{IndoorSpace, RegionId};
+use ism_mobility::{merge_labels, LabeledSequence, MobilityEvent, MobilitySemantics, PositioningRecord};
+use ism_pgm::{gibbs_sweep, icm_sweep};
+use rand::Rng;
+use std::fmt;
+
+/// Errors of model training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum C2mnError {
+    /// The training set contains no usable sequence.
+    EmptyTrainingSet,
+}
+
+impl fmt::Display for C2mnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            C2mnError::EmptyTrainingSet => write!(f, "training set contains no sequences"),
+        }
+    }
+}
+
+impl std::error::Error for C2mnError {}
+
+/// A trained coupled conditional Markov network bound to a venue.
+#[derive(Debug)]
+pub struct C2mn<'a> {
+    space: &'a IndoorSpace,
+    config: C2mnConfig,
+    weights: Weights,
+    region_freq: Vec<f64>,
+    report: TrainReport,
+}
+
+impl<'a> C2mn<'a> {
+    /// Trains a model on fully-labelled sequences using the alternate
+    /// learning algorithm (Algorithm 1).
+    pub fn train<R: Rng + ?Sized>(
+        space: &'a IndoorSpace,
+        train: &[LabeledSequence],
+        config: &C2mnConfig,
+        rng: &mut R,
+    ) -> Result<Self, C2mnError> {
+        let usable: Vec<LabeledSequence> = train
+            .iter()
+            .filter(|s| s.records.len() >= 2)
+            .cloned()
+            .collect();
+        if usable.is_empty() {
+            return Err(C2mnError::EmptyTrainingSet);
+        }
+        // Historical region frequencies (optional fsm prior; always
+        // computed so the extension can be toggled without retraining).
+        let mut region_freq = vec![0.0f64; space.regions().len()];
+        let mut total = 0.0f64;
+        for s in &usable {
+            for r in &s.records {
+                region_freq[r.region.index()] += 1.0;
+                total += 1.0;
+            }
+        }
+        if total > 0.0 {
+            for f in &mut region_freq {
+                *f /= total;
+            }
+        }
+        let out = alternate_learning(space, &usable, config, &region_freq, rng);
+        Ok(C2mn {
+            space,
+            config: config.clone(),
+            weights: out.weights,
+            region_freq,
+            report: out.report,
+        })
+    }
+
+    /// Builds a model from explicit weights (tests, ablations, and loading
+    /// previously trained parameters).
+    pub fn from_weights(space: &'a IndoorSpace, config: C2mnConfig, weights: Weights) -> Self {
+        C2mn {
+            space,
+            config,
+            weights,
+            region_freq: Vec::new(),
+            report: TrainReport::default(),
+        }
+    }
+
+    /// The learned template weights.
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &C2mnConfig {
+        &self.config
+    }
+
+    /// Training diagnostics.
+    pub fn report(&self) -> &TrainReport {
+        &self.report
+    }
+
+    /// The venue this model is bound to.
+    pub fn space(&self) -> &'a IndoorSpace {
+        self.space
+    }
+
+    /// Labels every record of a p-sequence with a (region, event) pair by
+    /// joint MAP inference: ST-DBSCAN / nearest-neighbour initialisation,
+    /// annealed Gibbs sweeps alternating between the two chains, then ICM
+    /// to a local optimum.
+    pub fn label<R: Rng + ?Sized>(
+        &self,
+        records: &[PositioningRecord],
+        rng: &mut R,
+    ) -> Vec<(RegionId, MobilityEvent)> {
+        if records.is_empty() {
+            return Vec::new();
+        }
+        let ctx = SequenceContext::build(self.space, &self.config, records, &self.region_freq);
+        let net = CoupledNetwork::new(&ctx, &self.weights);
+        let n = ctx.len();
+
+        let mut region_state: Vec<usize> = ctx.nearest_idx.clone();
+        let mut event_state: Vec<usize> =
+            ctx.dbscan_events.iter().map(|e| e.index()).collect();
+        let mut regions: Vec<RegionId> = (0..n)
+            .map(|i| ctx.candidates[i][region_state[i]])
+            .collect();
+        let mut events: Vec<MobilityEvent> = ctx.dbscan_events.clone();
+
+        // Annealed coupled Gibbs.
+        let sweeps = self.config.anneal_sweeps.max(1);
+        let ratio = (self.config.anneal_t_end / self.config.anneal_t_start).max(1e-9);
+        for k in 0..sweeps {
+            let t = self.config.anneal_t_start * ratio.powf(k as f64 / sweeps as f64);
+            {
+                let rs = RegionSites {
+                    net: &net,
+                    events: &events,
+                };
+                gibbs_sweep(&rs, &mut region_state, t, rng);
+            }
+            for i in 0..n {
+                regions[i] = ctx.candidates[i][region_state[i]];
+            }
+            {
+                let es = EventSites {
+                    net: &net,
+                    regions: &regions,
+                };
+                gibbs_sweep(&es, &mut event_state, t, rng);
+            }
+            for i in 0..n {
+                events[i] = MobilityEvent::ALL[event_state[i]];
+            }
+        }
+
+        // ICM polish: alternate until a joint fixed point.
+        for _ in 0..(2 * n + 4) {
+            let changed_r = {
+                let rs = RegionSites {
+                    net: &net,
+                    events: &events,
+                };
+                icm_sweep(&rs, &mut region_state)
+            };
+            for i in 0..n {
+                regions[i] = ctx.candidates[i][region_state[i]];
+            }
+            let changed_e = {
+                let es = EventSites {
+                    net: &net,
+                    regions: &regions,
+                };
+                icm_sweep(&es, &mut event_state)
+            };
+            for i in 0..n {
+                events[i] = MobilityEvent::ALL[event_state[i]];
+            }
+            if changed_r == 0 && changed_e == 0 {
+                break;
+            }
+        }
+
+        regions.into_iter().zip(events).collect()
+    }
+
+    /// Annotates a p-sequence with m-semantics: label every record, then
+    /// merge consecutive records sharing both labels (label-and-merge).
+    pub fn annotate<R: Rng + ?Sized>(
+        &self,
+        records: &[PositioningRecord],
+        rng: &mut R,
+    ) -> Vec<MobilitySemantics> {
+        let labels = self.label(records, rng);
+        let times: Vec<f64> = records.iter().map(|r| r.t).collect();
+        merge_labels(&times, &labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ism_indoor::BuildingGenerator;
+    use ism_mobility::{Dataset, PositioningConfig, SimulationConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pipeline() -> (ism_indoor::IndoorSpace, Dataset) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let space = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+        let dataset = Dataset::generate(
+            "d",
+            &space,
+            SimulationConfig::quick(),
+            PositioningConfig::synthetic(8.0, 1.5),
+            None,
+            8,
+            &mut rng,
+        );
+        (space, dataset)
+    }
+
+    #[test]
+    fn end_to_end_training_and_annotation() {
+        let (space, dataset) = pipeline();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, test) = dataset.split(0.7, &mut rng);
+        let config = C2mnConfig::quick_test();
+        let model = C2mn::train(&space, &train, &config, &mut rng).unwrap();
+
+        let mut correct_r = 0usize;
+        let mut correct_e = 0usize;
+        let mut total = 0usize;
+        for seq in &test {
+            let records: Vec<_> = seq.positioning().collect();
+            let labels = model.label(&records, &mut rng);
+            assert_eq!(labels.len(), records.len());
+            for (lab, truth) in labels.iter().zip(seq.truth_labels()) {
+                total += 1;
+                correct_r += usize::from(lab.0 == truth.0);
+                correct_e += usize::from(lab.1 == truth.1);
+            }
+        }
+        assert!(total > 0);
+        let ra = correct_r as f64 / total as f64;
+        let ea = correct_e as f64 / total as f64;
+        // With low noise in a small venue the model should do well.
+        assert!(ra > 0.5, "region accuracy {ra}");
+        assert!(ea > 0.6, "event accuracy {ea}");
+    }
+
+    #[test]
+    fn annotation_merges_runs() {
+        let (space, dataset) = pipeline();
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = C2mnConfig::quick_test();
+        let model = C2mn::train(&space, &dataset.sequences, &config, &mut rng).unwrap();
+        let records: Vec<_> = dataset.sequences[0].positioning().collect();
+        let ms = model.annotate(&records, &mut rng);
+        assert!(!ms.is_empty());
+        assert!(ms.len() <= records.len());
+        // Periods are ordered and disjoint.
+        for w in ms.windows(2) {
+            assert!(w[0].period.end < w[1].period.start);
+        }
+        // Adjacent m-semantics differ in at least one label.
+        for w in ms.windows(2) {
+            assert!(w[0].region != w[1].region || w[0].event != w[1].event);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (space, dataset) = pipeline();
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = C2mnConfig::quick_test();
+        assert_eq!(
+            C2mn::train(&space, &[], &config, &mut rng).unwrap_err(),
+            C2mnError::EmptyTrainingSet
+        );
+        let model = C2mn::train(&space, &dataset.sequences, &config, &mut rng).unwrap();
+        assert!(model.label(&[], &mut rng).is_empty());
+        assert!(model.annotate(&[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn from_weights_skips_training() {
+        let (space, dataset) = pipeline();
+        let mut rng = StdRng::seed_from_u64(5);
+        let model =
+            C2mn::from_weights(&space, C2mnConfig::quick_test(), Weights::uniform(1.0));
+        let records: Vec<_> = dataset.sequences[0].positioning().collect();
+        let labels = model.label(&records, &mut rng);
+        assert_eq!(labels.len(), records.len());
+    }
+}

@@ -1,0 +1,461 @@
+//! The unrolled coupled network: global energy and exact Markov-blanket
+//! local features.
+//!
+//! The central invariant, exercised by the tests below, is that for any
+//! single-site relabelling the difference of the *local* feature vectors
+//! equals the difference of the *global* energy — i.e. the conditionals
+//! used by Gibbs sampling and ICM are exactly those of the joint model.
+
+use crate::structure::idx;
+use crate::{SequenceContext, Weights, NUM_FEATURES};
+use ism_indoor::RegionId;
+use ism_mobility::MobilityEvent;
+use ism_pgm::ConditionalModel;
+
+/// A C2MN instantiated over one positioning sequence.
+pub struct CoupledNetwork<'c> {
+    /// The preprocessed sequence.
+    pub ctx: &'c SequenceContext<'c>,
+    /// The shared template weights.
+    pub weights: &'c Weights,
+}
+
+impl<'c> CoupledNetwork<'c> {
+    /// Creates the network.
+    pub fn new(ctx: &'c SequenceContext<'c>, weights: &'c Weights) -> Self {
+        CoupledNetwork { ctx, weights }
+    }
+
+    /// `fsm` for an arbitrary region at record `i` (candidate cache first,
+    /// direct geometry as fallback).
+    fn fsm_value(&self, i: usize, region: RegionId) -> f64 {
+        if let Some(c) = self.ctx.candidate_index(i, region) {
+            return self.ctx.fsm[i][c];
+        }
+        let rec = &self.ctx.records[i];
+        let circle =
+            ism_geometry::Circle::new(rec.location.xy, self.ctx.config.uncertainty_radius);
+        self.ctx
+            .space
+            .region_circle_overlap(region, rec.location.floor, circle)
+            / circle.area().max(f64::EPSILON)
+    }
+
+    /// Maximal run `a..=b` around `i` where `same(k)` holds relative to `i`.
+    #[inline]
+    fn run_around<F: Fn(usize, usize) -> bool>(&self, i: usize, same: F) -> (usize, usize) {
+        let n = self.ctx.len();
+        let mut a = i;
+        while a > 0 && same(a - 1, i) {
+            a -= 1;
+        }
+        let mut b = i;
+        while b + 1 < n && same(b + 1, i) {
+            b += 1;
+        }
+        (a, b)
+    }
+
+    /// Global energy `Σ_ct w_ct · f_ct` of a full labelling.
+    pub fn total_energy(&self, regions: &[RegionId], events: &[MobilityEvent]) -> f64 {
+        let ctx = self.ctx;
+        let s = &ctx.config.structure;
+        let w = &self.weights.0;
+        let n = ctx.len();
+        debug_assert_eq!(regions.len(), n);
+        debug_assert_eq!(events.len(), n);
+        let mut energy = 0.0;
+        for i in 0..n {
+            energy += w[idx::SM] * self.fsm_value(i, regions[i]);
+            energy += w[idx::EM] * ctx.fem[i][events[i].index()];
+        }
+        for g in 0..n.saturating_sub(1) {
+            if s.transitions {
+                energy += w[idx::ST] * ctx.fst(g, regions[g], regions[g + 1]);
+                energy += w[idx::ET] * ctx.fet(events[g], events[g + 1]);
+            }
+            if s.synchronizations {
+                energy += w[idx::SC] * ctx.fsc(g, regions[g], regions[g + 1]);
+                energy += w[idx::EC] * ctx.fec(g, events[g], events[g + 1]);
+            }
+        }
+        if s.event_segmentation && n > 0 {
+            let mut a = 0;
+            while a < n {
+                let mut b = a;
+                while b + 1 < n && events[b + 1] == events[a] {
+                    b += 1;
+                }
+                let f = ctx.fes(a, b, events[a], |k| regions[k]);
+                for k in 0..3 {
+                    energy += w[idx::ES + k] * f[k];
+                }
+                a = b + 1;
+            }
+        }
+        if s.space_segmentation && n > 0 {
+            let mut a = 0;
+            while a < n {
+                let mut b = a;
+                while b + 1 < n && regions[b + 1] == regions[a] {
+                    b += 1;
+                }
+                let f = ctx.fss(a, b, |k| events[k]);
+                for k in 0..3 {
+                    energy += w[idx::SS + k] * f[k];
+                }
+                a = b + 1;
+            }
+        }
+        energy
+    }
+
+    /// Local feature vector of assigning `cand` to region site `i`: the sum
+    /// of the features of every clique containing `r_i`, with all other
+    /// sites read through the accessors.
+    pub fn region_local_features<R, E>(
+        &self,
+        i: usize,
+        cand: RegionId,
+        region_at: R,
+        event_at: E,
+        out: &mut [f64; NUM_FEATURES],
+    ) where
+        R: Fn(usize) -> RegionId,
+        E: Fn(usize) -> MobilityEvent,
+    {
+        let ctx = self.ctx;
+        let s = &ctx.config.structure;
+        let n = ctx.len();
+        out.fill(0.0);
+        let eff = |k: usize| if k == i { cand } else { region_at(k) };
+
+        out[idx::SM] = self.fsm_value(i, cand);
+        if s.transitions {
+            if i > 0 {
+                out[idx::ST] += ctx.fst(i - 1, region_at(i - 1), cand);
+            }
+            if i + 1 < n {
+                out[idx::ST] += ctx.fst(i, cand, region_at(i + 1));
+            }
+        }
+        if s.synchronizations {
+            if i > 0 {
+                out[idx::SC] += ctx.fsc(i - 1, region_at(i - 1), cand);
+            }
+            if i + 1 < n {
+                out[idx::SC] += ctx.fsc(i, cand, region_at(i + 1));
+            }
+        }
+        if s.event_segmentation {
+            // The event run containing i is unaffected by region labels;
+            // only its fes features change through DISTNUM.
+            let (a, b) = self.run_around(i, |k, j| event_at(k) == event_at(j));
+            let f = ctx.fes(a, b, event_at(i), eff);
+            out[idx::ES..idx::ES + 3].copy_from_slice(&f);
+        }
+        if s.space_segmentation {
+            // Changing r_i can split or merge region runs: recompute fss
+            // over the window spanned by the runs of i−1 and i+1 (their
+            // outer boundaries cannot move).
+            let lo = if i == 0 {
+                0
+            } else {
+                self.run_around(i - 1, |k, j| region_at(k) == region_at(j)).0
+            };
+            let hi = if i + 1 >= n {
+                n - 1
+            } else {
+                self.run_around(i + 1, |k, j| region_at(k) == region_at(j)).1
+            };
+            let mut a = lo;
+            while a <= hi {
+                let mut b = a;
+                while b + 1 <= hi && eff(b + 1) == eff(a) {
+                    b += 1;
+                }
+                let f = ctx.fss(a, b, &event_at);
+                for k in 0..3 {
+                    out[idx::SS + k] += f[k];
+                }
+                a = b + 1;
+            }
+        }
+    }
+
+    /// Local feature vector of assigning `cand` to event site `i`.
+    pub fn event_local_features<R, E>(
+        &self,
+        i: usize,
+        cand: MobilityEvent,
+        region_at: R,
+        event_at: E,
+        out: &mut [f64; NUM_FEATURES],
+    ) where
+        R: Fn(usize) -> RegionId,
+        E: Fn(usize) -> MobilityEvent,
+    {
+        let ctx = self.ctx;
+        let s = &ctx.config.structure;
+        let n = ctx.len();
+        out.fill(0.0);
+        let eff = |k: usize| if k == i { cand } else { event_at(k) };
+
+        out[idx::EM] = ctx.fem[i][cand.index()];
+        if s.transitions {
+            if i > 0 {
+                out[idx::ET] += ctx.fet(event_at(i - 1), cand);
+            }
+            if i + 1 < n {
+                out[idx::ET] += ctx.fet(cand, event_at(i + 1));
+            }
+        }
+        if s.synchronizations {
+            if i > 0 {
+                out[idx::EC] += ctx.fec(i - 1, event_at(i - 1), cand);
+            }
+            if i + 1 < n {
+                out[idx::EC] += ctx.fec(i, cand, event_at(i + 1));
+            }
+        }
+        if s.event_segmentation {
+            // Changing e_i can split or merge event runs.
+            let lo = if i == 0 {
+                0
+            } else {
+                self.run_around(i - 1, |k, j| event_at(k) == event_at(j)).0
+            };
+            let hi = if i + 1 >= n {
+                n - 1
+            } else {
+                self.run_around(i + 1, |k, j| event_at(k) == event_at(j)).1
+            };
+            let mut a = lo;
+            while a <= hi {
+                let mut b = a;
+                while b + 1 <= hi && eff(b + 1) == eff(a) {
+                    b += 1;
+                }
+                let f = ctx.fes(a, b, eff(a), &region_at);
+                for k in 0..3 {
+                    out[idx::ES + k] += f[k];
+                }
+                a = b + 1;
+            }
+        }
+        if s.space_segmentation {
+            // The region run containing i is fixed; its fss features change
+            // through the event-run counts and boundary indicators.
+            let (a, b) = self.run_around(i, |k, j| region_at(k) == region_at(j));
+            let f = ctx.fss(a, b, eff);
+            out[idx::SS..idx::SS + 3].copy_from_slice(&f);
+        }
+    }
+}
+
+/// Region-chain sites as a [`ConditionalModel`]: state entries are dense
+/// candidate indices into `ctx.candidates[site]`, the event chain is fixed.
+pub struct RegionSites<'c> {
+    /// The network.
+    pub net: &'c CoupledNetwork<'c>,
+    /// The fixed event labelling.
+    pub events: &'c [MobilityEvent],
+}
+
+impl ConditionalModel for RegionSites<'_> {
+    fn num_sites(&self) -> usize {
+        self.net.ctx.len()
+    }
+
+    fn num_candidates(&self, site: usize) -> usize {
+        self.net.ctx.candidates[site].len()
+    }
+
+    fn local_log_potential(&self, site: usize, candidate: usize, state: &[usize]) -> f64 {
+        let ctx = self.net.ctx;
+        let mut f = [0.0; NUM_FEATURES];
+        self.net.region_local_features(
+            site,
+            ctx.candidates[site][candidate],
+            |k| ctx.candidates[k][state[k]],
+            |k| self.events[k],
+            &mut f,
+        );
+        self.net.weights.dot(&f)
+    }
+}
+
+/// Event-chain sites as a [`ConditionalModel`]: state entries index
+/// [`MobilityEvent::ALL`], the region chain is fixed.
+pub struct EventSites<'c> {
+    /// The network.
+    pub net: &'c CoupledNetwork<'c>,
+    /// The fixed region labelling.
+    pub regions: &'c [RegionId],
+}
+
+impl ConditionalModel for EventSites<'_> {
+    fn num_sites(&self) -> usize {
+        self.net.ctx.len()
+    }
+
+    fn num_candidates(&self, _site: usize) -> usize {
+        2
+    }
+
+    fn local_log_potential(&self, site: usize, candidate: usize, state: &[usize]) -> f64 {
+        let mut f = [0.0; NUM_FEATURES];
+        self.net.event_local_features(
+            site,
+            MobilityEvent::ALL[candidate],
+            |k| self.regions[k],
+            |k| MobilityEvent::ALL[state[k]],
+            &mut f,
+        );
+        self.net.weights.dot(&f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::C2mnConfig;
+    use ism_geometry::Point2;
+    use ism_indoor::{BuildingGenerator, IndoorPoint, IndoorSpace};
+    use ism_mobility::PositioningRecord;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (IndoorSpace, C2mnConfig) {
+        let space = BuildingGenerator::small_office()
+            .generate(&mut StdRng::seed_from_u64(1))
+            .unwrap();
+        (space, C2mnConfig::quick_test())
+    }
+
+    fn random_walk(space: &IndoorSpace, n: usize, seed: u64) -> Vec<PositioningRecord> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xy = space.partitions()[4].rect.center();
+        (0..n)
+            .map(|i| {
+                xy = Point2::new(
+                    xy.x + rng.random_range(-4.0..4.0),
+                    xy.y + rng.random_range(-2.0..2.0),
+                );
+                PositioningRecord::new(IndoorPoint::new(0, xy), 8.0 * i as f64)
+            })
+            .collect()
+    }
+
+    /// The key invariant: single-site local-feature differences match
+    /// global-energy differences, for both chains and every structure.
+    #[test]
+    fn local_conditionals_match_global_energy() {
+        let (space, base) = setup();
+        for structure in [
+            crate::ModelStructure::full(),
+            crate::ModelStructure::cmn(),
+            crate::ModelStructure::no_transitions(),
+            crate::ModelStructure::no_synchronizations(),
+            crate::ModelStructure::no_event_segmentation(),
+            crate::ModelStructure::no_space_segmentation(),
+        ] {
+            let config = base.clone().with_structure(structure);
+            let recs = random_walk(&space, 14, 42);
+            let ctx = SequenceContext::build(&space, &config, &recs, &[]);
+            let weights = Weights::uniform(1.3);
+            let net = CoupledNetwork::new(&ctx, &weights);
+            let mut rng = StdRng::seed_from_u64(7);
+
+            // Random initial labelling from candidates.
+            let mut regions: Vec<RegionId> = (0..ctx.len())
+                .map(|i| ctx.candidates[i][rng.random_range(0..ctx.candidates[i].len())])
+                .collect();
+            let mut events: Vec<MobilityEvent> = (0..ctx.len())
+                .map(|_| MobilityEvent::ALL[rng.random_range(0..2)])
+                .collect();
+
+            for _trial in 0..40 {
+                let i = rng.random_range(0..ctx.len());
+                // --- Region flip -------------------------------------
+                let old_r = regions[i];
+                let new_r = ctx.candidates[i][rng.random_range(0..ctx.candidates[i].len())];
+                let mut f_old = [0.0; NUM_FEATURES];
+                let mut f_new = [0.0; NUM_FEATURES];
+                net.region_local_features(i, old_r, |k| regions[k], |k| events[k], &mut f_old);
+                net.region_local_features(i, new_r, |k| regions[k], |k| events[k], &mut f_new);
+                let local_delta = weights.dot(&f_new) - weights.dot(&f_old);
+                let e_old = net.total_energy(&regions, &events);
+                regions[i] = new_r;
+                let e_new = net.total_energy(&regions, &events);
+                assert!(
+                    (e_new - e_old - local_delta).abs() < 1e-9,
+                    "region flip mismatch ({structure:?}): global {} vs local {}",
+                    e_new - e_old,
+                    local_delta
+                );
+                regions[i] = old_r;
+
+                // --- Event flip --------------------------------------
+                let old_e = events[i];
+                let new_e = MobilityEvent::ALL[rng.random_range(0..2)];
+                net.event_local_features(i, old_e, |k| regions[k], |k| events[k], &mut f_old);
+                net.event_local_features(i, new_e, |k| regions[k], |k| events[k], &mut f_new);
+                let local_delta = weights.dot(&f_new) - weights.dot(&f_old);
+                let e_old = net.total_energy(&regions, &events);
+                events[i] = new_e;
+                let e_new = net.total_energy(&regions, &events);
+                assert!(
+                    (e_new - e_old - local_delta).abs() < 1e-9,
+                    "event flip mismatch ({structure:?}): global {} vs local {}",
+                    e_new - e_old,
+                    local_delta
+                );
+                events[i] = old_e;
+            }
+        }
+    }
+
+    #[test]
+    fn adapters_expose_expected_shapes() {
+        let (space, config) = setup();
+        let recs = random_walk(&space, 10, 5);
+        let ctx = SequenceContext::build(&space, &config, &recs, &[]);
+        let weights = Weights::uniform(1.0);
+        let net = CoupledNetwork::new(&ctx, &weights);
+        let events = vec![MobilityEvent::Stay; ctx.len()];
+        let rs = RegionSites {
+            net: &net,
+            events: &events,
+        };
+        assert_eq!(rs.num_sites(), 10);
+        for i in 0..10 {
+            assert_eq!(rs.num_candidates(i), ctx.candidates[i].len());
+        }
+        let regions: Vec<RegionId> = (0..ctx.len()).map(|i| ctx.candidates[i][0]).collect();
+        let es = EventSites {
+            net: &net,
+            regions: &regions,
+        };
+        assert_eq!(es.num_sites(), 10);
+        assert_eq!(es.num_candidates(3), 2);
+        // Potentials are finite.
+        let state = vec![0usize; 10];
+        for i in 0..10 {
+            assert!(rs.local_log_potential(i, 0, &state).is_finite());
+            assert!(es.local_log_potential(i, 1, &state).is_finite());
+        }
+    }
+
+    #[test]
+    fn zero_weights_make_all_labelings_equal() {
+        let (space, config) = setup();
+        let recs = random_walk(&space, 8, 9);
+        let ctx = SequenceContext::build(&space, &config, &recs, &[]);
+        let weights = Weights::zeros();
+        let net = CoupledNetwork::new(&ctx, &weights);
+        let regions: Vec<RegionId> = (0..ctx.len()).map(|i| ctx.candidates[i][0]).collect();
+        let events = vec![MobilityEvent::Pass; ctx.len()];
+        assert_eq!(net.total_energy(&regions, &events), 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Evaluation metrics and data-splitting utilities (§V-A).
+//!
+//! * **RA / EA** — region / event labeling accuracy (fraction of records
+//!   whose region / event label is correct),
+//! * **CA** — combined accuracy `λ·RA + (1−λ)·EA` (the paper uses
+//!   `λ = 0.7`),
+//! * **PA** — perfect accuracy (both labels correct),
+//! * **top-k precision** — fraction of true top-k results returned by a
+//!   top-k query,
+//! * train/test splitting and k-fold cross-validation index generation.
+
+#![deny(missing_docs)]
+
+use ism_indoor::RegionId;
+use ism_mobility::MobilityEvent;
+use rand::Rng;
+
+/// The paper's trade-off parameter for combined accuracy.
+pub const PAPER_LAMBDA: f64 = 0.7;
+
+/// Record-level labeling accuracies.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LabelAccuracy {
+    /// Region accuracy (RA).
+    pub region: f64,
+    /// Event accuracy (EA).
+    pub event: f64,
+    /// Perfect accuracy (PA): both labels correct.
+    pub perfect: f64,
+    /// Number of records evaluated.
+    pub total: usize,
+}
+
+impl LabelAccuracy {
+    /// Combined accuracy `CA = λ·RA + (1−λ)·EA`.
+    pub fn combined(&self, lambda: f64) -> f64 {
+        lambda * self.region + (1.0 - lambda) * self.event
+    }
+}
+
+/// Combined accuracy helper (free-function form).
+pub fn combined_accuracy(acc: &LabelAccuracy, lambda: f64) -> f64 {
+    acc.combined(lambda)
+}
+
+/// Perfect accuracy helper (free-function form).
+pub fn perfect_accuracy(acc: &LabelAccuracy) -> f64 {
+    acc.perfect
+}
+
+/// Streaming accumulator of labeling accuracy across sequences.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AccuracyAccumulator {
+    correct_region: usize,
+    correct_event: usize,
+    correct_both: usize,
+    total: usize,
+}
+
+impl AccuracyAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one labelled sequence: predictions vs ground truth.
+    pub fn add<I>(&mut self, predicted: &[(RegionId, MobilityEvent)], truth: I)
+    where
+        I: IntoIterator<Item = (RegionId, MobilityEvent)>,
+    {
+        for (p, t) in predicted.iter().zip(truth) {
+            let r_ok = p.0 == t.0;
+            let e_ok = p.1 == t.1;
+            self.correct_region += usize::from(r_ok);
+            self.correct_event += usize::from(e_ok);
+            self.correct_both += usize::from(r_ok && e_ok);
+            self.total += 1;
+        }
+    }
+
+    /// Finalises the metrics.
+    pub fn finish(&self) -> LabelAccuracy {
+        let n = self.total.max(1) as f64;
+        LabelAccuracy {
+            region: self.correct_region as f64 / n,
+            event: self.correct_event as f64 / n,
+            perfect: self.correct_both as f64 / n,
+            total: self.total,
+        }
+    }
+}
+
+/// Precision of a top-k result: `|returned ∩ truth| / k`.
+///
+/// Duplicates in either list are ignored; `k` is the length of the truth
+/// list (callers pass the true top-k).
+pub fn top_k_precision<T: PartialEq>(returned: &[T], truth: &[T]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let hits = returned.iter().filter(|r| truth.contains(r)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Generates k-fold cross-validation folds: a permutation of `0..n` split
+/// into `k` near-equal chunks.
+pub fn k_fold_indices<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "need at least two folds");
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (pos, i) in idx.into_iter().enumerate() {
+        folds[pos % k].push(i);
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use MobilityEvent::{Pass, Stay};
+
+    fn r(i: u32) -> RegionId {
+        RegionId(i)
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let mut acc = AccuracyAccumulator::new();
+        let pred = vec![(r(0), Stay), (r(1), Pass), (r(2), Stay)];
+        let truth = vec![(r(0), Stay), (r(1), Stay), (r(9), Stay)];
+        acc.add(&pred, truth);
+        let m = acc.finish();
+        assert_eq!(m.total, 3);
+        assert!((m.region - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.event - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.perfect - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_accuracy_weighting() {
+        let m = LabelAccuracy {
+            region: 0.9,
+            event: 0.5,
+            perfect: 0.4,
+            total: 10,
+        };
+        assert!((m.combined(PAPER_LAMBDA) - (0.7 * 0.9 + 0.3 * 0.5)).abs() < 1e-12);
+        assert_eq!(m.combined(1.0), 0.9);
+        assert_eq!(m.combined(0.0), 0.5);
+    }
+
+    #[test]
+    fn accumulator_spans_sequences() {
+        let mut acc = AccuracyAccumulator::new();
+        acc.add(&[(r(0), Stay)], vec![(r(0), Stay)]);
+        acc.add(&[(r(1), Pass)], vec![(r(2), Pass)]);
+        let m = acc.finish();
+        assert_eq!(m.total, 2);
+        assert_eq!(m.region, 0.5);
+        assert_eq!(m.event, 1.0);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let m = AccuracyAccumulator::new().finish();
+        assert_eq!(m.total, 0);
+        assert_eq!(m.region, 0.0);
+    }
+
+    #[test]
+    fn top_k_precision_basic() {
+        assert_eq!(top_k_precision(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(top_k_precision(&[1, 2, 4], &[1, 2, 3]), 2.0 / 3.0);
+        assert_eq!(top_k_precision::<u32>(&[], &[1, 2]), 0.0);
+        assert_eq!(top_k_precision::<u32>(&[1], &[]), 1.0);
+    }
+
+    #[test]
+    fn k_folds_partition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let folds = k_fold_indices(23, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        for f in &folds {
+            assert!((4..=5).contains(&f.len()));
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Circles and exact circle–polygon intersection areas.
+//!
+//! The spatial matching feature `fsm` of the paper (Eq. 3) computes
+//! `area(UR(l, v) ∩ region) / area(UR)` where the uncertainty region `UR`
+//! is a disk. Because indoor partitions are axis-aligned rectangles, the
+//! required primitive is the exact area of a disk–rectangle intersection,
+//! computed here with a Green's-theorem walk over the rectangle boundary
+//! (triangle contributions for chords inside the circle, sector
+//! contributions where the boundary is the circular arc).
+
+use crate::{Point2, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A circle given by center and radius.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    /// Center of the circle.
+    pub center: Point2,
+    /// Radius (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle; the radius must be non-negative.
+    #[inline]
+    pub fn new(center: Point2, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "circle radius must be non-negative");
+        Circle { center, radius }
+    }
+
+    /// Area of the disk.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Whether the point lies inside or on the circle.
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius
+    }
+
+    /// Tight axis-aligned bounding box of the disk.
+    #[inline]
+    pub fn bounding_rect(&self) -> Rect {
+        Rect::new(
+            Point2::new(self.center.x - self.radius, self.center.y - self.radius),
+            Point2::new(self.center.x + self.radius, self.center.y + self.radius),
+        )
+    }
+}
+
+/// Signed area contribution of the directed chord/arc from `a` to `b`
+/// (both relative to a circle centered at the origin with radius `r`).
+///
+/// Implements the classic circle–polygon clipping step: the directed edge is
+/// split at its circle crossings; sub-segments inside the disk contribute
+/// triangle (shoelace) area, portions outside contribute the circular sector
+/// swept between the corresponding angles (short way, signed).
+fn edge_contribution(a: Point2, b: Point2, r: f64) -> f64 {
+    #[inline]
+    fn tri(a: Point2, b: Point2) -> f64 {
+        0.5 * a.cross(b)
+    }
+    #[inline]
+    fn sector(a: Point2, b: Point2, r: f64) -> f64 {
+        // Signed short-way angle between the two direction vectors.
+        let theta = a.cross(b).atan2(a.dot(b));
+        0.5 * r * r * theta
+    }
+
+    let r_sq = r * r;
+    let a_in = a.norm_sq() <= r_sq;
+    let b_in = b.norm_sq() <= r_sq;
+
+    // Both endpoints inside: plain chord.
+    if a_in && b_in {
+        return tri(a, b);
+    }
+
+    // Solve |a + t (b-a)|² = r² for t ∈ [0, 1].
+    let d = b - a;
+    let qa = d.norm_sq();
+    if qa <= f64::EPSILON {
+        // Degenerate edge.
+        return if a_in { tri(a, b) } else { sector(a, b, r) };
+    }
+    let qb = 2.0 * a.dot(d);
+    let qc = a.norm_sq() - r_sq;
+    let disc = qb * qb - 4.0 * qa * qc;
+
+    if !a_in && !b_in {
+        if disc <= 0.0 {
+            // Line misses the circle entirely: pure arc.
+            return sector(a, b, r);
+        }
+        let sq = disc.sqrt();
+        let t0 = (-qb - sq) / (2.0 * qa);
+        let t1 = (-qb + sq) / (2.0 * qa);
+        if t1 <= 0.0 || t0 >= 1.0 || t0 >= t1 {
+            // Crossings outside the segment: pure arc.
+            return sector(a, b, r);
+        }
+        let p0 = a + d * t0.max(0.0);
+        let p1 = a + d * t1.min(1.0);
+        return sector(a, p0, r) + tri(p0, p1) + sector(p1, b, r);
+    }
+
+    // Exactly one endpoint inside: one crossing on the segment.
+    let sq = disc.max(0.0).sqrt();
+    if a_in {
+        // Exit crossing uses the larger root.
+        let t = ((-qb + sq) / (2.0 * qa)).clamp(0.0, 1.0);
+        let p = a + d * t;
+        tri(a, p) + sector(p, b, r)
+    } else {
+        // Entry crossing uses the smaller root.
+        let t = ((-qb - sq) / (2.0 * qa)).clamp(0.0, 1.0);
+        let p = a + d * t;
+        sector(a, p, r) + tri(p, b)
+    }
+}
+
+/// Exact area of the intersection between `circle` and the simple polygon
+/// given by `vertices` in counter-clockwise order.
+///
+/// The polygon must be simple (non-self-intersecting); convexity is not
+/// required. Returns `0.0` for polygons with fewer than three vertices or a
+/// zero-radius circle.
+pub fn circle_polygon_area(circle: Circle, vertices: &[Point2]) -> f64 {
+    if vertices.len() < 3 || circle.radius <= 0.0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let n = vertices.len();
+    for i in 0..n {
+        let a = vertices[i] - circle.center;
+        let b = vertices[(i + 1) % n] - circle.center;
+        total += edge_contribution(a, b, circle.radius);
+    }
+    // Clamp tiny negative results caused by floating point noise.
+    total.max(0.0).min(circle.area())
+}
+
+/// Exact area of the intersection between a disk and an axis-aligned
+/// rectangle.
+///
+/// This is the hot kernel behind the paper's spatial matching feature `fsm`
+/// (Eq. 3); semantic regions are unions of disjoint rectangles so region
+/// areas are sums of calls to this function.
+pub fn circle_rect_intersection_area(circle: Circle, rect: &Rect) -> f64 {
+    if circle.radius <= 0.0 || rect.area() <= 0.0 {
+        return 0.0;
+    }
+    // Fast reject: disk bounding box vs rectangle.
+    if !circle.bounding_rect().intersects(rect) {
+        return 0.0;
+    }
+    // Fast accept: rectangle entirely inside the disk.
+    let r_sq = circle.radius * circle.radius;
+    let mut all_in = true;
+    for c in rect.corners() {
+        if (c - circle.center).norm_sq() > r_sq {
+            all_in = false;
+            break;
+        }
+    }
+    if all_in {
+        return rect.area();
+    }
+    // Fast accept: disk entirely inside the rectangle.
+    if rect.min.x <= circle.center.x - circle.radius
+        && rect.max.x >= circle.center.x + circle.radius
+        && rect.min.y <= circle.center.y - circle.radius
+        && rect.max.y >= circle.center.y + circle.radius
+    {
+        return circle.area();
+    }
+    let corners = rect.corners();
+    let mut total = 0.0;
+    for i in 0..4 {
+        let a = corners[i] - circle.center;
+        let b = corners[(i + 1) % 4] - circle.center;
+        total += edge_contribution(a, b, circle.radius);
+    }
+    total.max(0.0).min(circle.area().min(rect.area()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn c(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point2::new(x, y), r)
+    }
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point2::new(x0, y0), Point2::new(x1, y1))
+    }
+
+    /// Monte-Carlo reference estimate of the intersection area.
+    fn mc_area(circle: Circle, r: &Rect, samples: u32) -> f64 {
+        // Deterministic low-discrepancy-ish sweep: regular grid over rect.
+        let n = (samples as f64).sqrt() as u32;
+        let mut hits = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                let p = r.at((i as f64 + 0.5) / n as f64, (j as f64 + 0.5) / n as f64);
+                if circle.contains(p) {
+                    hits += 1;
+                }
+            }
+        }
+        r.area() * hits as f64 / (n as f64 * n as f64)
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        assert_eq!(
+            circle_rect_intersection_area(c(10.0, 10.0, 1.0), &rect(0.0, 0.0, 1.0, 1.0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn rect_inside_circle() {
+        let area = circle_rect_intersection_area(c(0.0, 0.0, 10.0), &rect(-1.0, -1.0, 1.0, 1.0));
+        assert!((area - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circle_inside_rect() {
+        let area = circle_rect_intersection_area(c(0.0, 0.0, 1.0), &rect(-5.0, -5.0, 5.0, 5.0));
+        assert!((area - PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_disk() {
+        // Rectangle covering exactly the right half-plane portion of the disk.
+        let area = circle_rect_intersection_area(c(0.0, 0.0, 2.0), &rect(0.0, -5.0, 5.0, 5.0));
+        assert!((area - 2.0 * PI).abs() < 1e-9, "got {area}");
+    }
+
+    #[test]
+    fn quarter_disk() {
+        let area = circle_rect_intersection_area(c(0.0, 0.0, 2.0), &rect(0.0, 0.0, 5.0, 5.0));
+        assert!((area - PI).abs() < 1e-9, "got {area}");
+    }
+
+    #[test]
+    fn corner_overlap_matches_monte_carlo() {
+        let circle = c(1.0, 1.0, 1.5);
+        let r = rect(0.0, 0.0, 1.2, 0.9);
+        let exact = circle_rect_intersection_area(circle, &r);
+        let approx = mc_area(circle, &r, 1_000_000);
+        assert!((exact - approx).abs() < 5e-3, "exact={exact} approx={approx}");
+    }
+
+    #[test]
+    fn thin_sliver_matches_monte_carlo() {
+        let circle = c(0.0, 0.0, 1.0);
+        let r = rect(0.95, -2.0, 3.0, 2.0);
+        let exact = circle_rect_intersection_area(circle, &r);
+        let approx = mc_area(circle, &r, 4_000_000);
+        assert!((exact - approx).abs() < 5e-3, "exact={exact} approx={approx}");
+    }
+
+    #[test]
+    fn polygon_version_agrees_with_rect_version() {
+        let circle = c(0.3, -0.2, 1.1);
+        let r = rect(-1.0, -1.0, 0.8, 0.6);
+        let poly = r.corners();
+        let a = circle_rect_intersection_area(circle, &r);
+        let b = circle_polygon_area(circle, &poly);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_radius_and_degenerate_rect() {
+        assert_eq!(
+            circle_rect_intersection_area(c(0.0, 0.0, 0.0), &rect(-1.0, -1.0, 1.0, 1.0)),
+            0.0
+        );
+        assert_eq!(
+            circle_rect_intersection_area(c(0.0, 0.0, 1.0), &rect(0.0, -1.0, 0.0, 1.0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn area_bounded_by_both_shapes() {
+        let circle = c(0.5, 0.5, 0.7);
+        let r = rect(0.0, 0.0, 1.0, 1.0);
+        let a = circle_rect_intersection_area(circle, &r);
+        assert!(a <= circle.area() + 1e-12);
+        assert!(a <= r.area() + 1e-12);
+        assert!(a > 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Polyline utilities: path length and turn counting.
+//!
+//! The event-based segmentation feature `fes` of the paper uses the number
+//! of *turns* along the observed locations (footnote 4: a location is a turn
+//! when the angle between the incoming and outgoing displacement exceeds
+//! 90°, i.e. the displacement dot product is negative).
+
+use crate::Point2;
+
+/// Total Euclidean length of the polyline through `points`.
+///
+/// Returns `0.0` for fewer than two points.
+pub fn path_length(points: &[Point2]) -> f64 {
+    points.windows(2).map(|w| w[0].distance(w[1])).sum()
+}
+
+/// Whether the middle location of the triple `(prev, cur, next)` is a turn.
+///
+/// Per the paper's footnote 4 a turn occurs when the angle between the
+/// segment `prev → cur` and the segment `cur → next` exceeds 90 degrees,
+/// which is equivalent to a negative dot product of the two displacement
+/// vectors. Zero-length displacements never produce a turn.
+#[inline]
+pub fn is_turn(prev: Point2, cur: Point2, next: Point2) -> bool {
+    let u = cur - prev;
+    let v = next - cur;
+    if u.norm_sq() <= f64::EPSILON || v.norm_sq() <= f64::EPSILON {
+        return false;
+    }
+    u.dot(v) < 0.0
+}
+
+/// Number of turns along the polyline through `points` (footnote 4).
+pub fn count_turns(points: &[Point2]) -> usize {
+    if points.len() < 3 {
+        return 0;
+    }
+    points
+        .windows(3)
+        .filter(|w| is_turn(w[0], w[1], w[2]))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn length_of_l_shape() {
+        let pts = [p(0.0, 0.0), p(3.0, 0.0), p(3.0, 4.0)];
+        assert_eq!(path_length(&pts), 7.0);
+        assert_eq!(path_length(&pts[..1]), 0.0);
+        assert_eq!(path_length(&[]), 0.0);
+    }
+
+    #[test]
+    fn right_angle_is_not_turn() {
+        // Exactly 90° has dot product 0, which does not exceed 90°.
+        assert!(!is_turn(p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0)));
+    }
+
+    #[test]
+    fn reversal_is_turn() {
+        assert!(is_turn(p(0.0, 0.0), p(1.0, 0.0), p(0.5, 0.0)));
+        assert!(is_turn(p(0.0, 0.0), p(1.0, 0.0), p(0.5, 0.2)));
+    }
+
+    #[test]
+    fn straight_line_no_turns() {
+        let pts: Vec<Point2> = (0..10).map(|i| p(i as f64, 0.0)).collect();
+        assert_eq!(count_turns(&pts), 0);
+    }
+
+    #[test]
+    fn zigzag_counts_every_interior_vertex() {
+        // Sharp zigzag: each interior vertex reverses direction by > 90°.
+        let pts = [p(0.0, 0.0), p(1.0, 1.0), p(2.0, 0.0), p(3.0, 1.0)];
+        // Angle at each interior vertex between (1,1)&(1,-1): dot = 0 → not a turn.
+        assert_eq!(count_turns(&pts), 0);
+        let sharp = [p(0.0, 0.0), p(2.0, 0.2), p(0.1, 0.4), p(2.0, 0.6)];
+        assert_eq!(count_turns(&sharp), 2);
+    }
+
+    #[test]
+    fn stationary_points_do_not_turn() {
+        let pts = [p(0.0, 0.0), p(0.0, 0.0), p(1.0, 0.0)];
+        assert_eq!(count_turns(&pts), 0);
+    }
+}

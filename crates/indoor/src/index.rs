@@ -1,0 +1,132 @@
+//! Per-floor uniform grid index for fast point → partition lookups.
+//!
+//! The paper indexes partitions with an R-tree; for rectangular partitions a
+//! uniform grid achieves the same O(1) point lookups with a far simpler
+//! structure and no tuning beyond the cell size.
+
+use crate::{Partition, PartitionId};
+use ism_geometry::{Point2, Rect};
+
+/// A uniform grid over one floor mapping cells to overlapping partitions.
+#[derive(Debug, Clone)]
+pub struct FloorGrid {
+    bounds: Rect,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    /// Cell-major buckets of partition ids overlapping each cell.
+    buckets: Vec<Vec<PartitionId>>,
+}
+
+impl FloorGrid {
+    /// Builds a grid over `bounds` with the given cell size, inserting every
+    /// partition whose rect overlaps a cell.
+    pub fn build(bounds: Rect, cell: f64, partitions: &[&Partition]) -> Self {
+        let cell = cell.max(0.5);
+        let nx = ((bounds.width() / cell).ceil() as usize).max(1);
+        let ny = ((bounds.height() / cell).ceil() as usize).max(1);
+        let mut grid = FloorGrid {
+            bounds,
+            cell,
+            nx,
+            ny,
+            buckets: vec![Vec::new(); nx * ny],
+        };
+        for p in partitions {
+            let (x0, y0) = grid.cell_of_clamped(p.rect.min);
+            let (x1, y1) = grid.cell_of_clamped(p.rect.max);
+            for cy in y0..=y1 {
+                for cx in x0..=x1 {
+                    grid.buckets[cy * nx + cx].push(p.id);
+                }
+            }
+        }
+        grid
+    }
+
+    #[inline]
+    fn cell_of_clamped(&self, p: Point2) -> (usize, usize) {
+        let cx = ((p.x - self.bounds.min.x) / self.cell).floor() as isize;
+        let cy = ((p.y - self.bounds.min.y) / self.cell).floor() as isize;
+        (
+            cx.clamp(0, self.nx as isize - 1) as usize,
+            cy.clamp(0, self.ny as isize - 1) as usize,
+        )
+    }
+
+    /// Partitions whose grid cell contains `p` (candidates for exact tests).
+    #[inline]
+    pub fn candidates_at(&self, p: Point2) -> &[PartitionId] {
+        let (cx, cy) = self.cell_of_clamped(p);
+        &self.buckets[cy * self.nx + cx]
+    }
+
+    /// Appends (deduplicated) partitions overlapping the query rectangle.
+    pub fn candidates_in_rect(&self, query: &Rect, out: &mut Vec<PartitionId>) {
+        let (x0, y0) = self.cell_of_clamped(query.min);
+        let (x1, y1) = self.cell_of_clamped(query.max);
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                for &pid in &self.buckets[cy * self.nx + cx] {
+                    if !out.contains(&pid) {
+                        out.push(pid);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The bounding rectangle this grid covers.
+    #[inline]
+    pub fn bounds(&self) -> &Rect {
+        &self.bounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RegionId;
+
+    fn mk_partition(id: u32, rect: Rect) -> Partition {
+        Partition {
+            id: PartitionId(id),
+            floor: 0,
+            rect,
+            region: RegionId(0),
+            doors: vec![],
+        }
+    }
+
+    #[test]
+    fn point_lookup_hits_the_right_partition() {
+        let a = mk_partition(0, Rect::from_origin_size(0.0, 0.0, 10.0, 10.0));
+        let b = mk_partition(1, Rect::from_origin_size(10.0, 0.0, 10.0, 10.0));
+        let refs = [&a, &b];
+        let grid = FloorGrid::build(Rect::from_origin_size(0.0, 0.0, 20.0, 10.0), 4.0, &refs);
+        let c = grid.candidates_at(Point2::new(2.0, 2.0));
+        assert!(c.contains(&PartitionId(0)));
+        let c = grid.candidates_at(Point2::new(18.0, 2.0));
+        assert!(c.contains(&PartitionId(1)));
+    }
+
+    #[test]
+    fn rect_query_deduplicates() {
+        let a = mk_partition(0, Rect::from_origin_size(0.0, 0.0, 20.0, 10.0));
+        let refs = [&a];
+        let grid = FloorGrid::build(Rect::from_origin_size(0.0, 0.0, 20.0, 10.0), 2.0, &refs);
+        let mut out = Vec::new();
+        grid.candidates_in_rect(&Rect::from_origin_size(1.0, 1.0, 15.0, 8.0), &mut out);
+        assert_eq!(out, vec![PartitionId(0)]);
+    }
+
+    #[test]
+    fn out_of_bounds_points_clamp() {
+        let a = mk_partition(0, Rect::from_origin_size(0.0, 0.0, 10.0, 10.0));
+        let refs = [&a];
+        let grid = FloorGrid::build(Rect::from_origin_size(0.0, 0.0, 10.0, 10.0), 5.0, &refs);
+        // Point far outside still returns the nearest cell's candidates.
+        let c = grid.candidates_at(Point2::new(-100.0, -100.0));
+        assert!(c.contains(&PartitionId(0)));
+    }
+}

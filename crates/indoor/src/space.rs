@@ -1,0 +1,654 @@
+//! The assembled indoor space: lookups, MIWD, and route planning.
+
+use crate::{
+    Door, DoorId, DoorKind, FloorGrid, IndoorError, IndoorPoint, Partition, PartitionId, Region,
+    RegionId,
+};
+use ism_geometry::{circle_rect_intersection_area, Circle, Point2, Rect};
+use parking_lot::RwLock;
+
+/// Maximum number of sample points per region used when estimating the
+/// expected region-to-region MIWD `E[d_I(p, q)]`.
+const REGION_SAMPLES: usize = 4;
+
+/// A walkable route through the building.
+#[derive(Debug, Clone)]
+pub struct IndoorRoute {
+    /// Waypoints with cumulative walking distance from the start.
+    pub waypoints: Vec<(IndoorPoint, f64)>,
+    /// Total walking distance (equals the last cumulative distance).
+    pub total: f64,
+}
+
+/// An indoor venue: partitions, doors, semantic regions, and the derived
+/// topology (door graph, spatial indexes, distance caches).
+///
+/// Construct via [`IndoorSpace::build`] (usually through
+/// [`crate::BuildingGenerator`]).
+#[derive(Debug)]
+pub struct IndoorSpace {
+    partitions: Vec<Partition>,
+    doors: Vec<Door>,
+    regions: Vec<Region>,
+    grids: Vec<FloorGrid>,
+    graph: crate::DoorGraph,
+    /// Lazily filled region-to-region expected MIWD (NaN = not yet computed).
+    region_dist: RwLock<Vec<f32>>,
+    region_samples: Vec<Vec<IndoorPoint>>,
+    floor_count: u16,
+}
+
+impl IndoorSpace {
+    /// Assembles and validates an indoor space from its raw tables.
+    ///
+    /// `partitions[*].doors` is recomputed from the door table, so callers
+    /// may leave it empty. Fails when doors or partitions dangle, or when
+    /// partitions on a floor overlap with positive area.
+    pub fn build(
+        mut partitions: Vec<Partition>,
+        doors: Vec<Door>,
+        mut regions: Vec<Region>,
+    ) -> Result<Self, IndoorError> {
+        // Validate references.
+        for (di, d) in doors.iter().enumerate() {
+            for pid in d.partitions {
+                if pid.index() >= partitions.len() {
+                    return Err(IndoorError::DanglingDoor {
+                        door: di,
+                        partition: pid.index(),
+                    });
+                }
+            }
+        }
+        for (pi, p) in partitions.iter().enumerate() {
+            if p.region.index() >= regions.len() {
+                return Err(IndoorError::DanglingRegion {
+                    partition: pi,
+                    region: p.region.index(),
+                });
+            }
+        }
+        // Overlap check per floor (O(n²) within a floor, done once at build).
+        let mut by_floor: Vec<Vec<usize>> = Vec::new();
+        for (pi, p) in partitions.iter().enumerate() {
+            let f = p.floor as usize;
+            if by_floor.len() <= f {
+                by_floor.resize(f + 1, Vec::new());
+            }
+            by_floor[f].push(pi);
+        }
+        for floor_parts in &by_floor {
+            for (i, &a) in floor_parts.iter().enumerate() {
+                for &b in floor_parts.iter().skip(i + 1) {
+                    let overlap = partitions[a]
+                        .rect
+                        .intersection(&partitions[b].rect)
+                        .map_or(0.0, |r| r.area());
+                    if overlap > 1e-6 {
+                        return Err(IndoorError::OverlappingPartitions(a, b));
+                    }
+                }
+            }
+        }
+
+        // Recompute partition door lists and region partition lists/areas.
+        for p in &mut partitions {
+            p.doors.clear();
+        }
+        for d in &doors {
+            for pid in d.partitions {
+                if !partitions[pid.index()].doors.contains(&d.id) {
+                    partitions[pid.index()].doors.push(d.id);
+                }
+            }
+        }
+        for r in &mut regions {
+            r.partitions.clear();
+            r.area = 0.0;
+        }
+        for p in &partitions {
+            let r = &mut regions[p.region.index()];
+            r.partitions.push(p.id);
+            r.area += p.rect.area();
+            r.floor = partitions[r.partitions[0].index()].floor;
+        }
+
+        // Per-floor grids.
+        let floor_count = by_floor.len() as u16;
+        let mut grids = Vec::with_capacity(by_floor.len());
+        for floor_parts in &by_floor {
+            let refs: Vec<&Partition> = floor_parts.iter().map(|&i| &partitions[i]).collect();
+            let bounds = refs
+                .iter()
+                .map(|p| p.rect)
+                .reduce(|a, b| a.union(&b))
+                .unwrap_or_else(|| Rect::from_origin_size(0.0, 0.0, 1.0, 1.0));
+            grids.push(FloorGrid::build(bounds, 5.0, &refs));
+        }
+
+        let graph = crate::DoorGraph::build(&partitions, &doors);
+
+        // Region sample points: partition centers, capped at REGION_SAMPLES.
+        let region_samples: Vec<Vec<IndoorPoint>> = regions
+            .iter()
+            .map(|r| {
+                let step = (r.partitions.len() / REGION_SAMPLES).max(1);
+                r.partitions
+                    .iter()
+                    .step_by(step)
+                    .take(REGION_SAMPLES)
+                    .map(|pid| {
+                        let p = &partitions[pid.index()];
+                        IndoorPoint::new(p.floor, p.rect.center())
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let n_regions = regions.len();
+        Ok(IndoorSpace {
+            partitions,
+            doors,
+            regions,
+            grids,
+            graph,
+            region_dist: RwLock::new(vec![f32::NAN; n_regions * n_regions]),
+            region_samples,
+            floor_count,
+        })
+    }
+
+    /// All partitions, indexed densely by [`PartitionId`].
+    #[inline]
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// All doors, indexed densely by [`DoorId`].
+    #[inline]
+    pub fn doors(&self) -> &[Door] {
+        &self.doors
+    }
+
+    /// All semantic regions, indexed densely by [`RegionId`].
+    #[inline]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Number of floors.
+    #[inline]
+    pub fn floor_count(&self) -> u16 {
+        self.floor_count
+    }
+
+    /// The accessibility door graph.
+    #[inline]
+    pub fn door_graph(&self) -> &crate::DoorGraph {
+        &self.graph
+    }
+
+    /// Looks up a partition by id.
+    #[inline]
+    pub fn partition(&self, id: PartitionId) -> &Partition {
+        &self.partitions[id.index()]
+    }
+
+    /// Looks up a region by id.
+    #[inline]
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.index()]
+    }
+
+    /// Clamps a possibly-invalid floor value (e.g. produced by positioning
+    /// noise) into the valid range.
+    #[inline]
+    pub fn clamp_floor(&self, floor: u16) -> u16 {
+        floor.min(self.floor_count.saturating_sub(1))
+    }
+
+    /// The partition containing the point, if any.
+    pub fn partition_at(&self, p: &IndoorPoint) -> Option<PartitionId> {
+        let floor = p.floor as usize;
+        if floor >= self.grids.len() {
+            return None;
+        }
+        self.grids[floor]
+            .candidates_at(p.xy)
+            .iter()
+            .copied()
+            .find(|&pid| self.partitions[pid.index()].rect.contains(p.xy))
+    }
+
+    /// The semantic region containing the point, if any.
+    #[inline]
+    pub fn region_at(&self, p: &IndoorPoint) -> Option<RegionId> {
+        self.partition_at(p)
+            .map(|pid| self.partitions[pid.index()].region)
+    }
+
+    /// Nearest partition on the (clamped) floor of `p`, by Euclidean
+    /// distance to the partition rectangle.
+    pub fn nearest_partition(&self, p: &IndoorPoint) -> PartitionId {
+        let floor = self.clamp_floor(p.floor) as usize;
+        // Expand the search rectangle until candidates appear.
+        let mut radius = 5.0;
+        let mut candidates: Vec<PartitionId> = Vec::new();
+        loop {
+            candidates.clear();
+            let query = Rect::new(p.xy, p.xy).inflate(radius);
+            self.grids[floor].candidates_in_rect(&query, &mut candidates);
+            if !candidates.is_empty() || radius > 1e5 {
+                break;
+            }
+            radius *= 2.0;
+        }
+        if candidates.is_empty() {
+            // Degenerate: fall back to scanning the floor.
+            candidates = self
+                .partitions
+                .iter()
+                .filter(|q| q.floor as usize == floor)
+                .map(|q| q.id)
+                .collect();
+        }
+        candidates
+            .into_iter()
+            .min_by(|&a, &b| {
+                let da = self.partitions[a.index()].rect.distance_to_point(p.xy);
+                let db = self.partitions[b.index()].rect.distance_to_point(p.xy);
+                da.partial_cmp(&db).unwrap()
+            })
+            .expect("floor has at least one partition")
+    }
+
+    /// Nearest region (region of the nearest partition on the same floor).
+    #[inline]
+    pub fn nearest_region(&self, p: &IndoorPoint) -> RegionId {
+        self.partitions[self.nearest_partition(p).index()].region
+    }
+
+    /// Appends all regions owning a partition on `p`'s (clamped) floor whose
+    /// rectangle is within `radius` of `p`. Always yields at least one
+    /// region (the nearest one).
+    pub fn candidate_regions(&self, p: &IndoorPoint, radius: f64, out: &mut Vec<RegionId>) {
+        out.clear();
+        let floor = self.clamp_floor(p.floor) as usize;
+        let query = Rect::new(p.xy, p.xy).inflate(radius);
+        let mut parts: Vec<PartitionId> = Vec::new();
+        self.grids[floor].candidates_in_rect(&query, &mut parts);
+        for pid in parts {
+            let part = &self.partitions[pid.index()];
+            if part.rect.distance_to_point(p.xy) <= radius {
+                let r = part.region;
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push(self.nearest_region(p));
+        }
+    }
+
+    /// Area of the overlap between a positioning-uncertainty disk and a
+    /// region, summed over the region's partitions on the disk's floor.
+    ///
+    /// This is the numerator of the paper's spatial matching feature `fsm`.
+    pub fn region_circle_overlap(&self, region: RegionId, floor: u16, circle: Circle) -> f64 {
+        let floor = self.clamp_floor(floor);
+        self.regions[region.index()]
+            .partitions
+            .iter()
+            .map(|pid| {
+                let p = &self.partitions[pid.index()];
+                if p.floor == floor {
+                    circle_rect_intersection_area(circle, &p.rect)
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// Minimum indoor walking distance (MIWD) between two indoor points.
+    ///
+    /// Points outside every partition are snapped to their nearest
+    /// partition. Within one partition the MIWD is the Euclidean distance;
+    /// otherwise it routes through the best pair of doors using the
+    /// precomputed door-to-door matrix. Returns `f64::INFINITY` when the two
+    /// partitions are not connected.
+    pub fn miwd(&self, a: &IndoorPoint, b: &IndoorPoint) -> f64 {
+        let pa = self
+            .partition_at(a)
+            .unwrap_or_else(|| self.nearest_partition(a));
+        let pb = self
+            .partition_at(b)
+            .unwrap_or_else(|| self.nearest_partition(b));
+        self.miwd_between_partitions(pa, a.xy, pb, b.xy)
+    }
+
+    /// MIWD given already-resolved partitions (hot-path variant that skips
+    /// the point-location step).
+    pub fn miwd_between_partitions(
+        &self,
+        pa: PartitionId,
+        a: Point2,
+        pb: PartitionId,
+        b: Point2,
+    ) -> f64 {
+        if pa == pb {
+            return a.distance(b);
+        }
+        let da = &self.partitions[pa.index()].doors;
+        let db = &self.partitions[pb.index()].doors;
+        let mut best = f64::INFINITY;
+        for &d1 in da {
+            let leg1 = self.doors[d1.index()].position.distance(a);
+            if leg1 >= best {
+                continue;
+            }
+            for &d2 in db {
+                let mid = self.graph.door_distance(d1, d2);
+                let leg3 = self.doors[d2.index()].position.distance(b);
+                let total = leg1 + mid + leg3;
+                if total < best {
+                    best = total;
+                }
+            }
+        }
+        best
+    }
+
+    /// Expected MIWD between two regions, `E_{p∈ri, q∈rj}[d_I(p, q)]`,
+    /// estimated over a small set of partition-center samples and cached.
+    ///
+    /// The diagonal is 0 by definition of the paper's space-transition
+    /// feature (staying in the same region has no transition cost).
+    pub fn region_expected_miwd(&self, ri: RegionId, rj: RegionId) -> f64 {
+        if ri == rj {
+            return 0.0;
+        }
+        let n = self.regions.len();
+        let idx = ri.index() * n + rj.index();
+        {
+            let cache = self.region_dist.read();
+            let v = cache[idx];
+            if !v.is_nan() {
+                return v as f64;
+            }
+        }
+        let samples_i = &self.region_samples[ri.index()];
+        let samples_j = &self.region_samples[rj.index()];
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for p in samples_i {
+            for q in samples_j {
+                let d = self.miwd(p, q);
+                if d.is_finite() {
+                    sum += d;
+                    count += 1;
+                }
+            }
+        }
+        let expected = if count > 0 {
+            sum / count as f64
+        } else {
+            f64::INFINITY
+        };
+        // Store and return the f32-rounded value so repeated queries are
+        // bit-identical to the first one (callers rely on determinism).
+        let rounded = expected as f32;
+        let mut cache = self.region_dist.write();
+        cache[idx] = rounded;
+        cache[rj.index() * n + ri.index()] = rounded;
+        rounded as f64
+    }
+
+    /// Plans a walkable route between two indoor points.
+    ///
+    /// The route follows straight lines within partitions and passes through
+    /// door positions; staircase doors contribute their traversal cost as
+    /// extra distance while switching floors. Returns `None` when no route
+    /// exists.
+    pub fn plan_route(&self, from: IndoorPoint, to: IndoorPoint) -> Option<IndoorRoute> {
+        let pa = self
+            .partition_at(&from)
+            .unwrap_or_else(|| self.nearest_partition(&from));
+        let pb = self
+            .partition_at(&to)
+            .unwrap_or_else(|| self.nearest_partition(&to));
+        if pa == pb {
+            let total = from.xy.distance(to.xy);
+            return Some(IndoorRoute {
+                waypoints: vec![(from, 0.0), (to, total)],
+                total,
+            });
+        }
+        // Select the best door pair, mirroring `miwd_between_partitions`.
+        let mut best: Option<(DoorId, DoorId, f64)> = None;
+        for &d1 in &self.partitions[pa.index()].doors {
+            let leg1 = self.doors[d1.index()].position.distance(from.xy);
+            for &d2 in &self.partitions[pb.index()].doors {
+                let mid = self.graph.door_distance(d1, d2);
+                let total = leg1 + mid + self.doors[d2.index()].position.distance(to.xy);
+                if best.map_or(true, |(_, _, t)| total < t) && total.is_finite() {
+                    best = Some((d1, d2, total));
+                }
+            }
+        }
+        let (d1, d2, _) = best?;
+        let door_seq = self.graph.door_path(d1, d2)?;
+
+        let mut waypoints = vec![(from, 0.0)];
+        let mut cum = 0.0;
+        let mut cur_part = pa;
+        let mut cur_pos = from;
+        for did in door_seq {
+            let door = &self.doors[did.index()];
+            let next_part = door.other_side(cur_part)?;
+            let arrive = IndoorPoint::new(self.partitions[cur_part.index()].floor, door.position);
+            cum += cur_pos.xy.distance(door.position);
+            waypoints.push((arrive, cum));
+            let next_floor = self.partitions[next_part.index()].floor;
+            if door.kind == DoorKind::Staircase {
+                cum += door.traversal_cost;
+            }
+            let depart = IndoorPoint::new(next_floor, door.position);
+            if next_floor != arrive.floor || door.kind == DoorKind::Staircase {
+                waypoints.push((depart, cum));
+            }
+            cur_pos = depart;
+            cur_part = next_part;
+        }
+        cum += cur_pos.xy.distance(to.xy);
+        waypoints.push((to, cum));
+        Some(IndoorRoute {
+            waypoints,
+            total: cum,
+        })
+    }
+
+    /// Total memory consumed by precomputed topology structures, in bytes.
+    pub fn topology_memory_bytes(&self) -> usize {
+        self.graph.memory_bytes() + self.region_dist.read().len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DoorKind, RegionKind};
+
+    /// Two rooms joined by a corridor:
+    ///
+    /// ```text
+    ///  +----+----------+----+
+    ///  | A  | corridor | B  |   all 0..10 in y
+    ///  +----+----------+----+
+    ///  x: 0..10, 10..30, 30..40
+    /// ```
+    fn two_rooms() -> IndoorSpace {
+        let mk_part = |id: u32, x0: f64, x1: f64, region: u32| Partition {
+            id: PartitionId(id),
+            floor: 0,
+            rect: Rect::new(Point2::new(x0, 0.0), Point2::new(x1, 10.0)),
+            region: RegionId(region),
+            doors: vec![],
+        };
+        let parts = vec![
+            mk_part(0, 0.0, 10.0, 0),
+            mk_part(1, 10.0, 30.0, 1),
+            mk_part(2, 30.0, 40.0, 2),
+        ];
+        let mk_door = |id: u32, x: f64, a: u32, b: u32| Door {
+            id: DoorId(id),
+            kind: DoorKind::Horizontal,
+            position: Point2::new(x, 5.0),
+            floor: 0,
+            partitions: [PartitionId(a), PartitionId(b)],
+            traversal_cost: 0.0,
+        };
+        let doors = vec![mk_door(0, 10.0, 0, 1), mk_door(1, 30.0, 1, 2)];
+        let mk_region = |id: u32, name: &str, kind| Region {
+            id: RegionId(id),
+            name: name.into(),
+            kind,
+            partitions: vec![],
+            area: 0.0,
+            floor: 0,
+        };
+        let regions = vec![
+            mk_region(0, "roomA", RegionKind::Shop),
+            mk_region(1, "hall", RegionKind::Corridor),
+            mk_region(2, "roomB", RegionKind::Shop),
+        ];
+        IndoorSpace::build(parts, doors, regions).unwrap()
+    }
+
+    #[test]
+    fn build_populates_derived_tables() {
+        let s = two_rooms();
+        assert_eq!(s.partitions()[0].doors, vec![DoorId(0)]);
+        assert_eq!(s.partitions()[1].doors, vec![DoorId(0), DoorId(1)]);
+        assert_eq!(s.region(RegionId(0)).area, 100.0);
+        assert_eq!(s.region(RegionId(1)).area, 200.0);
+        assert_eq!(s.floor_count(), 1);
+    }
+
+    #[test]
+    fn point_location() {
+        let s = two_rooms();
+        let p = IndoorPoint::new(0, Point2::new(5.0, 5.0));
+        assert_eq!(s.partition_at(&p), Some(PartitionId(0)));
+        assert_eq!(s.region_at(&p), Some(RegionId(0)));
+        let outside = IndoorPoint::new(0, Point2::new(-3.0, 5.0));
+        assert_eq!(s.partition_at(&outside), None);
+        assert_eq!(s.nearest_region(&outside), RegionId(0));
+    }
+
+    #[test]
+    fn miwd_same_partition_is_euclidean() {
+        let s = two_rooms();
+        let a = IndoorPoint::new(0, Point2::new(1.0, 1.0));
+        let b = IndoorPoint::new(0, Point2::new(4.0, 5.0));
+        assert!((s.miwd(&a, &b) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miwd_routes_through_doors() {
+        let s = two_rooms();
+        let a = IndoorPoint::new(0, Point2::new(5.0, 5.0)); // room A
+        let b = IndoorPoint::new(0, Point2::new(35.0, 5.0)); // room B
+        // Straight along y=5 through both doors: 5 + 20 + 5 = 30.
+        assert!((s.miwd(&a, &b) - 30.0).abs() < 1e-9);
+        // MIWD >= Euclidean.
+        assert!(s.miwd(&a, &b) >= a.planar_distance(&b) - 1e-9);
+    }
+
+    #[test]
+    fn miwd_is_symmetric() {
+        let s = two_rooms();
+        let a = IndoorPoint::new(0, Point2::new(2.0, 8.0));
+        let b = IndoorPoint::new(0, Point2::new(38.0, 2.0));
+        assert!((s.miwd(&a, &b) - s.miwd(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_expected_miwd_caches_and_is_symmetric() {
+        let s = two_rooms();
+        let d1 = s.region_expected_miwd(RegionId(0), RegionId(2));
+        let d2 = s.region_expected_miwd(RegionId(2), RegionId(0));
+        assert!((d1 - d2).abs() < 1e-9);
+        assert!(d1 > 0.0 && d1.is_finite());
+        assert_eq!(s.region_expected_miwd(RegionId(1), RegionId(1)), 0.0);
+    }
+
+    #[test]
+    fn candidate_regions_cover_uncertainty() {
+        let s = two_rooms();
+        let p = IndoorPoint::new(0, Point2::new(9.0, 5.0)); // near A/corridor border
+        let mut out = Vec::new();
+        s.candidate_regions(&p, 3.0, &mut out);
+        assert!(out.contains(&RegionId(0)));
+        assert!(out.contains(&RegionId(1)));
+        assert!(!out.contains(&RegionId(2)));
+    }
+
+    #[test]
+    fn circle_overlap_splits_across_regions() {
+        let s = two_rooms();
+        let c = Circle::new(Point2::new(10.0, 5.0), 2.0);
+        let a = s.region_circle_overlap(RegionId(0), 0, c);
+        let h = s.region_circle_overlap(RegionId(1), 0, c);
+        // Circle straddles the A/corridor boundary: halves match.
+        assert!((a - h).abs() < 1e-9);
+        assert!((a + h - c.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn route_planning_walks_through_doors() {
+        let s = two_rooms();
+        let from = IndoorPoint::new(0, Point2::new(5.0, 5.0));
+        let to = IndoorPoint::new(0, Point2::new(35.0, 5.0));
+        let route = s.plan_route(from, to).unwrap();
+        assert!((route.total - 30.0).abs() < 1e-9);
+        assert_eq!(route.waypoints.first().unwrap().0.xy, from.xy);
+        assert_eq!(route.waypoints.last().unwrap().0.xy, to.xy);
+        // Cumulative distances are monotone.
+        for w in route.waypoints.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn route_total_matches_miwd() {
+        let s = two_rooms();
+        let from = IndoorPoint::new(0, Point2::new(3.0, 2.0));
+        let to = IndoorPoint::new(0, Point2::new(39.0, 9.0));
+        let route = s.plan_route(from, to).unwrap();
+        assert!((route.total - s.miwd(&from, &to)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn build_rejects_overlapping_partitions() {
+        let mk_part = |id: u32, x0: f64| Partition {
+            id: PartitionId(id),
+            floor: 0,
+            rect: Rect::new(Point2::new(x0, 0.0), Point2::new(x0 + 10.0, 10.0)),
+            region: RegionId(0),
+            doors: vec![],
+        };
+        let parts = vec![mk_part(0, 0.0), mk_part(1, 5.0)];
+        let regions = vec![Region {
+            id: RegionId(0),
+            name: "r".into(),
+            kind: RegionKind::Shop,
+            partitions: vec![],
+            area: 0.0,
+            floor: 0,
+        }];
+        let err = IndoorSpace::build(parts, vec![], regions).unwrap_err();
+        assert_eq!(err, IndoorError::OverlappingPartitions(0, 1));
+    }
+}

@@ -1,0 +1,178 @@
+//! Labelled datasets and their summary statistics (Tables III and V).
+
+use crate::{
+    preprocess, LabeledSequence, PositioningConfig, PositioningSampler, PreprocessConfig,
+    SimulationConfig, Simulator,
+};
+use ism_indoor::IndoorSpace;
+use rand::Rng;
+
+/// A labelled corpus of positioning sequences over one venue.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name (e.g. `"mall"` or `"T5mu3"`).
+    pub name: String,
+    /// The labelled sequences.
+    pub sequences: Vec<LabeledSequence>,
+}
+
+/// Summary statistics mirroring the paper's Table III / Table V rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of sequences.
+    pub num_sequences: usize,
+    /// Total number of positioning records.
+    pub num_records: usize,
+    /// Average number of records per sequence.
+    pub avg_records_per_sequence: f64,
+    /// Average sequence duration in seconds.
+    pub avg_duration: f64,
+    /// Average sampling rate in Hz.
+    pub avg_sampling_rate: f64,
+}
+
+impl Dataset {
+    /// Generates a dataset: simulate ground truth, observe with the
+    /// positioning model, then preprocess (η-split + ψ-filter).
+    ///
+    /// Pass `preprocess_config: None` to skip preprocessing (synthetic
+    /// experiments use raw sequences; the mall profile uses the paper's
+    /// η = 3 min / ψ = 30 min).
+    pub fn generate<R: Rng + ?Sized>(
+        name: &str,
+        space: &IndoorSpace,
+        sim_config: SimulationConfig,
+        pos_config: PositioningConfig,
+        preprocess_config: Option<PreprocessConfig>,
+        num_objects: usize,
+        rng: &mut R,
+    ) -> Dataset {
+        let sim = Simulator::new(space, sim_config);
+        let trajectories = sim.simulate(num_objects, rng);
+        let sampler = PositioningSampler::new(space, pos_config);
+        let mut sequences = sampler.observe_all(&trajectories, rng);
+        if let Some(cfg) = preprocess_config {
+            sequences = preprocess(&sequences, &cfg);
+        }
+        sequences.retain(|s| s.records.len() >= 2);
+        Dataset {
+            name: name.to_string(),
+            sequences,
+        }
+    }
+
+    /// Computes summary statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let num_sequences = self.sequences.len();
+        let num_records: usize = self.sequences.iter().map(|s| s.records.len()).sum();
+        let total_duration: f64 = self.sequences.iter().map(|s| s.duration()).sum();
+        let avg_records_per_sequence = if num_sequences > 0 {
+            num_records as f64 / num_sequences as f64
+        } else {
+            0.0
+        };
+        let avg_duration = if num_sequences > 0 {
+            total_duration / num_sequences as f64
+        } else {
+            0.0
+        };
+        let avg_sampling_rate = if total_duration > 0.0 {
+            num_records as f64 / total_duration
+        } else {
+            0.0
+        };
+        DatasetStats {
+            num_sequences,
+            num_records,
+            avg_records_per_sequence,
+            avg_duration,
+            avg_sampling_rate,
+        }
+    }
+
+    /// Splits into (train, test) by sequence, taking the first
+    /// `train_fraction` of a deterministic shuffle under `rng`.
+    pub fn split<R: Rng + ?Sized>(
+        &self,
+        train_fraction: f64,
+        rng: &mut R,
+    ) -> (Vec<LabeledSequence>, Vec<LabeledSequence>) {
+        let mut idx: Vec<usize> = (0..self.sequences.len()).collect();
+        // Fisher–Yates shuffle.
+        for i in (1..idx.len()).rev() {
+            let j = rng.random_range(0..=i);
+            idx.swap(i, j);
+        }
+        let cut = ((self.sequences.len() as f64) * train_fraction).round() as usize;
+        let train = idx[..cut.min(idx.len())]
+            .iter()
+            .map(|&i| self.sequences[i].clone())
+            .collect();
+        let test = idx[cut.min(idx.len())..]
+            .iter()
+            .map(|&i| self.sequences[i].clone())
+            .collect();
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ism_indoor::BuildingGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_dataset() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(1);
+        let space = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+        Dataset::generate(
+            "test",
+            &space,
+            SimulationConfig::quick(),
+            PositioningConfig::synthetic(8.0, 2.0),
+            None,
+            6,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn generation_produces_sequences() {
+        let d = small_dataset();
+        assert!(!d.sequences.is_empty());
+        let stats = d.stats();
+        assert!(stats.num_records > 20);
+        assert!(stats.avg_records_per_sequence >= 2.0);
+        assert!(stats.avg_sampling_rate > 0.0);
+    }
+
+    #[test]
+    fn stats_consistency() {
+        let d = small_dataset();
+        let s = d.stats();
+        assert_eq!(s.num_sequences, d.sequences.len());
+        let manual: usize = d.sequences.iter().map(|q| q.records.len()).sum();
+        assert_eq!(s.num_records, manual);
+    }
+
+    #[test]
+    fn split_partitions_sequences() {
+        let d = small_dataset();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (train, test) = d.split(0.7, &mut rng);
+        assert_eq!(train.len() + test.len(), d.sequences.len());
+        assert!(!train.is_empty());
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let d = Dataset {
+            name: "empty".into(),
+            sequences: vec![],
+        };
+        let s = d.stats();
+        assert_eq!(s.num_sequences, 0);
+        assert_eq!(s.avg_records_per_sequence, 0.0);
+    }
+}

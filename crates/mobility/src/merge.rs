@@ -1,0 +1,111 @@
+//! The *merge* half of label-and-merge (Figure 2 of the paper).
+
+use crate::{MobilityEvent, MobilitySemantics, TimePeriod};
+use ism_indoor::RegionId;
+
+/// Merges record-level (region, event) labels into an m-semantics sequence.
+///
+/// Consecutive records sharing both labels are merged into one
+/// [`MobilitySemantics`] spanning `[t_first, t_last]`, exactly as in the
+/// paper's Figure 2 (single records yield degenerate periods `[t, t]`).
+///
+/// `times` and `labels` must have equal length and `times` must be
+/// non-decreasing.
+pub fn merge_labels(times: &[f64], labels: &[(RegionId, MobilityEvent)]) -> Vec<MobilitySemantics> {
+    assert_eq!(times.len(), labels.len(), "times/labels length mismatch");
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < times.len() {
+        let (region, event) = labels[i];
+        let start = times[i];
+        let mut j = i;
+        while j + 1 < times.len() && labels[j + 1] == (region, event) {
+            j += 1;
+        }
+        out.push(MobilitySemantics {
+            region,
+            period: TimePeriod::new(start, times[j]),
+            event,
+        });
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MobilityEvent::{Pass, Stay};
+
+    fn r(i: u32) -> RegionId {
+        RegionId(i)
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(merge_labels(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn paper_figure_2_shape() {
+        // pass, stay…stay, pass, pass…pass, pass — as in Figure 2.
+        let times: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        let labels = vec![
+            (r(0), Pass), // rA
+            (r(3), Stay), // rD
+            (r(3), Stay),
+            (r(3), Pass),
+            (r(2), Pass), // rC
+            (r(2), Pass),
+            (r(1), Pass), // rB
+        ];
+        let ms = merge_labels(&times, &labels);
+        assert_eq!(ms.len(), 5);
+        assert_eq!(ms[0].period, TimePeriod::new(0.0, 0.0));
+        assert_eq!((ms[1].region, ms[1].event), (r(3), Stay));
+        assert_eq!(ms[1].period, TimePeriod::new(1.0, 2.0));
+        assert_eq!((ms[2].region, ms[2].event), (r(3), Pass));
+        assert_eq!((ms[4].region, ms[4].event), (r(1), Pass));
+    }
+
+    #[test]
+    fn all_same_label_merges_to_one() {
+        let times = [1.0, 2.0, 9.0];
+        let labels = [(r(5), Stay); 3];
+        let ms = merge_labels(&times, &labels);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].period, TimePeriod::new(1.0, 9.0));
+    }
+
+    #[test]
+    fn region_change_with_same_event_splits() {
+        let times = [0.0, 1.0];
+        let labels = [(r(1), Pass), (r(2), Pass)];
+        assert_eq!(merge_labels(&times, &labels).len(), 2);
+    }
+
+    #[test]
+    fn event_change_with_same_region_splits() {
+        let times = [0.0, 1.0];
+        let labels = [(r(1), Pass), (r(1), Stay)];
+        assert_eq!(merge_labels(&times, &labels).len(), 2);
+    }
+
+    #[test]
+    fn periods_partition_the_time_axis() {
+        let times: Vec<f64> = (0..50).map(|i| i as f64 * 3.0).collect();
+        let labels: Vec<(RegionId, MobilityEvent)> = (0..50)
+            .map(|i| (r(i / 7), if i % 5 < 3 { Stay } else { Pass }))
+            .collect();
+        let ms = merge_labels(&times, &labels);
+        // Consecutive periods never overlap and jointly cover all stamps.
+        for w in ms.windows(2) {
+            assert!(w[0].period.end < w[1].period.start);
+        }
+        let covered: usize = times
+            .iter()
+            .filter(|t| ms.iter().any(|m| m.period.contains(**t)))
+            .count();
+        assert_eq!(covered, times.len());
+    }
+}

@@ -1,0 +1,272 @@
+//! Positioning-error model: ground truth → noisy positioning sequences.
+//!
+//! Implements the paper's synthetic observation protocol (§V-C): after each
+//! report the object stays silent for at most `T` seconds; the location
+//! estimate falls uniformly within `μ` metres of the true location; with
+//! small probabilities the report carries a false floor (±1–2 floors) or is
+//! an outlier at 2.5 μ – 10 μ. A Wi-Fi-like profile reproduces the real
+//! dataset's error band (2–25 m) and ≈1/15 Hz sampling rate.
+
+use crate::{LabeledRecord, LabeledSequence, PositioningRecord, Trajectory};
+use ism_geometry::Point2;
+use ism_indoor::{IndoorPoint, IndoorSpace};
+use rand::Rng;
+
+/// Parameters of the positioning-observation model.
+#[derive(Debug, Clone, Copy)]
+pub struct PositioningConfig {
+    /// Maximum positioning period `T` in seconds: the silence after a report
+    /// is uniform in `[min_period, max_period]`.
+    pub max_period: f64,
+    /// Minimum silence between reports (≥ 1 s, the truth sampling rate).
+    pub min_period: f64,
+    /// Positioning error factor `μ` in metres: regular estimates fall
+    /// uniformly within `μ` of the true location.
+    pub error: f64,
+    /// Probability of a false floor value (paper: 3 %).
+    pub false_floor_prob: f64,
+    /// Probability of a location outlier at 2.5 μ – 10 μ (paper: 3 %).
+    pub outlier_prob: f64,
+    /// Cap applied to outlier distances (keeps Wi-Fi profile inside the
+    /// paper's reported 2–25 m band); `f64::INFINITY` disables the cap.
+    pub max_error: f64,
+}
+
+impl PositioningConfig {
+    /// The paper's synthetic grid point `(T, μ)`.
+    pub fn synthetic(max_period: f64, error: f64) -> Self {
+        PositioningConfig {
+            max_period,
+            min_period: 1.0,
+            error,
+            false_floor_prob: 0.03,
+            outlier_prob: 0.03,
+            max_error: f64::INFINITY,
+        }
+    }
+
+    /// Wi-Fi-like profile matching the real dataset's statistics
+    /// (Table III: errors 2–25 m, sampling ≈ 1/15 Hz).
+    pub fn wifi_mall() -> Self {
+        PositioningConfig {
+            max_period: 25.0,
+            min_period: 6.0,
+            error: 8.0,
+            false_floor_prob: 0.03,
+            outlier_prob: 0.03,
+            max_error: 25.0,
+        }
+    }
+}
+
+/// Samples noisy positioning sequences from ground-truth trajectories.
+#[derive(Debug, Clone, Copy)]
+pub struct PositioningSampler<'a> {
+    space: &'a IndoorSpace,
+    config: PositioningConfig,
+}
+
+impl<'a> PositioningSampler<'a> {
+    /// Creates a sampler for the given venue.
+    pub fn new(space: &'a IndoorSpace, config: PositioningConfig) -> Self {
+        PositioningSampler { space, config }
+    }
+
+    /// The observation configuration.
+    pub fn config(&self) -> &PositioningConfig {
+        &self.config
+    }
+
+    /// Observes one trajectory, producing a labelled positioning sequence.
+    ///
+    /// Each emitted record pairs the noisy observation with the ground-truth
+    /// (region, event) labels at the observation instant.
+    pub fn observe<R: Rng + ?Sized>(&self, traj: &Trajectory, rng: &mut R) -> LabeledSequence {
+        let c = &self.config;
+        let mut records = Vec::new();
+        if traj.points.is_empty() {
+            return LabeledSequence {
+                object_id: traj.object_id,
+                records,
+            };
+        }
+        let t0 = traj.points[0].t;
+        let mut idx = 0usize;
+        // First report happens within one period of appearing.
+        let mut t_next = t0 + rng.random::<f64>() * c.max_period.max(c.min_period);
+        while idx < traj.points.len() {
+            // Advance to the truth point at/after t_next (1 Hz grid).
+            let offset = (t_next - t0).round().max(0.0) as usize;
+            if offset >= traj.points.len() {
+                break;
+            }
+            idx = offset;
+            let truth = &traj.points[idx];
+
+            // Noisy location estimate.
+            let distance = if rng.random::<f64>() < c.outlier_prob {
+                (2.5 + rng.random::<f64>() * 7.5) * c.error
+            } else {
+                rng.random::<f64>() * c.error
+            }
+            .min(c.max_error);
+            let angle = rng.random::<f64>() * std::f64::consts::TAU;
+            let noise = Point2::new(angle.cos(), angle.sin()) * distance;
+
+            let floor = if rng.random::<f64>() < c.false_floor_prob {
+                let delta = if rng.random::<f64>() < 0.5 { 1 } else { 2 };
+                let up = rng.random::<f64>() < 0.5;
+                let f = truth.location.floor as i32 + if up { delta } else { -delta };
+                self.space
+                    .clamp_floor(f.clamp(0, u16::MAX as i32) as u16)
+            } else {
+                truth.location.floor
+            };
+
+            records.push(LabeledRecord {
+                record: PositioningRecord::new(
+                    IndoorPoint::new(floor, truth.location.xy + noise),
+                    truth.t,
+                ),
+                region: truth.region,
+                event: truth.event,
+            });
+
+            let gap = c.min_period + rng.random::<f64>() * (c.max_period - c.min_period).max(0.0);
+            t_next = truth.t + gap;
+        }
+        LabeledSequence {
+            object_id: traj.object_id,
+            records,
+        }
+    }
+
+    /// Observes a batch of trajectories.
+    pub fn observe_all<R: Rng + ?Sized>(
+        &self,
+        trajectories: &[Trajectory],
+        rng: &mut R,
+    ) -> Vec<LabeledSequence> {
+        trajectories
+            .iter()
+            .map(|t| self.observe(t, rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimulationConfig, Simulator};
+    use ism_indoor::BuildingGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (IndoorSpace, Vec<Trajectory>) {
+        let space = BuildingGenerator::small_office()
+            .generate(&mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let trajs = Simulator::new(&space, SimulationConfig::quick()).simulate(4, &mut rng);
+        (space, trajs)
+    }
+
+    #[test]
+    fn periods_respect_bounds() {
+        let (space, trajs) = setup();
+        let sampler = PositioningSampler::new(&space, PositioningConfig::synthetic(10.0, 3.0));
+        let mut rng = StdRng::seed_from_u64(3);
+        for traj in &trajs {
+            let seq = sampler.observe(traj, &mut rng);
+            for w in seq.records.windows(2) {
+                let gap = w[1].record.t - w[0].record.t;
+                assert!(gap >= 0.5, "gap {gap}");
+                assert!(gap <= 10.0 + 1.0 + 1e-6, "gap {gap}"); // + rounding slack
+            }
+        }
+    }
+
+    #[test]
+    fn error_stays_within_outlier_bound() {
+        let (space, trajs) = setup();
+        let mu = 5.0;
+        let sampler = PositioningSampler::new(&space, PositioningConfig::synthetic(5.0, mu));
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut regular = 0usize;
+        let mut outliers = 0usize;
+        for traj in &trajs {
+            let seq = sampler.observe(traj, &mut rng);
+            // Compare against the truth at the same timestamp.
+            for rec in &seq.records {
+                let truth = traj
+                    .points
+                    .iter()
+                    .find(|p| (p.t - rec.record.t).abs() < 0.5)
+                    .unwrap();
+                let err = truth.location.xy.distance(rec.record.location.xy);
+                assert!(err <= 10.0 * mu + 1e-9, "err {err}");
+                if err > mu + 1e-9 {
+                    outliers += 1;
+                } else {
+                    regular += 1;
+                }
+            }
+        }
+        assert!(regular > 0);
+        // ~3 % outliers: loose sanity band.
+        let frac = outliers as f64 / (regular + outliers) as f64;
+        assert!(frac < 0.15, "outlier fraction {frac}");
+    }
+
+    #[test]
+    fn labels_match_truth() {
+        let (space, trajs) = setup();
+        let sampler = PositioningSampler::new(&space, PositioningConfig::synthetic(8.0, 3.0));
+        let mut rng = StdRng::seed_from_u64(5);
+        let seq = sampler.observe(&trajs[0], &mut rng);
+        assert!(!seq.records.is_empty());
+        for rec in &seq.records {
+            let truth = trajs[0]
+                .points
+                .iter()
+                .find(|p| (p.t - rec.record.t).abs() < 0.5)
+                .unwrap();
+            assert_eq!(rec.region, truth.region);
+            assert_eq!(rec.event, truth.event);
+        }
+    }
+
+    #[test]
+    fn false_floors_are_clamped() {
+        let (space, trajs) = setup(); // single-floor venue
+        let cfg = PositioningConfig {
+            false_floor_prob: 1.0,
+            ..PositioningConfig::synthetic(5.0, 3.0)
+        };
+        let sampler = PositioningSampler::new(&space, cfg);
+        let mut rng = StdRng::seed_from_u64(6);
+        let seq = sampler.observe(&trajs[0], &mut rng);
+        for rec in &seq.records {
+            assert!(rec.record.location.floor < space.floor_count());
+        }
+    }
+
+    #[test]
+    fn wifi_profile_caps_error() {
+        let (space, trajs) = setup();
+        let sampler = PositioningSampler::new(&space, PositioningConfig::wifi_mall());
+        let mut rng = StdRng::seed_from_u64(7);
+        for traj in &trajs {
+            let seq = sampler.observe(traj, &mut rng);
+            for rec in &seq.records {
+                let truth = traj
+                    .points
+                    .iter()
+                    .find(|p| (p.t - rec.record.t).abs() < 0.5)
+                    .unwrap();
+                let err = truth.location.xy.distance(rec.record.location.xy);
+                assert!(err <= 25.0 + 1e-9, "err {err}");
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! P-sequence preprocessing: η-gap splitting and ψ-duration filtering.
+//!
+//! The paper preprocesses the raw mall data by (i) splitting a p-sequence
+//! wherever the time between consecutive records exceeds a threshold `η`
+//! (3 min) — the device presumably left the venue — and (ii) dropping the
+//! resulting sequences shorter than `ψ` (30 min).
+
+use crate::LabeledSequence;
+
+/// Preprocessing thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct PreprocessConfig {
+    /// Split when the gap between consecutive records exceeds this (s).
+    pub eta_gap: f64,
+    /// Keep only sequences lasting at least this long (s).
+    pub psi_min_duration: f64,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        // The paper's real-data setting: η = 3 min, ψ = 30 min.
+        PreprocessConfig {
+            eta_gap: 180.0,
+            psi_min_duration: 1800.0,
+        }
+    }
+}
+
+/// Splits a sequence at every gap exceeding `eta_gap` seconds.
+pub fn split_by_gap(seq: &LabeledSequence, eta_gap: f64) -> Vec<LabeledSequence> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    for rec in &seq.records {
+        if let Some(last) = current.last() {
+            let last: &crate::LabeledRecord = last;
+            if rec.record.t - last.record.t > eta_gap {
+                out.push(LabeledSequence {
+                    object_id: seq.object_id,
+                    records: std::mem::take(&mut current),
+                });
+            }
+        }
+        current.push(*rec);
+    }
+    if !current.is_empty() {
+        out.push(LabeledSequence {
+            object_id: seq.object_id,
+            records: current,
+        });
+    }
+    out
+}
+
+/// Full preprocessing: split on η-gaps, then drop sequences shorter than ψ.
+pub fn preprocess(sequences: &[LabeledSequence], config: &PreprocessConfig) -> Vec<LabeledSequence> {
+    sequences
+        .iter()
+        .flat_map(|s| split_by_gap(s, config.eta_gap))
+        .filter(|s| s.duration() >= config.psi_min_duration)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LabeledRecord, MobilityEvent, PositioningRecord};
+    use ism_geometry::Point2;
+    use ism_indoor::{IndoorPoint, RegionId};
+
+    fn seq(times: &[f64]) -> LabeledSequence {
+        LabeledSequence {
+            object_id: 9,
+            records: times
+                .iter()
+                .map(|&t| LabeledRecord {
+                    record: PositioningRecord::new(
+                        IndoorPoint::new(0, Point2::new(0.0, 0.0)),
+                        t,
+                    ),
+                    region: RegionId(0),
+                    event: MobilityEvent::Stay,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn no_gap_means_no_split() {
+        let s = seq(&[0.0, 10.0, 20.0, 30.0]);
+        let parts = split_by_gap(&s, 60.0);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].records.len(), 4);
+    }
+
+    #[test]
+    fn splits_at_each_large_gap() {
+        let s = seq(&[0.0, 10.0, 500.0, 510.0, 2000.0]);
+        let parts = split_by_gap(&s, 180.0);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].records.len(), 2);
+        assert_eq!(parts[1].records.len(), 2);
+        assert_eq!(parts[2].records.len(), 1);
+        assert!(parts.iter().all(|p| p.object_id == 9));
+    }
+
+    #[test]
+    fn filter_drops_short_sequences() {
+        let a = seq(&[0.0, 10.0]); // 10 s
+        let b = seq(&(0..200).map(|i| i as f64 * 10.0).collect::<Vec<_>>()); // ~2000 s
+        let cfg = PreprocessConfig {
+            eta_gap: 180.0,
+            psi_min_duration: 1800.0,
+        };
+        let kept = preprocess(&[a, b], &cfg);
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].duration() >= 1800.0);
+    }
+
+    #[test]
+    fn empty_sequence_handled() {
+        let s = seq(&[]);
+        assert!(split_by_gap(&s, 60.0).is_empty());
+    }
+
+    #[test]
+    fn boundary_gap_does_not_split() {
+        let s = seq(&[0.0, 180.0]);
+        assert_eq!(split_by_gap(&s, 180.0).len(), 1);
+        let s = seq(&[0.0, 180.1]);
+        assert_eq!(split_by_gap(&s, 180.0).len(), 2);
+    }
+}

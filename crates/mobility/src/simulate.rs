@@ -1,0 +1,350 @@
+//! Random-waypoint indoor mobility simulation with per-second ground truth.
+//!
+//! Mirrors the paper's synthetic-data protocol (§V-C): objects follow the
+//! waypoint model — move to a randomly chosen destination region along a
+//! pre-planned indoor path, stay there for a random period (1 s – 30 min),
+//! then head to the next destination — with a maximum speed of 1.7 m/s and
+//! lifespans between 10 s and the full simulation horizon. The true
+//! location and region are recorded every second; the true event is *stay*
+//! while at a destination and *pass* while moving.
+
+use crate::{GroundTruthPoint, MobilityEvent};
+use ism_indoor::{IndoorPoint, IndoorSpace, RegionId, RegionKind};
+use rand::Rng;
+
+/// Configuration of the waypoint simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulationConfig {
+    /// Simulation horizon in seconds (paper: 4 h).
+    pub duration: f64,
+    /// Minimum object lifespan in seconds (paper: 10 s).
+    pub lifespan_min: f64,
+    /// Maximum walking speed in m/s (paper: 1.7).
+    pub max_speed: f64,
+    /// Minimum walking speed in m/s.
+    pub min_speed: f64,
+    /// Minimum stay duration at a destination in seconds (paper: 1 s).
+    pub stay_min: f64,
+    /// Maximum stay duration in seconds (paper: 30 min).
+    pub stay_max: f64,
+}
+
+impl SimulationConfig {
+    /// The paper's synthetic-experiment setting (4 h horizon).
+    pub fn paper() -> Self {
+        SimulationConfig {
+            duration: 4.0 * 3600.0,
+            lifespan_min: 10.0,
+            max_speed: 1.7,
+            min_speed: 0.5,
+            stay_min: 1.0,
+            stay_max: 30.0 * 60.0,
+        }
+    }
+
+    /// A fast profile for tests and examples (20 min horizon, short stays).
+    pub fn quick() -> Self {
+        SimulationConfig {
+            duration: 1200.0,
+            lifespan_min: 300.0,
+            max_speed: 1.7,
+            min_speed: 0.5,
+            stay_min: 20.0,
+            stay_max: 120.0,
+        }
+    }
+}
+
+/// A simulated object's ground-truth trajectory (1 Hz samples).
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// Object identifier.
+    pub object_id: u64,
+    /// Per-second ground truth, time-ordered.
+    pub points: Vec<GroundTruthPoint>,
+}
+
+/// The random-waypoint simulator over an indoor space.
+#[derive(Debug, Clone, Copy)]
+pub struct Simulator<'a> {
+    space: &'a IndoorSpace,
+    config: SimulationConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for the given venue.
+    pub fn new(space: &'a IndoorSpace, config: SimulationConfig) -> Self {
+        Simulator { space, config }
+    }
+
+    /// The venue being simulated.
+    pub fn space(&self) -> &'a IndoorSpace {
+        self.space
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Destination regions (shops) of the venue.
+    fn destinations(&self) -> Vec<RegionId> {
+        self.space
+            .regions()
+            .iter()
+            .filter(|r| r.kind == RegionKind::Shop && !r.partitions.is_empty())
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Uniformly samples a point inside the given region.
+    fn random_point_in_region<R: Rng + ?Sized>(
+        &self,
+        region: RegionId,
+        rng: &mut R,
+    ) -> IndoorPoint {
+        let reg = self.space.region(region);
+        // Pick a partition weighted by area, then a point inside it, away
+        // from walls so walking targets are realistic.
+        let total = reg.area.max(f64::EPSILON);
+        let mut pick = rng.random::<f64>() * total;
+        let mut chosen = reg.partitions[0];
+        for &pid in &reg.partitions {
+            let a = self.space.partition(pid).rect.area();
+            if pick <= a {
+                chosen = pid;
+                break;
+            }
+            pick -= a;
+        }
+        let part = self.space.partition(chosen);
+        let margin = 0.15;
+        let u = margin + rng.random::<f64>() * (1.0 - 2.0 * margin);
+        let v = margin + rng.random::<f64>() * (1.0 - 2.0 * margin);
+        IndoorPoint::new(part.floor, part.rect.at(u, v))
+    }
+
+    /// Simulates one object's ground-truth trajectory.
+    pub fn simulate_object<R: Rng + ?Sized>(&self, object_id: u64, rng: &mut R) -> Trajectory {
+        let c = &self.config;
+        let destinations = self.destinations();
+        assert!(
+            !destinations.is_empty(),
+            "venue has no destination (shop) regions"
+        );
+
+        let lifespan = c.lifespan_min + rng.random::<f64>() * (c.duration - c.lifespan_min);
+        let t0 = rng.random::<f64>() * (c.duration - lifespan);
+        let t_end = t0 + lifespan;
+
+        let mut points = Vec::with_capacity(lifespan as usize + 2);
+        let mut t = t0;
+
+        // Spawn staying at a random destination.
+        let mut dest = destinations[rng.random_range(0..destinations.len())];
+        let mut pos = self.random_point_in_region(dest, rng);
+
+        'life: loop {
+            // --- Stay phase ---------------------------------------------
+            let stay = c.stay_min + rng.random::<f64>() * (c.stay_max - c.stay_min);
+            let stay_end = (t + stay).min(t_end);
+            while t <= stay_end {
+                points.push(GroundTruthPoint {
+                    location: pos,
+                    t,
+                    region: dest,
+                    event: MobilityEvent::Stay,
+                });
+                t += 1.0;
+            }
+            if t >= t_end {
+                break 'life;
+            }
+
+            // --- Travel phase -------------------------------------------
+            let next = loop {
+                let cand = destinations[rng.random_range(0..destinations.len())];
+                if cand != dest || destinations.len() == 1 {
+                    break cand;
+                }
+            };
+            let goal = self.random_point_in_region(next, rng);
+            let route = match self.space.plan_route(pos, goal) {
+                Some(r) => r,
+                None => break 'life, // unreachable destination: end the life
+            };
+            let speed = c.min_speed + rng.random::<f64>() * (c.max_speed - c.min_speed);
+            let travel_time = route.total / speed;
+            let depart = t;
+            while t < depart + travel_time {
+                if t > t_end {
+                    break 'life;
+                }
+                let dist = (t - depart) * speed;
+                let loc = position_along(&route.waypoints, dist);
+                let region = self
+                    .space
+                    .region_at(&loc)
+                    .unwrap_or_else(|| self.space.nearest_region(&loc));
+                points.push(GroundTruthPoint {
+                    location: loc,
+                    t,
+                    region,
+                    event: MobilityEvent::Pass,
+                });
+                t += 1.0;
+            }
+            pos = goal;
+            dest = next;
+        }
+
+        Trajectory { object_id, points }
+    }
+
+    /// Simulates `n` objects.
+    pub fn simulate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Trajectory> {
+        (0..n)
+            .map(|i| self.simulate_object(i as u64, rng))
+            .collect()
+    }
+}
+
+/// Interpolates the position at walking distance `dist` along a route's
+/// waypoints (pairs of point and cumulative distance).
+///
+/// Segments whose endpoints lie on different floors (staircases) keep the
+/// planar position of the door and switch floors halfway through.
+fn position_along(waypoints: &[(IndoorPoint, f64)], dist: f64) -> IndoorPoint {
+    debug_assert!(!waypoints.is_empty());
+    if dist <= waypoints[0].1 {
+        return waypoints[0].0;
+    }
+    for w in waypoints.windows(2) {
+        let (a, da) = w[0];
+        let (b, db) = w[1];
+        if dist <= db {
+            let span = (db - da).max(f64::EPSILON);
+            let frac = ((dist - da) / span).clamp(0.0, 1.0);
+            return if a.floor == b.floor {
+                IndoorPoint::new(a.floor, a.xy.lerp(b.xy, frac))
+            } else {
+                // Staircase traversal: hold the xy, switch floor halfway.
+                let floor = if frac < 0.5 { a.floor } else { b.floor };
+                IndoorPoint::new(floor, a.xy.lerp(b.xy, frac.round()))
+            };
+        }
+    }
+    waypoints.last().unwrap().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ism_indoor::BuildingGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn venue() -> IndoorSpace {
+        BuildingGenerator::small_office()
+            .generate(&mut StdRng::seed_from_u64(1))
+            .unwrap()
+    }
+
+    #[test]
+    fn trajectory_is_time_ordered_and_in_bounds() {
+        let space = venue();
+        let sim = Simulator::new(&space, SimulationConfig::quick());
+        let mut rng = StdRng::seed_from_u64(7);
+        let traj = sim.simulate_object(0, &mut rng);
+        assert!(traj.points.len() > 30);
+        for w in traj.points.windows(2) {
+            assert!(w[1].t > w[0].t);
+            // 1 Hz sampling.
+            assert!((w[1].t - w[0].t - 1.0).abs() < 1e-9);
+        }
+        for p in &traj.points {
+            // Every ground truth point lies in some partition whose region
+            // matches the recorded label.
+            let region = space.region_at(&p.location);
+            assert_eq!(region, Some(p.region), "at t={}", p.t);
+        }
+    }
+
+    #[test]
+    fn stays_are_stationary_and_in_destination_regions() {
+        let space = venue();
+        let sim = Simulator::new(&space, SimulationConfig::quick());
+        let mut rng = StdRng::seed_from_u64(11);
+        let traj = sim.simulate_object(0, &mut rng);
+        for w in traj.points.windows(2) {
+            if w[0].event == MobilityEvent::Stay && w[1].event == MobilityEvent::Stay {
+                assert_eq!(w[0].location, w[1].location);
+            }
+            if w[0].event == MobilityEvent::Stay {
+                assert!(space.region(w[0].region).is_destination());
+            }
+        }
+    }
+
+    #[test]
+    fn movement_respects_speed_limit() {
+        let space = venue();
+        let cfg = SimulationConfig::quick();
+        let sim = Simulator::new(&space, cfg);
+        let mut rng = StdRng::seed_from_u64(13);
+        let traj = sim.simulate_object(0, &mut rng);
+        for w in traj.points.windows(2) {
+            if w[0].location.floor == w[1].location.floor {
+                let d = w[0].location.planar_distance(&w[1].location);
+                assert!(
+                    d <= cfg.max_speed * 1.0 + 1e-6,
+                    "moved {d} m in one second"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lifespans_fit_horizon() {
+        let space = venue();
+        let cfg = SimulationConfig::quick();
+        let sim = Simulator::new(&space, cfg);
+        let mut rng = StdRng::seed_from_u64(17);
+        for traj in sim.simulate(8, &mut rng) {
+            let first = traj.points.first().unwrap().t;
+            let last = traj.points.last().unwrap().t;
+            assert!(first >= 0.0);
+            assert!(last <= cfg.duration + 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let space = venue();
+        let sim = Simulator::new(&space, SimulationConfig::quick());
+        let a = sim.simulate_object(0, &mut StdRng::seed_from_u64(3));
+        let b = sim.simulate_object(0, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.points.len(), b.points.len());
+        assert_eq!(a.points.first(), b.points.first());
+        assert_eq!(a.points.last(), b.points.last());
+    }
+
+    #[test]
+    fn both_events_occur() {
+        let space = venue();
+        let sim = Simulator::new(&space, SimulationConfig::quick());
+        let mut rng = StdRng::seed_from_u64(23);
+        let trajs = sim.simulate(6, &mut rng);
+        let mut stays = 0;
+        let mut passes = 0;
+        for t in &trajs {
+            for p in &t.points {
+                match p.event {
+                    MobilityEvent::Stay => stays += 1,
+                    MobilityEvent::Pass => passes += 1,
+                }
+            }
+        }
+        assert!(stays > 0 && passes > 0, "stays={stays} passes={passes}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Core mobility data types mirroring the paper's definitions.
+
+use ism_indoor::{IndoorPoint, RegionId};
+use serde::{Deserialize, Serialize};
+
+/// An indoor mobility event (Definition 2): the paper's two generic
+/// patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MobilityEvent {
+    /// The object remained in a semantic region for a purpose.
+    Stay,
+    /// The object merely passed through a region.
+    Pass,
+}
+
+impl MobilityEvent {
+    /// Dense index (Stay = 0, Pass = 1) for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MobilityEvent::Stay => 0,
+            MobilityEvent::Pass => 1,
+        }
+    }
+
+    /// Both events, in index order.
+    pub const ALL: [MobilityEvent; 2] = [MobilityEvent::Stay, MobilityEvent::Pass];
+
+    /// The indicator `I(e)` of the paper: 1 for pass, 0 for stay.
+    #[inline]
+    pub fn pass_indicator(self) -> f64 {
+        match self {
+            MobilityEvent::Stay => 0.0,
+            MobilityEvent::Pass => 1.0,
+        }
+    }
+}
+
+/// A closed time period `[start, end]` in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimePeriod {
+    /// Start timestamp (seconds).
+    pub start: f64,
+    /// End timestamp (seconds), `end ≥ start`.
+    pub end: f64,
+}
+
+impl TimePeriod {
+    /// Creates a period; `end` must not precede `start`.
+    #[inline]
+    pub fn new(start: f64, end: f64) -> Self {
+        debug_assert!(end >= start, "time period end before start");
+        TimePeriod { start, end }
+    }
+
+    /// Duration in seconds.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Whether `t` lies inside the period.
+    #[inline]
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start && t <= self.end
+    }
+
+    /// Whether the two periods overlap (shared endpoints count).
+    #[inline]
+    pub fn overlaps(&self, other: &TimePeriod) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+}
+
+/// A raw positioning record θ(l, t): an estimated indoor location and a
+/// timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PositioningRecord {
+    /// Estimated location (x, y, floor).
+    pub location: IndoorPoint,
+    /// Timestamp in seconds.
+    pub t: f64,
+}
+
+impl PositioningRecord {
+    /// Creates a record.
+    #[inline]
+    pub const fn new(location: IndoorPoint, t: f64) -> Self {
+        PositioningRecord { location, t }
+    }
+}
+
+/// One second of simulated ground truth: the true location plus the true
+/// (region, event) labels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruthPoint {
+    /// True location.
+    pub location: IndoorPoint,
+    /// Timestamp in seconds.
+    pub t: f64,
+    /// True semantic region at this instant.
+    pub region: RegionId,
+    /// True mobility event at this instant.
+    pub event: MobilityEvent,
+}
+
+/// A positioning record together with its ground-truth labels — the unit of
+/// supervised training and of labeling-accuracy evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LabeledRecord {
+    /// The (noisy) observed record.
+    pub record: PositioningRecord,
+    /// Ground-truth region label.
+    pub region: RegionId,
+    /// Ground-truth event label.
+    pub event: MobilityEvent,
+}
+
+/// A labelled positioning sequence of one object over one contiguous visit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledSequence {
+    /// Object (device) identifier.
+    pub object_id: u64,
+    /// Time-ordered labelled records.
+    pub records: Vec<LabeledRecord>,
+}
+
+impl LabeledSequence {
+    /// Total duration covered by the sequence, in seconds.
+    pub fn duration(&self) -> f64 {
+        match (self.records.first(), self.records.last()) {
+            (Some(a), Some(b)) => b.record.t - a.record.t,
+            _ => 0.0,
+        }
+    }
+
+    /// The raw positioning records (observation side only).
+    pub fn positioning(&self) -> impl Iterator<Item = PositioningRecord> + '_ {
+        self.records.iter().map(|r| r.record)
+    }
+
+    /// Ground-truth (region, event) label pairs, aligned with `records`.
+    pub fn truth_labels(&self) -> impl Iterator<Item = (RegionId, MobilityEvent)> + '_ {
+        self.records.iter().map(|r| (r.region, r.event))
+    }
+}
+
+/// One mobility semantics triple `ms = (r, τ, e)` (Definition 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobilitySemantics {
+    /// Semantic region.
+    pub region: RegionId,
+    /// Time period of the event.
+    pub period: TimePeriod,
+    /// Mobility event.
+    pub event: MobilityEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ism_geometry::Point2;
+
+    #[test]
+    fn event_indices() {
+        assert_eq!(MobilityEvent::Stay.index(), 0);
+        assert_eq!(MobilityEvent::Pass.index(), 1);
+        assert_eq!(MobilityEvent::Stay.pass_indicator(), 0.0);
+        assert_eq!(MobilityEvent::Pass.pass_indicator(), 1.0);
+    }
+
+    #[test]
+    fn period_operations() {
+        let p = TimePeriod::new(10.0, 20.0);
+        assert_eq!(p.duration(), 10.0);
+        assert!(p.contains(10.0) && p.contains(20.0) && p.contains(15.0));
+        assert!(!p.contains(21.0));
+        assert!(p.overlaps(&TimePeriod::new(20.0, 30.0)));
+        assert!(p.overlaps(&TimePeriod::new(0.0, 10.0)));
+        assert!(!p.overlaps(&TimePeriod::new(20.5, 30.0)));
+    }
+
+    #[test]
+    fn sequence_duration() {
+        let mk = |t: f64| LabeledRecord {
+            record: PositioningRecord::new(IndoorPoint::new(0, Point2::new(0.0, 0.0)), t),
+            region: RegionId(0),
+            event: MobilityEvent::Stay,
+        };
+        let seq = LabeledSequence {
+            object_id: 1,
+            records: vec![mk(5.0), mk(12.0), mk(30.0)],
+        };
+        assert_eq!(seq.duration(), 25.0);
+        assert_eq!(seq.positioning().count(), 3);
+        let empty = LabeledSequence {
+            object_id: 2,
+            records: vec![],
+        };
+        assert_eq!(empty.duration(), 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Central-difference gradient verification.
+
+use crate::Objective;
+
+/// Returns the maximum relative error between the analytic gradient of
+/// `obj` at `x` and a central finite-difference estimate with step `h`.
+///
+/// The relative error at coordinate `i` is
+/// `|g_i − ĝ_i| / max(1, |g_i|, |ĝ_i|)`. Useful in tests of hand-derived
+/// gradients (the learning code's pseudo-likelihood gradient is verified
+/// this way).
+pub fn max_gradient_error<O: Objective + ?Sized>(obj: &mut O, x: &[f64], h: f64) -> f64 {
+    let n = obj.dim();
+    let mut grad = vec![0.0; n];
+    let mut scratch = vec![0.0; n];
+    obj.eval(x, &mut grad);
+
+    let mut xp = x.to_vec();
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        let orig = xp[i];
+        xp[i] = orig + h;
+        let fp = obj.eval(&xp, &mut scratch);
+        xp[i] = orig - h;
+        let fm = obj.eval(&xp, &mut scratch);
+        xp[i] = orig;
+        let est = (fp - fm) / (2.0 * h);
+        let denom = 1.0f64.max(grad[i].abs()).max(est.abs());
+        worst = worst.max((grad[i] - est).abs() / denom);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_gradient_passes() {
+        let mut obj = (3usize, |x: &[f64], g: &mut [f64]| {
+            let mut v = 0.0;
+            for i in 0..3 {
+                v += (i as f64 + 1.0) * x[i] * x[i] + x[i].sin();
+                g[i] = 2.0 * (i as f64 + 1.0) * x[i] + x[i].cos();
+            }
+            v
+        });
+        let err = max_gradient_error(&mut obj, &[0.3, -1.2, 2.5], 1e-5);
+        assert!(err < 1e-6, "err = {err}");
+    }
+
+    #[test]
+    fn wrong_gradient_detected() {
+        let mut obj = (2usize, |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * x[0];
+            g[1] = 0.0; // wrong: missing the derivative of x₁²
+            x[0] * x[0] + x[1] * x[1]
+        });
+        let err = max_gradient_error(&mut obj, &[1.0, 1.0], 1e-5);
+        assert!(err > 0.5, "err = {err}");
+    }
+}

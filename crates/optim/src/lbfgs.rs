@@ -1,0 +1,348 @@
+//! Limited-memory BFGS with backtracking line search.
+
+use crate::Objective;
+use std::collections::VecDeque;
+
+/// Configuration of the L-BFGS solver.
+#[derive(Debug, Clone, Copy)]
+pub struct LbfgsParams {
+    /// Number of correction pairs kept (typical: 5–20).
+    pub memory: usize,
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// Terminate when the gradient ∞-norm falls below this value.
+    pub tol_grad: f64,
+    /// Terminate when the Chebyshev distance between consecutive iterates
+    /// falls below this value (the paper's `δ` criterion).
+    pub tol_x: f64,
+    /// Armijo sufficient-decrease constant (0 < c₁ < c₂ < 1).
+    pub armijo_c1: f64,
+    /// Wolfe curvature constant (c₁ < c₂ < 1).
+    pub wolfe_c2: f64,
+    /// Maximum line-search trials per iteration.
+    pub max_line_search: usize,
+}
+
+impl Default for LbfgsParams {
+    fn default() -> Self {
+        LbfgsParams {
+            memory: 10,
+            max_iters: 100,
+            tol_grad: 1e-6,
+            tol_x: 1e-9,
+            armijo_c1: 1e-4,
+            wolfe_c2: 0.9,
+            max_line_search: 50,
+        }
+    }
+}
+
+/// Why the solver stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminationReason {
+    /// Gradient ∞-norm below `tol_grad`.
+    GradientConverged,
+    /// Step Chebyshev distance below `tol_x`.
+    StepConverged,
+    /// `max_iters` reached.
+    MaxIterations,
+    /// Line search failed to find a decreasing step.
+    LineSearchFailed,
+}
+
+/// Outcome of an L-BFGS run.
+#[derive(Debug, Clone)]
+pub struct LbfgsResult {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Gradient ∞-norm at `x`.
+    pub grad_inf_norm: f64,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Stop reason.
+    pub reason: TerminationReason,
+}
+
+impl LbfgsResult {
+    /// Whether the run ended in one of the convergence criteria.
+    pub fn converged(&self) -> bool {
+        matches!(
+            self.reason,
+            TerminationReason::GradientConverged | TerminationReason::StepConverged
+        )
+    }
+}
+
+#[inline]
+fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Minimises `obj` starting from `x0` using L-BFGS.
+///
+/// The implementation follows Nocedal & Wright, Algorithm 7.4/7.5: two-loop
+/// recursion over the stored `(s, y)` pairs with γ-scaling of the initial
+/// Hessian, and a backtracking Armijo line search.
+pub fn minimize<O: Objective + ?Sized>(
+    obj: &mut O,
+    x0: &[f64],
+    params: &LbfgsParams,
+) -> LbfgsResult {
+    let n = obj.dim();
+    assert_eq!(x0.len(), n, "x0 length must equal objective dimension");
+
+    let mut x = x0.to_vec();
+    let mut grad = vec![0.0; n];
+    let mut value = obj.eval(&x, &mut grad);
+
+    // History of (s, y, 1/yᵀs).
+    let mut history: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new();
+    let mut direction = vec![0.0; n];
+    let mut x_new = vec![0.0; n];
+    let mut grad_new = vec![0.0; n];
+    let mut alpha_buf: Vec<f64> = Vec::new();
+
+    let mut reason = TerminationReason::MaxIterations;
+    let mut iterations = 0;
+
+    for iter in 0..params.max_iters {
+        iterations = iter + 1;
+        if inf_norm(&grad) <= params.tol_grad {
+            reason = TerminationReason::GradientConverged;
+            iterations = iter;
+            break;
+        }
+
+        // Two-loop recursion: direction = -H·grad.
+        direction.copy_from_slice(&grad);
+        alpha_buf.clear();
+        for (s, y, rho) in history.iter().rev() {
+            let alpha = rho * dot(s, &direction);
+            for (d, yi) in direction.iter_mut().zip(y) {
+                *d -= alpha * yi;
+            }
+            alpha_buf.push(alpha);
+        }
+        // Initial Hessian scaling γ = sᵀy / yᵀy of the most recent pair.
+        if let Some((s, y, _)) = history.back() {
+            let gamma = dot(s, y) / dot(y, y).max(f64::MIN_POSITIVE);
+            for d in direction.iter_mut() {
+                *d *= gamma;
+            }
+        }
+        for ((s, y, rho), alpha) in history.iter().zip(alpha_buf.iter().rev()) {
+            let beta = rho * dot(y, &direction);
+            for (d, si) in direction.iter_mut().zip(s) {
+                *d += (alpha - beta) * si;
+            }
+        }
+        for d in direction.iter_mut() {
+            *d = -*d;
+        }
+
+        // Guard: ensure a descent direction; otherwise restart with -grad.
+        let mut dir_deriv = dot(&direction, &grad);
+        if dir_deriv >= 0.0 {
+            history.clear();
+            for (d, g) in direction.iter_mut().zip(&grad) {
+                *d = -g;
+            }
+            dir_deriv = dot(&direction, &grad);
+        }
+
+        // Weak-Wolfe line search by bracketing + bisection (Lewis–Overton).
+        // Guarantees sᵀy > 0 so the curvature pairs keep the inverse-Hessian
+        // approximation positive definite.
+        let mut step = 1.0;
+        let mut lo = 0.0f64;
+        let mut hi = f64::INFINITY;
+        let mut accepted = false;
+        let mut value_new = value;
+        for _ in 0..params.max_line_search {
+            for ((xn, xi), di) in x_new.iter_mut().zip(&x).zip(&direction) {
+                *xn = xi + step * di;
+            }
+            value_new = obj.eval(&x_new, &mut grad_new);
+            if value_new > value + params.armijo_c1 * step * dir_deriv {
+                hi = step; // too long: sufficient decrease violated
+            } else if dot(&grad_new, &direction) < params.wolfe_c2 * dir_deriv {
+                lo = step; // too short: curvature condition violated
+            } else {
+                accepted = true;
+                break;
+            }
+            step = if hi.is_finite() {
+                0.5 * (lo + hi)
+            } else {
+                2.0 * step
+            };
+        }
+        if !accepted {
+            // Fall back to the last Armijo-satisfying point if any progress
+            // was made; otherwise give up.
+            if value_new <= value + params.armijo_c1 * step * dir_deriv && value_new < value {
+                // keep x_new/grad_new as computed
+            } else {
+                reason = TerminationReason::LineSearchFailed;
+                break;
+            }
+        }
+
+        // Update history with s = x_new - x, y = grad_new - grad.
+        let s: Vec<f64> = x_new.iter().zip(&x).map(|(a, b)| a - b).collect();
+        let y: Vec<f64> = grad_new.iter().zip(&grad).map(|(a, b)| a - b).collect();
+        let ys = dot(&y, &s);
+        if ys > 1e-10 * dot(&y, &y).sqrt() * dot(&s, &s).sqrt() {
+            if history.len() == params.memory {
+                history.pop_front();
+            }
+            history.push_back((s.clone(), y, 1.0 / ys));
+        }
+
+        let step_cheby = inf_norm(&s);
+        x.copy_from_slice(&x_new);
+        grad.copy_from_slice(&grad_new);
+        value = value_new;
+
+        if step_cheby <= params.tol_x {
+            reason = TerminationReason::StepConverged;
+            break;
+        }
+    }
+
+    let grad_inf_norm = inf_norm(&grad);
+    if grad_inf_norm <= params.tol_grad {
+        reason = TerminationReason::GradientConverged;
+    }
+    LbfgsResult {
+        x,
+        value,
+        grad_inf_norm,
+        iterations,
+        reason,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        // f(x) = Σ (x_i - i)²
+        let mut obj = (4usize, |x: &[f64], g: &mut [f64]| {
+            let mut v = 0.0;
+            for i in 0..4 {
+                let d = x[i] - i as f64;
+                v += d * d;
+                g[i] = 2.0 * d;
+            }
+            v
+        });
+        let r = minimize(&mut obj, &[10.0, -3.0, 0.0, 7.0], &LbfgsParams::default());
+        assert!(r.converged(), "{:?}", r.reason);
+        for i in 0..4 {
+            assert!((r.x[i] - i as f64).abs() < 1e-5, "x[{i}] = {}", r.x[i]);
+        }
+    }
+
+    #[test]
+    fn rosenbrock() {
+        let mut obj = (2usize, |x: &[f64], g: &mut [f64]| {
+            let (a, b) = (1.0, 100.0);
+            let v = (a - x[0]).powi(2) + b * (x[1] - x[0] * x[0]).powi(2);
+            g[0] = -2.0 * (a - x[0]) - 4.0 * b * x[0] * (x[1] - x[0] * x[0]);
+            g[1] = 2.0 * b * (x[1] - x[0] * x[0]);
+            v
+        });
+        let params = LbfgsParams {
+            max_iters: 500,
+            ..Default::default()
+        };
+        let r = minimize(&mut obj, &[-1.2, 1.0], &params);
+        assert!(r.converged(), "{:?} after {} iters", r.reason, r.iterations);
+        assert!((r.x[0] - 1.0).abs() < 1e-4);
+        assert!((r.x[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn already_at_optimum() {
+        let mut obj = (1usize, |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * x[0];
+            x[0] * x[0]
+        });
+        let r = minimize(&mut obj, &[0.0], &LbfgsParams::default());
+        assert_eq!(r.reason, TerminationReason::GradientConverged);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn respects_max_iters() {
+        let mut obj = (1usize, |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * x[0];
+            x[0] * x[0]
+        });
+        let params = LbfgsParams {
+            max_iters: 1,
+            tol_grad: 0.0,
+            tol_x: 0.0,
+            ..Default::default()
+        };
+        let r = minimize(&mut obj, &[100.0], &params);
+        assert!(r.iterations <= 1);
+        assert!(r.value < 100.0 * 100.0); // made progress
+    }
+
+    #[test]
+    fn logistic_regression_separable() {
+        // Minimise regularised logistic loss on a tiny separable set; the
+        // solution must classify all points correctly.
+        let data: Vec<([f64; 2], f64)> = vec![
+            ([0.0, 0.5], 0.0),
+            ([0.2, 1.0], 0.0),
+            ([1.0, 2.0], 1.0),
+            ([1.5, 3.0], 1.0),
+        ];
+        let mut obj = (3usize, move |w: &[f64], g: &mut [f64]| {
+            let lambda = 0.01;
+            let mut v = 0.0;
+            g.fill(0.0);
+            for (x, y) in &data {
+                let z = w[0] + w[1] * x[0] + w[2] * x[1];
+                let p = 1.0 / (1.0 + (-z).exp());
+                v -= y * p.max(1e-12).ln() + (1.0 - y) * (1.0 - p).max(1e-12).ln();
+                let d = p - y;
+                g[0] += d;
+                g[1] += d * x[0];
+                g[2] += d * x[1];
+            }
+            for i in 0..3 {
+                v += 0.5 * lambda * w[i] * w[i];
+                g[i] += lambda * w[i];
+            }
+            v
+        });
+        let r = minimize(&mut obj, &[0.0; 3], &LbfgsParams::default());
+        assert!(r.value < 0.7, "loss {}", r.value);
+    }
+
+    #[test]
+    fn ill_conditioned_quadratic() {
+        // f(x) = x₀² + 1000 x₁²; tests the γ scaling.
+        let mut obj = (2usize, |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * x[0];
+            g[1] = 2000.0 * x[1];
+            x[0] * x[0] + 1000.0 * x[1] * x[1]
+        });
+        let r = minimize(&mut obj, &[5.0, 5.0], &LbfgsParams::default());
+        assert!(r.converged());
+        assert!(r.x[0].abs() < 1e-4 && r.x[1].abs() < 1e-4);
+    }
+}

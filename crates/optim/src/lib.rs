@@ -1,0 +1,21 @@
+//! Numerical optimisation: limited-memory BFGS with line search.
+//!
+//! The C2MN paper estimates its clique-template weights by minimising a
+//! (negative, regularised) pseudo-likelihood with the quasi-Newton method
+//! **L-BFGS** (Liu & Nocedal 1989). No optimisation crate exists in the
+//! sanctioned dependency set, so this crate implements:
+//!
+//! * the [`Objective`] trait (value + gradient evaluation),
+//! * [`lbfgs::minimize`] — L-BFGS with two-loop recursion and a
+//!   backtracking Armijo line search,
+//! * [`gradcheck::max_gradient_error`] — central-difference gradient
+//!   verification used by tests of the learning code.
+
+#![deny(missing_docs)]
+
+pub mod gradcheck;
+pub mod lbfgs;
+mod objective;
+
+pub use lbfgs::{minimize, LbfgsParams, LbfgsResult, TerminationReason};
+pub use objective::Objective;

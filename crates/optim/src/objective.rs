@@ -1,0 +1,29 @@
+//! The objective-function abstraction.
+
+/// A differentiable objective `f : ℝⁿ → ℝ` to be minimised.
+///
+/// Implementations may be stateful (e.g. caching samples between
+/// evaluations), hence `&mut self`.
+pub trait Objective {
+    /// Dimensionality `n` of the parameter vector.
+    fn dim(&self) -> usize;
+
+    /// Evaluates the objective at `x`, writing the gradient into `grad`
+    /// (whose length equals [`Objective::dim`]) and returning the value.
+    fn eval(&mut self, x: &[f64], grad: &mut [f64]) -> f64;
+}
+
+/// Blanket implementation so closures `(x, grad) -> f64` can be used
+/// directly in tests.
+impl<F> Objective for (usize, F)
+where
+    F: FnMut(&[f64], &mut [f64]) -> f64,
+{
+    fn dim(&self) -> usize {
+        self.0
+    }
+
+    fn eval(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
+        (self.1)(x, grad)
+    }
+}

@@ -1,0 +1,336 @@
+//! Linear-chain conditional random field.
+//!
+//! A classic CMN (§II-B of the paper): per-position unary features combined
+//! with a learned label-transition matrix. Training maximises the exact
+//! conditional log-likelihood via forward–backward marginals and L-BFGS;
+//! decoding is Viterbi. C2MN generalises this model with coupled chains and
+//! segment-level cliques; the linear chain remains useful as a baseline and
+//! as a differentiable sanity check of the optimisation stack.
+
+use crate::util::log_sum_exp;
+use ism_optim::{minimize, LbfgsParams, Objective};
+
+/// Configuration of a linear-chain CRF.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainCrfConfig {
+    /// Number of labels `K`.
+    pub num_labels: usize,
+    /// Dimensionality `d` of the per-(position, label) feature vector.
+    pub feature_dim: usize,
+    /// L2 regularisation strength (Gaussian prior `1/(2σ²)`).
+    pub l2: f64,
+}
+
+/// One training sequence: features laid out `[t][label][feature]` and the
+/// gold label per position.
+#[derive(Debug, Clone)]
+pub struct CrfSequence {
+    /// Dense features, length `len × num_labels × feature_dim`.
+    pub features: Vec<f64>,
+    /// Gold labels, length `len`.
+    pub labels: Vec<usize>,
+}
+
+impl CrfSequence {
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+/// A trained linear-chain CRF.
+#[derive(Debug, Clone)]
+pub struct ChainCrf {
+    config: ChainCrfConfig,
+    /// Parameters: `feature_dim` unary weights followed by the row-major
+    /// `K × K` transition matrix.
+    weights: Vec<f64>,
+}
+
+struct CrfObjective<'a> {
+    config: ChainCrfConfig,
+    data: &'a [CrfSequence],
+}
+
+impl CrfObjective<'_> {
+    #[inline]
+    fn unary(&self, w: &[f64], seq: &CrfSequence, t: usize, y: usize) -> f64 {
+        let d = self.config.feature_dim;
+        let base = (t * self.config.num_labels + y) * d;
+        let feats = &seq.features[base..base + d];
+        feats.iter().zip(&w[..d]).map(|(f, wi)| f * wi).sum()
+    }
+}
+
+impl Objective for CrfObjective<'_> {
+    fn dim(&self) -> usize {
+        self.config.feature_dim + self.config.num_labels * self.config.num_labels
+    }
+
+    /// Negative conditional log-likelihood plus L2, with exact gradient.
+    fn eval(&mut self, w: &[f64], grad: &mut [f64]) -> f64 {
+        let k = self.config.num_labels;
+        let d = self.config.feature_dim;
+        grad.fill(0.0);
+        let mut nll = 0.0;
+        let trans = &w[d..];
+
+        for seq in self.data {
+            let n = seq.len();
+            if n == 0 {
+                continue;
+            }
+            // Unary scores.
+            let mut scores = vec![0.0f64; n * k];
+            for t in 0..n {
+                for y in 0..k {
+                    scores[t * k + y] = self.unary(w, seq, t, y);
+                }
+            }
+            // Forward (alpha) and backward (beta) in log space.
+            let mut alpha = vec![f64::NEG_INFINITY; n * k];
+            alpha[..k].copy_from_slice(&scores[..k]);
+            let mut buf = vec![0.0f64; k];
+            for t in 1..n {
+                for y in 0..k {
+                    for (p, b) in buf.iter_mut().enumerate() {
+                        *b = alpha[(t - 1) * k + p] + trans[p * k + y];
+                    }
+                    alpha[t * k + y] = log_sum_exp(&buf) + scores[t * k + y];
+                }
+            }
+            let mut beta = vec![f64::NEG_INFINITY; n * k];
+            for y in 0..k {
+                beta[(n - 1) * k + y] = 0.0;
+            }
+            for t in (0..n - 1).rev() {
+                for y in 0..k {
+                    for (q, b) in buf.iter_mut().enumerate() {
+                        *b = trans[y * k + q] + scores[(t + 1) * k + q] + beta[(t + 1) * k + q];
+                    }
+                    beta[t * k + y] = log_sum_exp(&buf);
+                }
+            }
+            let log_z = log_sum_exp(&alpha[(n - 1) * k..n * k]);
+
+            // Gold score.
+            let mut gold = 0.0;
+            for (t, &y) in seq.labels.iter().enumerate() {
+                gold += scores[t * k + y];
+                if t > 0 {
+                    gold += trans[seq.labels[t - 1] * k + y];
+                }
+            }
+            nll += log_z - gold;
+
+            // Gradient: expectations − empirical counts.
+            for t in 0..n {
+                // Node marginals.
+                for y in 0..k {
+                    let p = (alpha[t * k + y] + beta[t * k + y] - log_z).exp();
+                    let base = (t * k + y) * d;
+                    for f in 0..d {
+                        grad[f] += p * seq.features[base + f];
+                    }
+                }
+                let gold_base = (t * k + seq.labels[t]) * d;
+                for f in 0..d {
+                    grad[f] -= seq.features[gold_base + f];
+                }
+                // Edge marginals.
+                if t > 0 {
+                    for p in 0..k {
+                        for q in 0..k {
+                            let lp = alpha[(t - 1) * k + p]
+                                + trans[p * k + q]
+                                + scores[t * k + q]
+                                + beta[t * k + q]
+                                - log_z;
+                            grad[d + p * k + q] += lp.exp();
+                        }
+                    }
+                    grad[d + seq.labels[t - 1] * k + seq.labels[t]] -= 1.0;
+                }
+            }
+        }
+
+        // L2 prior.
+        for (i, wi) in w.iter().enumerate() {
+            nll += 0.5 * self.config.l2 * wi * wi;
+            grad[i] += self.config.l2 * wi;
+        }
+        nll
+    }
+}
+
+impl ChainCrf {
+    /// Trains a CRF on labelled sequences.
+    pub fn train(config: ChainCrfConfig, data: &[CrfSequence], lbfgs: &LbfgsParams) -> ChainCrf {
+        let mut obj = CrfObjective { config, data };
+        let x0 = vec![0.0; obj.dim()];
+        let result = minimize(&mut obj, &x0, lbfgs);
+        ChainCrf {
+            config,
+            weights: result.x,
+        }
+    }
+
+    /// The configuration used at training time.
+    pub fn config(&self) -> &ChainCrfConfig {
+        &self.config
+    }
+
+    /// The learned parameter vector (unary weights then transitions).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Viterbi decoding of a feature sequence laid out `[t][label][feature]`.
+    pub fn decode(&self, features: &[f64], len: usize) -> Vec<usize> {
+        let k = self.config.num_labels;
+        let d = self.config.feature_dim;
+        assert_eq!(features.len(), len * k * d, "feature layout mismatch");
+        if len == 0 {
+            return Vec::new();
+        }
+        let w = &self.weights[..d];
+        let trans = &self.weights[d..];
+        let unary = |t: usize, y: usize| -> f64 {
+            let base = (t * k + y) * d;
+            features[base..base + d]
+                .iter()
+                .zip(w)
+                .map(|(f, wi)| f * wi)
+                .sum()
+        };
+        let mut delta: Vec<f64> = (0..k).map(|y| unary(0, y)).collect();
+        let mut psi = vec![0u32; len * k];
+        let mut next = vec![0.0f64; k];
+        for t in 1..len {
+            for y in 0..k {
+                let mut best = f64::NEG_INFINITY;
+                let mut arg = 0u32;
+                for p in 0..k {
+                    let v = delta[p] + trans[p * k + y];
+                    if v > best {
+                        best = v;
+                        arg = p as u32;
+                    }
+                }
+                next[y] = best + unary(t, y);
+                psi[t * k + y] = arg;
+            }
+            std::mem::swap(&mut delta, &mut next);
+        }
+        let mut y = delta
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut path = vec![0usize; len];
+        path[len - 1] = y;
+        for t in (1..len).rev() {
+            y = psi[t * k + y] as usize;
+            path[t - 1] = y;
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ism_optim::gradcheck::max_gradient_error;
+
+    /// Builds a toy dataset where feature 0 indicates label 0 and feature 1
+    /// indicates label 1; labels come in runs.
+    fn toy_sequence(labels: &[usize]) -> CrfSequence {
+        let k = 2;
+        let d = 2;
+        let mut features = vec![0.0; labels.len() * k * d];
+        for (t, &gold) in labels.iter().enumerate() {
+            for y in 0..k {
+                let base = (t * k + y) * d;
+                // Indicator that the (noisy) observation matches label y.
+                features[base + y] = if y == gold { 1.0 } else { 0.0 };
+            }
+        }
+        CrfSequence {
+            features,
+            labels: labels.to_vec(),
+        }
+    }
+
+    #[test]
+    fn gradient_is_exact() {
+        let data = vec![toy_sequence(&[0, 0, 1, 1, 0]), toy_sequence(&[1, 1, 1])];
+        let mut obj = CrfObjective {
+            config: ChainCrfConfig {
+                num_labels: 2,
+                feature_dim: 2,
+                l2: 0.1,
+            },
+            data: &data,
+        };
+        let x: Vec<f64> = (0..obj.dim()).map(|i| 0.1 * (i as f64 - 2.5)).collect();
+        let err = max_gradient_error(&mut obj, &x, 1e-5);
+        assert!(err < 1e-6, "gradient error {err}");
+    }
+
+    #[test]
+    fn training_learns_indicative_features() {
+        let data: Vec<CrfSequence> = vec![
+            toy_sequence(&[0, 0, 0, 1, 1]),
+            toy_sequence(&[1, 1, 0, 0]),
+            toy_sequence(&[0, 1, 1, 1]),
+        ];
+        let crf = ChainCrf::train(
+            ChainCrfConfig {
+                num_labels: 2,
+                feature_dim: 2,
+                l2: 0.01,
+            },
+            &data,
+            &LbfgsParams::default(),
+        );
+        let test = toy_sequence(&[0, 1, 0, 1, 1]);
+        let decoded = crf.decode(&test.features, 5);
+        assert_eq!(decoded, vec![0, 1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn transition_weights_capture_run_structure() {
+        // Labels always come in long runs → learned self-transitions should
+        // dominate cross-transitions.
+        let data: Vec<CrfSequence> = vec![
+            toy_sequence(&[0, 0, 0, 0, 1, 1, 1, 1]),
+            toy_sequence(&[1, 1, 1, 0, 0, 0]),
+        ];
+        let crf = ChainCrf::train(
+            ChainCrfConfig {
+                num_labels: 2,
+                feature_dim: 2,
+                l2: 0.05,
+            },
+            &data,
+            &LbfgsParams::default(),
+        );
+        let d = 2;
+        let trans = &crf.weights()[d..];
+        assert!(trans[0] > trans[1], "self 0→0 should beat 0→1");
+        assert!(trans[3] > trans[2], "self 1→1 should beat 1→0");
+    }
+
+    #[test]
+    fn empty_sequence_decodes_empty() {
+        let crf = ChainCrf {
+            config: ChainCrfConfig {
+                num_labels: 2,
+                feature_dim: 2,
+                l2: 0.0,
+            },
+            weights: vec![0.0; 2 + 4],
+        };
+        assert!(crf.decode(&[], 0).is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Markov-blanket inference: Gibbs sampling, ICM, simulated annealing.
+//!
+//! C2MN's learning and decoding both operate on *local conditionals*: the
+//! probability of one target node's label given its Markov blanket
+//! (§IV-A). This module abstracts that interface as [`ConditionalModel`]
+//! and provides the three sweep strategies the pipeline uses:
+//!
+//! * [`gibbs_sweep`] — stochastic resampling (the MCMC inference of
+//!   Algorithm 1),
+//! * [`icm_sweep`] — iterated conditional modes for greedy decoding,
+//! * [`simulated_annealing`] — tempered Gibbs for higher-quality decoding.
+
+use crate::util::sample_from_log_weights;
+use rand::Rng;
+
+/// A model exposing per-site conditional log-potentials.
+///
+/// A *site* is one target node (e.g. the region label of record `i`); its
+/// candidates are a dense `0..num_candidates(site)` relabelling of the
+/// admissible labels. `local_log_potential` must return the unnormalised
+/// log-probability of assigning `candidate` at `site` **given the current
+/// assignment of every other site** (i.e. the sum of the log-potentials of
+/// all cliques touching the site).
+pub trait ConditionalModel {
+    /// Number of sites in the model.
+    fn num_sites(&self) -> usize;
+
+    /// Number of candidate labels at `site`.
+    fn num_candidates(&self, site: usize) -> usize;
+
+    /// Unnormalised conditional log-potential of `candidate` at `site`
+    /// under the current `state` (dense candidate indices per site).
+    fn local_log_potential(&self, site: usize, candidate: usize, state: &[usize]) -> f64;
+}
+
+/// One Gibbs sweep: resamples every site in order from its conditional at
+/// temperature `temperature` (1.0 = the model distribution).
+///
+/// Returns the number of sites whose label changed.
+pub fn gibbs_sweep<M: ConditionalModel + ?Sized, R: Rng + ?Sized>(
+    model: &M,
+    state: &mut [usize],
+    temperature: f64,
+    rng: &mut R,
+) -> usize {
+    debug_assert_eq!(state.len(), model.num_sites());
+    let inv_t = 1.0 / temperature.max(1e-9);
+    let mut changed = 0;
+    let mut weights: Vec<f64> = Vec::new();
+    for site in 0..model.num_sites() {
+        let k = model.num_candidates(site);
+        if k <= 1 {
+            continue;
+        }
+        weights.clear();
+        weights.extend((0..k).map(|c| model.local_log_potential(site, c, state) * inv_t));
+        let new = sample_from_log_weights(&weights, rng);
+        if new != state[site] {
+            changed += 1;
+        }
+        state[site] = new;
+    }
+    changed
+}
+
+/// One ICM sweep: sets every site to its conditional argmax.
+///
+/// Returns the number of sites whose label changed.
+pub fn icm_sweep<M: ConditionalModel + ?Sized>(model: &M, state: &mut [usize]) -> usize {
+    debug_assert_eq!(state.len(), model.num_sites());
+    let mut changed = 0;
+    for site in 0..model.num_sites() {
+        let k = model.num_candidates(site);
+        if k <= 1 {
+            continue;
+        }
+        let mut best = f64::NEG_INFINITY;
+        let mut arg = state[site];
+        for c in 0..k {
+            let v = model.local_log_potential(site, c, state);
+            if v > best {
+                best = v;
+                arg = c;
+            }
+        }
+        if arg != state[site] {
+            changed += 1;
+            state[site] = arg;
+        }
+    }
+    changed
+}
+
+/// Geometric annealing schedule from `t_start` down to `t_end`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealSchedule {
+    /// Initial temperature (> t_end).
+    pub t_start: f64,
+    /// Final temperature (> 0).
+    pub t_end: f64,
+    /// Number of Gibbs sweeps across the schedule.
+    pub sweeps: usize,
+}
+
+impl Default for AnnealSchedule {
+    fn default() -> Self {
+        AnnealSchedule {
+            t_start: 2.0,
+            t_end: 0.2,
+            sweeps: 20,
+        }
+    }
+}
+
+/// Simulated annealing: tempered Gibbs sweeps followed by ICM until a local
+/// optimum is reached (at most `num_sites` extra ICM sweeps).
+pub fn simulated_annealing<M: ConditionalModel + ?Sized, R: Rng + ?Sized>(
+    model: &M,
+    state: &mut [usize],
+    schedule: &AnnealSchedule,
+    rng: &mut R,
+) {
+    if schedule.sweeps > 0 {
+        let ratio = (schedule.t_end / schedule.t_start).max(1e-12);
+        for i in 0..schedule.sweeps {
+            let frac = i as f64 / schedule.sweeps.max(1) as f64;
+            let t = schedule.t_start * ratio.powf(frac);
+            gibbs_sweep(model, state, t, rng);
+        }
+    }
+    for _ in 0..model.num_sites().max(1) {
+        if icm_sweep(model, state) == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A 1-D Ising-style chain: K labels, unary preference for label
+    /// `prefs[i]`, pairwise coupling rewarding equal neighbours.
+    struct Chain {
+        prefs: Vec<usize>,
+        k: usize,
+        unary: f64,
+        coupling: f64,
+    }
+
+    impl ConditionalModel for Chain {
+        fn num_sites(&self) -> usize {
+            self.prefs.len()
+        }
+        fn num_candidates(&self, _site: usize) -> usize {
+            self.k
+        }
+        fn local_log_potential(&self, site: usize, candidate: usize, state: &[usize]) -> f64 {
+            let mut v = if candidate == self.prefs[site] {
+                self.unary
+            } else {
+                0.0
+            };
+            if site > 0 && state[site - 1] == candidate {
+                v += self.coupling;
+            }
+            if site + 1 < state.len() && state[site + 1] == candidate {
+                v += self.coupling;
+            }
+            v
+        }
+    }
+
+    #[test]
+    fn icm_reaches_unary_optimum_without_coupling() {
+        let model = Chain {
+            prefs: vec![2, 0, 1, 1, 0],
+            k: 3,
+            unary: 1.0,
+            coupling: 0.0,
+        };
+        let mut state = vec![0; 5];
+        icm_sweep(&model, &mut state);
+        assert_eq!(state, vec![2, 0, 1, 1, 0]);
+        // A second sweep changes nothing.
+        assert_eq!(icm_sweep(&model, &mut state), 0);
+    }
+
+    #[test]
+    fn coupling_smooths_isolated_dissent() {
+        // Strong coupling: starting from the all-zero labelling, the middle
+        // site's unary preference for label 1 is overruled by both
+        // neighbours (coupling 2+2 beats unary 0.5), so ICM keeps it 0.
+        let model = Chain {
+            prefs: vec![0, 1, 0, 0, 0],
+            k: 2,
+            unary: 0.5,
+            coupling: 2.0,
+        };
+        let mut state = vec![0, 0, 0, 0, 0];
+        let changed = icm_sweep(&model, &mut state);
+        assert_eq!(changed, 0);
+        assert_eq!(state, vec![0, 0, 0, 0, 0]);
+
+        // With weak coupling the unary preference wins instead.
+        let weak = Chain {
+            prefs: vec![0, 1, 0, 0, 0],
+            k: 2,
+            unary: 0.5,
+            coupling: 0.1,
+        };
+        let mut state = vec![0, 0, 0, 0, 0];
+        icm_sweep(&weak, &mut state);
+        assert_eq!(state, vec![0, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn gibbs_mixes_toward_mode() {
+        let model = Chain {
+            prefs: vec![1; 12],
+            k: 2,
+            unary: 2.0,
+            coupling: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut state = vec![0; 12];
+        for _ in 0..50 {
+            gibbs_sweep(&model, &mut state, 1.0, &mut rng);
+        }
+        let ones = state.iter().filter(|&&s| s == 1).count();
+        assert!(ones >= 10, "state {state:?}");
+    }
+
+    #[test]
+    fn low_temperature_gibbs_is_greedy() {
+        let model = Chain {
+            prefs: vec![1, 1, 1, 1],
+            k: 2,
+            unary: 1.0,
+            coupling: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut state = vec![0; 4];
+        gibbs_sweep(&model, &mut state, 1e-6, &mut rng);
+        assert_eq!(state, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn annealing_finds_global_mode_despite_bad_init() {
+        let model = Chain {
+            prefs: vec![1; 20],
+            k: 4,
+            unary: 1.5,
+            coupling: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut state: Vec<usize> = (0..20).map(|i| i % 4).collect();
+        simulated_annealing(&model, &mut state, &AnnealSchedule::default(), &mut rng);
+        assert_eq!(state, vec![1; 20]);
+    }
+
+    #[test]
+    fn single_candidate_sites_are_skipped() {
+        struct Fixed;
+        impl ConditionalModel for Fixed {
+            fn num_sites(&self) -> usize {
+                3
+            }
+            fn num_candidates(&self, _s: usize) -> usize {
+                1
+            }
+            fn local_log_potential(&self, _s: usize, _c: usize, _st: &[usize]) -> f64 {
+                0.0
+            }
+        }
+        let mut state = vec![0; 3];
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(gibbs_sweep(&Fixed, &mut state, 1.0, &mut rng), 0);
+        assert_eq!(icm_sweep(&Fixed, &mut state), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Probabilistic graphical model toolkit.
+//!
+//! The C2MN paper builds on machinery that has no Rust OSS equivalent (the
+//! authors used CRF++ as scaffolding). This crate provides it:
+//!
+//! * [`hmm`] — discrete hidden Markov models with counting-based estimation
+//!   and Viterbi decoding (the paper's HMM+DC and SAP baselines),
+//! * [`chain_crf`] — a linear-chain conditional random field trained by
+//!   exact forward–backward gradients with L-BFGS (the classic CMN of
+//!   §II-B; also used to sanity-check the learning stack),
+//! * [`gibbs`] — Markov-blanket samplers over a [`ConditionalModel`]:
+//!   Gibbs sweeps, iterated conditional modes (ICM) and simulated
+//!   annealing, the inference workhorses of C2MN's alternate learning and
+//!   joint decoding,
+//! * [`util`] — numerically stable log-space helpers.
+
+#![deny(missing_docs)]
+
+pub mod chain_crf;
+pub mod gibbs;
+pub mod hmm;
+pub mod util;
+
+pub use chain_crf::{ChainCrf, ChainCrfConfig};
+pub use gibbs::{gibbs_sweep, icm_sweep, simulated_annealing, AnnealSchedule, ConditionalModel};
+pub use hmm::{Hmm, HmmConfig};
+pub use util::{log_sum_exp, sample_from_log_weights};

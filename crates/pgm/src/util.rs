@@ -1,0 +1,90 @@
+//! Numerically stable log-space helpers.
+
+use rand::Rng;
+
+/// Computes `log Σ exp(xᵢ)` without overflow.
+///
+/// Returns `f64::NEG_INFINITY` for an empty slice.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m;
+    }
+    let s: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+/// Samples an index from the categorical distribution proportional to
+/// `exp(log_weights)`.
+///
+/// Entries of `f64::NEG_INFINITY` have probability zero. Panics on an empty
+/// slice or when every weight is `-∞`.
+pub fn sample_from_log_weights<R: Rng + ?Sized>(log_weights: &[f64], rng: &mut R) -> usize {
+    assert!(!log_weights.is_empty(), "empty categorical distribution");
+    let m = log_weights
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        m.is_finite(),
+        "categorical distribution has no finite weight"
+    );
+    let total: f64 = log_weights.iter().map(|&w| (w - m).exp()).sum();
+    let mut u = rng.random::<f64>() * total;
+    for (i, &w) in log_weights.iter().enumerate() {
+        u -= (w - m).exp();
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    log_weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log_sum_exp_matches_naive_for_small_values() {
+        let xs: [f64; 3] = [0.1, -0.5, 1.2];
+        let naive: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_survives_large_values() {
+        let xs = [1000.0, 1000.0];
+        assert!((log_sum_exp(&xs) - (1000.0 + 2.0f64.ln())).abs() < 1e-9);
+        let xs = [-1000.0, -1000.0];
+        assert!((log_sum_exp(&xs) - (-1000.0 + 2.0f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_inf() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn sampling_follows_distribution() {
+        let lw = [0.0f64.ln(), 1.0f64.ln(), 3.0f64.ln()]; // probs 0, 1/4, 3/4
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[sample_from_log_weights(&lw, &mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let p2 = counts[2] as f64 / 4000.0;
+        assert!((p2 - 0.75).abs() < 0.05, "p2 = {p2}");
+    }
+
+    #[test]
+    fn neg_inf_entries_never_sampled() {
+        let lw = [f64::NEG_INFINITY, 0.0, f64::NEG_INFINITY];
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(sample_from_log_weights(&lw, &mut rng), 1);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Semantics-oriented top-k queries over annotated m-semantics (§V-B4).
+//!
+//! * [`SemanticsStore`] — per-object m-semantics sequences,
+//! * [`tk_prq`] — **Top-k Popular Region Query**: the `k` regions from a
+//!   query set with the most visits (a visit = a stay event overlapping the
+//!   query time interval),
+//! * [`tk_frpq`] — **Top-k Frequent Region Pair Query**: the `k` region
+//!   pairs most frequently visited by the same object.
+//!
+//! Ties are broken by region id so results are deterministic.
+
+#![deny(missing_docs)]
+
+use ism_indoor::RegionId;
+use ism_mobility::{MobilityEvent, MobilitySemantics, TimePeriod};
+use std::collections::HashMap;
+
+/// M-semantics of a set of objects, the input to the semantic queries.
+#[derive(Debug, Clone, Default)]
+pub struct SemanticsStore {
+    objects: Vec<(u64, Vec<MobilitySemantics>)>,
+}
+
+impl SemanticsStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one object's annotated m-semantics sequence.
+    pub fn insert(&mut self, object_id: u64, semantics: Vec<MobilitySemantics>) {
+        self.objects.push((object_id, semantics));
+    }
+
+    /// Number of objects stored.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterates over `(object, m-semantics)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = &(u64, Vec<MobilitySemantics>)> {
+        self.objects.iter()
+    }
+
+    /// All visits (stay m-semantics overlapping `qt`) of an object,
+    /// restricted to the query region set.
+    fn visits<'q>(
+        &self,
+        entry: &'q [MobilitySemantics],
+        query: &'q [RegionId],
+        qt: &'q TimePeriod,
+    ) -> impl Iterator<Item = RegionId> + 'q {
+        entry.iter().filter_map(move |ms| {
+            (ms.event == MobilityEvent::Stay
+                && ms.period.overlaps(qt)
+                && query.contains(&ms.region))
+            .then_some(ms.region)
+        })
+    }
+}
+
+/// Top-k Popular Region Query: the `k` regions of `query` with the most
+/// visits within `qt`, with visit counts, ordered by count descending then
+/// region id.
+pub fn tk_prq(
+    store: &SemanticsStore,
+    query: &[RegionId],
+    k: usize,
+    qt: TimePeriod,
+) -> Vec<(RegionId, usize)> {
+    let mut counts: HashMap<RegionId, usize> = HashMap::new();
+    for (_, semantics) in store.iter() {
+        for region in store.visits(semantics, query, &qt) {
+            *counts.entry(region).or_insert(0) += 1;
+        }
+    }
+    let mut ranked: Vec<(RegionId, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+/// Top-k Frequent Region Pair Query: the `k` unordered region pairs from
+/// `query × query` that the most objects visited (stayed at both) within
+/// `qt`, with object counts.
+pub fn tk_frpq(
+    store: &SemanticsStore,
+    query: &[RegionId],
+    k: usize,
+    qt: TimePeriod,
+) -> Vec<((RegionId, RegionId), usize)> {
+    let mut counts: HashMap<(RegionId, RegionId), usize> = HashMap::new();
+    for (_, semantics) in store.iter() {
+        // Distinct visited regions of this object.
+        let mut visited: Vec<RegionId> = Vec::new();
+        for region in store.visits(semantics, query, &qt) {
+            if !visited.contains(&region) {
+                visited.push(region);
+            }
+        }
+        visited.sort_unstable();
+        for i in 0..visited.len() {
+            for j in i + 1..visited.len() {
+                *counts.entry((visited[i], visited[j])).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut ranked: Vec<((RegionId, RegionId), usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MobilityEvent::{Pass, Stay};
+
+    fn ms(region: u32, start: f64, end: f64, event: MobilityEvent) -> MobilitySemantics {
+        MobilitySemantics {
+            region: RegionId(region),
+            period: TimePeriod::new(start, end),
+            event,
+        }
+    }
+
+    fn sample_store() -> SemanticsStore {
+        let mut store = SemanticsStore::new();
+        // Object 1 stays in R0 and R1, passes R2.
+        store.insert(
+            1,
+            vec![
+                ms(0, 0.0, 100.0, Stay),
+                ms(2, 100.0, 110.0, Pass),
+                ms(1, 110.0, 200.0, Stay),
+            ],
+        );
+        // Object 2 stays in R0 twice and R2 once.
+        store.insert(
+            2,
+            vec![
+                ms(0, 0.0, 50.0, Stay),
+                ms(2, 60.0, 80.0, Stay),
+                ms(0, 90.0, 120.0, Stay),
+            ],
+        );
+        // Object 3 only passes.
+        store.insert(3, vec![ms(0, 0.0, 300.0, Pass)]);
+        store
+    }
+
+    #[test]
+    fn prq_counts_stays_only() {
+        let store = sample_store();
+        let query: Vec<RegionId> = (0..3).map(RegionId).collect();
+        let qt = TimePeriod::new(0.0, 300.0);
+        let top = tk_prq(&store, &query, 3, qt);
+        // R0: obj1 once + obj2 twice = 3 visits; R2: 1; R1: 1.
+        assert_eq!(top[0], (RegionId(0), 3));
+        assert_eq!(top.len(), 3);
+        assert!(top[1..].iter().all(|&(_, c)| c == 1));
+    }
+
+    #[test]
+    fn prq_respects_time_interval() {
+        let store = sample_store();
+        let query: Vec<RegionId> = (0..3).map(RegionId).collect();
+        // Only the tail: object 1's R1 stay and object 2's second R0 stay.
+        let top = tk_prq(&store, &query, 3, TimePeriod::new(115.0, 300.0));
+        assert!(top.contains(&(RegionId(1), 1)));
+        assert!(top.contains(&(RegionId(0), 1)));
+        assert!(!top.iter().any(|&(r, _)| r == RegionId(2)));
+    }
+
+    #[test]
+    fn prq_respects_query_set() {
+        let store = sample_store();
+        let top = tk_prq(
+            &store,
+            &[RegionId(1), RegionId(2)],
+            5,
+            TimePeriod::new(0.0, 300.0),
+        );
+        assert!(!top.iter().any(|&(r, _)| r == RegionId(0)));
+    }
+
+    #[test]
+    fn frpq_counts_objects_per_pair() {
+        let store = sample_store();
+        let query: Vec<RegionId> = (0..3).map(RegionId).collect();
+        let top = tk_frpq(&store, &query, 5, TimePeriod::new(0.0, 300.0));
+        // Object 1 visited {R0, R1}; object 2 visited {R0, R2}.
+        assert!(top.contains(&((RegionId(0), RegionId(1)), 1)));
+        assert!(top.contains(&((RegionId(0), RegionId(2)), 1)));
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn frpq_counts_object_once_per_pair() {
+        let mut store = SemanticsStore::new();
+        // One object visits R0 and R1 repeatedly: the pair still counts 1.
+        store.insert(
+            7,
+            vec![
+                ms(0, 0.0, 10.0, Stay),
+                ms(1, 20.0, 30.0, Stay),
+                ms(0, 40.0, 50.0, Stay),
+                ms(1, 60.0, 70.0, Stay),
+            ],
+        );
+        let query = vec![RegionId(0), RegionId(1)];
+        let top = tk_frpq(&store, &query, 5, TimePeriod::new(0.0, 100.0));
+        assert_eq!(top, vec![((RegionId(0), RegionId(1)), 1)]);
+    }
+
+    #[test]
+    fn empty_store_returns_empty() {
+        let store = SemanticsStore::new();
+        assert!(store.is_empty());
+        let query = vec![RegionId(0)];
+        assert!(tk_prq(&store, &query, 3, TimePeriod::new(0.0, 1.0)).is_empty());
+        assert!(tk_frpq(&store, &query, 3, TimePeriod::new(0.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let store = sample_store();
+        let query: Vec<RegionId> = (0..3).map(RegionId).collect();
+        let a = tk_prq(&store, &query, 3, TimePeriod::new(0.0, 300.0));
+        let b = tk_prq(&store, &query, 3, TimePeriod::new(0.0, 300.0));
+        assert_eq!(a, b);
+        // R1 and R2 both have one visit: lower id first.
+        assert_eq!(a[1].0, RegionId(1));
+        assert_eq!(a[2].0, RegionId(2));
+    }
+}

@@ -1,0 +1,67 @@
+//! Side-by-side comparison of all annotation methods on one dataset —
+//! a miniature of the paper's Table IV.
+//!
+//! Run with: `cargo run --release --example method_comparison`
+
+use indoor_semantics::baselines::{HmmDcConfig, SapConfig, SmotConfig};
+use indoor_semantics::eval::{AccuracyAccumulator, PAPER_LAMBDA};
+use indoor_semantics::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let venue = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+    let dataset = Dataset::generate(
+        "cmp",
+        &venue,
+        SimulationConfig::quick(),
+        PositioningConfig::synthetic(10.0, 2.5),
+        None,
+        14,
+        &mut rng,
+    );
+    let (train, test) = dataset.split(0.7, &mut rng);
+
+    let smot = Smot::new(&venue, SmotConfig::default());
+    let hmm_dc = HmmDc::train(&venue, &train, HmmDcConfig::default());
+    let sapdv = SapDv::new(&venue, SapConfig::default());
+    let sapda = SapDa::new(&venue, SapConfig::default());
+    let cmn = C2mn::train(
+        &venue,
+        &train,
+        &C2mnConfig::quick_test().with_structure(ModelStructure::cmn()),
+        &mut rng,
+    )
+    .unwrap();
+    let c2mn = C2mn::train(&venue, &train, &C2mnConfig::quick_test(), &mut rng).unwrap();
+
+    println!(
+        "{:<8} {:>6} {:>6} {:>6} {:>6}",
+        "method", "RA", "EA", "CA", "PA"
+    );
+    let eval = |name: &str, label: &mut dyn FnMut(&[_]) -> Vec<(_, _)>| {
+        let mut acc = AccuracyAccumulator::new();
+        for seq in &test {
+            let records: Vec<_> = seq.positioning().collect();
+            acc.add(&label(&records), seq.truth_labels());
+        }
+        let m = acc.finish();
+        println!(
+            "{:<8} {:>6.3} {:>6.3} {:>6.3} {:>6.3}",
+            name,
+            m.region,
+            m.event,
+            m.combined(PAPER_LAMBDA),
+            m.perfect
+        );
+    };
+    eval("SMoT", &mut |r| smot.label(r));
+    eval("HMM+DC", &mut |r| hmm_dc.label(r));
+    eval("SAPDV", &mut |r| sapdv.label(r));
+    eval("SAPDA", &mut |r| sapda.label(r));
+    let mut rng2 = StdRng::seed_from_u64(4);
+    eval("CMN", &mut |r| cmn.label(r, &mut rng2));
+    let mut rng3 = StdRng::seed_from_u64(4);
+    eval("C2MN", &mut |r| c2mn.label(r, &mut rng3));
+}

@@ -1,0 +1,75 @@
+//! Quickstart: generate a venue, simulate labelled mobility data, train a
+//! C2MN, and annotate a test sequence with m-semantics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use indoor_semantics::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. A small synthetic office venue (6 shops around a corridor).
+    let venue = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+    println!(
+        "venue: {} regions, {} partitions, {} doors",
+        venue.regions().len(),
+        venue.partitions().len(),
+        venue.doors().len()
+    );
+
+    // 2. Simulate objects and observe them with a noisy positioning system.
+    let dataset = Dataset::generate(
+        "quickstart",
+        &venue,
+        SimulationConfig::quick(),
+        PositioningConfig::synthetic(8.0, 2.0),
+        None,
+        10,
+        &mut rng,
+    );
+    let (train, test) = dataset.split(0.7, &mut rng);
+    println!(
+        "dataset: {} train / {} test sequences, {} records total",
+        train.len(),
+        test.len(),
+        dataset.stats().num_records
+    );
+
+    // 3. Train the coupled conditional Markov network (Algorithm 1).
+    let config = C2mnConfig::quick_test();
+    let model = C2mn::train(&venue, &train, &config, &mut rng).unwrap();
+    println!(
+        "trained in {:.2}s over {} iterations (converged: {})",
+        model.report().train_seconds,
+        model.report().iterations,
+        model.report().converged
+    );
+    println!("weights: {:?}", model.weights().0);
+
+    // 4. Annotate a test sequence and measure accuracy.
+    let seq = &test[0];
+    let records: Vec<_> = seq.positioning().collect();
+    let semantics = model.annotate(&records, &mut rng);
+    println!("\nm-semantics of object {}:", seq.object_id);
+    for ms in &semantics {
+        let name = &venue.region(ms.region).name;
+        println!(
+            "  {:>7.0}s – {:>7.0}s  {:<14} {:?}",
+            ms.period.start, ms.period.end, name, ms.event
+        );
+    }
+
+    let labels = model.label(&records, &mut rng);
+    let mut acc = indoor_semantics::eval::AccuracyAccumulator::new();
+    acc.add(&labels, seq.truth_labels());
+    let m = acc.finish();
+    println!(
+        "\naccuracy on this sequence: RA={:.3} EA={:.3} CA={:.3} PA={:.3}",
+        m.region,
+        m.event,
+        combined_accuracy(&m, indoor_semantics::eval::PAPER_LAMBDA),
+        perfect_accuracy(&m)
+    );
+}

@@ -1,0 +1,72 @@
+//! The paper's Figure 1 scenario: a tourist wandering a station-like venue.
+//!
+//! We follow a single object, print its raw positioning records, and show
+//! how C2MN turns them into when-where-what m-semantics, including the
+//! stay/pass distinction at the same region.
+//!
+//! Run with: `cargo run --release --example station_tour`
+
+use indoor_semantics::mobility::{PositioningSampler, Simulator};
+use indoor_semantics::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let venue = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+
+    // Training corpus.
+    let dataset = Dataset::generate(
+        "station",
+        &venue,
+        SimulationConfig::quick(),
+        PositioningConfig::synthetic(10.0, 2.0),
+        None,
+        10,
+        &mut rng,
+    );
+    let model = C2mn::train(&venue, &dataset.sequences, &C2mnConfig::quick_test(), &mut rng)
+        .unwrap();
+
+    // One fresh "tourist" trajectory.
+    let sim = Simulator::new(&venue, SimulationConfig::quick());
+    let tour = sim.simulate_object(99, &mut rng);
+    let sampler = PositioningSampler::new(&venue, PositioningConfig::synthetic(10.0, 2.0));
+    let observed = sampler.observe(&tour, &mut rng);
+    let records: Vec<_> = observed.positioning().collect();
+
+    println!("raw positioning records (first 10 of {}):", records.len());
+    for r in records.iter().take(10) {
+        println!(
+            "  ({:6.2}, {:6.2}, F{})  t={:.0}s",
+            r.location.xy.x, r.location.xy.y, r.location.floor, r.t
+        );
+    }
+
+    let semantics = model.annotate(&records, &mut rng);
+    println!("\nannotated m-semantics (what the analyst sees):");
+    for ms in &semantics {
+        println!(
+            "  ({:<14} {:>6.0}s – {:>6.0}s, {:?})",
+            venue.region(ms.region).name,
+            ms.period.start,
+            ms.period.end,
+            ms.event
+        );
+    }
+
+    // Ground-truth comparison.
+    let truth: Vec<_> = observed.truth_labels().collect();
+    let times: Vec<f64> = records.iter().map(|r| r.t).collect();
+    let true_ms = indoor_semantics::mobility::merge_labels(&times, &truth);
+    println!("\nground truth ({} m-semantics):", true_ms.len());
+    for ms in &true_ms {
+        println!(
+            "  ({:<14} {:>6.0}s – {:>6.0}s, {:?})",
+            venue.region(ms.region).name,
+            ms.period.start,
+            ms.period.end,
+            ms.event
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! # indoor-semantics
+//!
+//! A full reproduction of *"Indoor Mobility Semantics Annotation Using
+//! Coupled Conditional Markov Networks"* (Li, Lu, Cheema, Shou, Chen —
+//! ICDE 2020) as a Rust workspace.
+//!
+//! This façade crate re-exports the public API of every workspace member so
+//! downstream users can depend on a single crate:
+//!
+//! * [`geometry`] — 2-D kernel (circle–rectangle intersection areas, turns).
+//! * [`indoor`] — floorplans, partitions/doors, semantic regions,
+//!   accessibility graph and minimum indoor walking distance (MIWD).
+//! * [`mobility`] — random-waypoint indoor mobility simulator, positioning
+//!   error models, p-sequence preprocessing.
+//! * [`cluster`] — ST-DBSCAN spatio-temporal clustering.
+//! * [`optim`] — L-BFGS with line search.
+//! * [`pgm`] — probabilistic graphical model toolkit (HMM, linear-chain CRF,
+//!   Gibbs/ICM inference).
+//! * [`c2mn`] — the paper's coupled conditional Markov network: feature
+//!   functions, alternate learning (Algorithm 1), joint decoding,
+//!   label-and-merge, and all structural variants.
+//! * [`baselines`] — SMoT, HMM+DC, SAPDV, SAPDA.
+//! * [`queries`] — TkPRQ / TkFRPQ top-k semantic queries.
+//! * [`eval`] — RA/EA/CA/PA metrics, splits, cross-validation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use indoor_semantics::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // 1. Build a small synthetic venue and simulate labelled mobility data.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let venue = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+//! let dataset = Dataset::generate(
+//!     "demo",
+//!     &venue,
+//!     SimulationConfig::quick(),
+//!     PositioningConfig::synthetic(8.0, 2.0),
+//!     None,
+//!     4,
+//!     &mut rng,
+//! );
+//!
+//! // 2. Train the coupled model on ground-truth labels.
+//! let config = C2mnConfig::quick_test();
+//! let model = C2mn::train(&venue, &dataset.sequences, &config, &mut rng).unwrap();
+//!
+//! // 3. Annotate a sequence into m-semantics.
+//! let records: Vec<PositioningRecord> = dataset.sequences[0].positioning().collect();
+//! let annotated = model.annotate(&records, &mut rng);
+//! for ms in &annotated {
+//!     println!(
+//!         "{:?} during [{}, {}] at region {}",
+//!         ms.event, ms.period.start, ms.period.end, ms.region.0
+//!     );
+//! }
+//! assert!(!annotated.is_empty());
+//! ```
+
+#![deny(missing_docs)]
+
+pub use ism_baselines as baselines;
+pub use ism_c2mn as c2mn;
+pub use ism_cluster as cluster;
+pub use ism_eval as eval;
+pub use ism_geometry as geometry;
+pub use ism_indoor as indoor;
+pub use ism_mobility as mobility;
+pub use ism_optim as optim;
+pub use ism_pgm as pgm;
+pub use ism_queries as queries;
+
+/// Convenience prelude importing the most frequently used types.
+pub mod prelude {
+    pub use ism_baselines::{HmmDc, SapDa, SapDv, Smot};
+    pub use ism_c2mn::{C2mn, C2mnConfig, ModelStructure};
+    pub use ism_cluster::{DensityClass, StDbscan, StDbscanParams};
+    pub use ism_eval::{combined_accuracy, perfect_accuracy, LabelAccuracy};
+    pub use ism_geometry::{Circle, Point2, Rect};
+    pub use ism_indoor::{BuildingGenerator, IndoorSpace, PartitionId, RegionId};
+    pub use ism_mobility::{
+        Dataset, MobilityEvent, MobilitySemantics, PositioningConfig, PositioningRecord,
+        SimulationConfig, Simulator,
+    };
+    pub use ism_queries::{tk_frpq, tk_prq, SemanticsStore};
+}

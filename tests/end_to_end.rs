@@ -1,0 +1,187 @@
+//! Cross-crate integration tests: the full pipeline from venue generation
+//! through simulation, training, annotation, and querying.
+
+use indoor_semantics::baselines::{HmmDcConfig, SapConfig, SmotConfig};
+use indoor_semantics::eval::{AccuracyAccumulator, PAPER_LAMBDA};
+use indoor_semantics::mobility::{merge_labels, TimePeriod};
+use indoor_semantics::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pipeline(seed: u64) -> (IndoorSpace, Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let venue = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+    let dataset = Dataset::generate(
+        "it",
+        &venue,
+        SimulationConfig::quick(),
+        PositioningConfig::synthetic(8.0, 1.5),
+        None,
+        10,
+        &mut rng,
+    );
+    (venue, dataset)
+}
+
+#[test]
+fn c2mn_beats_decoupled_variants_on_perfect_accuracy() {
+    let (venue, dataset) = pipeline(1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let (train, test) = dataset.split(0.7, &mut rng);
+
+    let full = C2mn::train(&venue, &train, &C2mnConfig::quick_test(), &mut rng).unwrap();
+    let cmn = C2mn::train(
+        &venue,
+        &train,
+        &C2mnConfig::quick_test().with_structure(ModelStructure::cmn()),
+        &mut rng,
+    )
+    .unwrap();
+
+    let measure = |model: &C2mn, seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut acc = AccuracyAccumulator::new();
+        for seq in &test {
+            let records: Vec<_> = seq.positioning().collect();
+            acc.add(&model.label(&records, &mut rng), seq.truth_labels());
+        }
+        acc.finish()
+    };
+    let full_acc = measure(&full, 3);
+    let cmn_acc = measure(&cmn, 3);
+    // Coupled inference should help (or at least not catastrophically
+    // hurt) perfect accuracy relative to the decoupled CMN.
+    assert!(
+        full_acc.perfect + 0.1 >= cmn_acc.perfect,
+        "full {} vs cmn {}",
+        full_acc.perfect,
+        cmn_acc.perfect
+    );
+    assert!(full_acc.combined(PAPER_LAMBDA) > 0.5);
+}
+
+#[test]
+fn every_method_produces_aligned_labels() {
+    let (venue, dataset) = pipeline(4);
+    let mut rng = StdRng::seed_from_u64(5);
+    let (train, test) = dataset.split(0.7, &mut rng);
+
+    let smot = Smot::new(&venue, SmotConfig::default());
+    let hmm_dc = HmmDc::train(&venue, &train, HmmDcConfig::default());
+    let sapdv = SapDv::new(&venue, SapConfig::default());
+    let sapda = SapDa::new(&venue, SapConfig::default());
+    let c2mn = C2mn::train(&venue, &train, &C2mnConfig::quick_test(), &mut rng).unwrap();
+
+    for seq in &test {
+        let records: Vec<_> = seq.positioning().collect();
+        for labels in [
+            smot.label(&records),
+            hmm_dc.label(&records),
+            sapdv.label(&records),
+            sapda.label(&records),
+            c2mn.label(&records, &mut rng),
+        ] {
+            assert_eq!(labels.len(), records.len());
+            for (region, _) in &labels {
+                assert!(region.index() < venue.regions().len());
+            }
+        }
+    }
+}
+
+#[test]
+fn annotation_round_trip_preserves_record_coverage() {
+    let (venue, dataset) = pipeline(6);
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = C2mn::train(&venue, &dataset.sequences, &C2mnConfig::quick_test(), &mut rng)
+        .unwrap();
+    for seq in dataset.sequences.iter().take(3) {
+        let records: Vec<_> = seq.positioning().collect();
+        let ms = model.annotate(&records, &mut rng);
+        // Every record timestamp is covered by exactly one m-semantics.
+        for r in &records {
+            let covering = ms.iter().filter(|m| m.period.contains(r.t)).count();
+            assert_eq!(covering, 1, "record at t={} covered {covering}x", r.t);
+        }
+    }
+}
+
+#[test]
+fn queries_on_ground_truth_are_self_consistent() {
+    let (venue, dataset) = pipeline(8);
+    let mut store = SemanticsStore::new();
+    for seq in &dataset.sequences {
+        let times: Vec<f64> = seq.records.iter().map(|r| r.record.t).collect();
+        let labels: Vec<_> = seq.truth_labels().collect();
+        store.insert(seq.object_id, merge_labels(&times, &labels));
+    }
+    let shops: Vec<_> = venue
+        .regions()
+        .iter()
+        .filter(|r| r.is_destination())
+        .map(|r| r.id)
+        .collect();
+    let qt = TimePeriod::new(0.0, SimulationConfig::quick().duration);
+    let prq = tk_prq(&store, &shops, 5, qt);
+    // Visits exist and are ordered by count.
+    assert!(!prq.is_empty());
+    for w in prq.windows(2) {
+        assert!(w[0].1 >= w[1].1);
+    }
+    // Region pairs are consistent with individual visit counts.
+    let frpq = tk_frpq(&store, &shops, 5, qt);
+    for ((a, b), support) in frpq {
+        assert!(a < b);
+        let va = prq.iter().find(|(r, _)| *r == a).map(|x| x.1);
+        if let Some(va) = va {
+            assert!(support <= va, "pair support exceeds visit count");
+        }
+    }
+}
+
+#[test]
+fn training_is_deterministic_given_seed() {
+    let (venue, dataset) = pipeline(9);
+    let a = C2mn::train(
+        &venue,
+        &dataset.sequences,
+        &C2mnConfig::quick_test(),
+        &mut StdRng::seed_from_u64(10),
+    )
+    .unwrap();
+    let b = C2mn::train(
+        &venue,
+        &dataset.sequences,
+        &C2mnConfig::quick_test(),
+        &mut StdRng::seed_from_u64(10),
+    )
+    .unwrap();
+    assert_eq!(a.weights().0, b.weights().0);
+}
+
+#[test]
+fn multi_floor_pipeline_works() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let venue = BuildingGenerator::mall().generate(&mut rng).unwrap();
+    let dataset = Dataset::generate(
+        "mall-it",
+        &venue,
+        SimulationConfig::quick(),
+        PositioningConfig::wifi_mall(),
+        None,
+        6,
+        &mut rng,
+    );
+    assert!(!dataset.sequences.is_empty());
+    // Floors beyond 0 are visited.
+    let floors: std::collections::HashSet<u16> = dataset
+        .sequences
+        .iter()
+        .flat_map(|s| s.records.iter().map(|r| r.record.location.floor))
+        .collect();
+    assert!(!floors.is_empty());
+    let model = C2mn::train(&venue, &dataset.sequences, &C2mnConfig::quick_test(), &mut rng)
+        .unwrap();
+    let records: Vec<_> = dataset.sequences[0].positioning().collect();
+    assert_eq!(model.label(&records, &mut rng).len(), records.len());
+}

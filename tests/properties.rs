@@ -1,0 +1,96 @@
+//! Cross-crate property-based tests on pipeline invariants.
+
+use indoor_semantics::mobility::merge_labels;
+use indoor_semantics::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+prop_compose! {
+    /// Random record-level label sequences with plausible time stamps.
+    fn arb_labels()(n in 1usize..60, seed in 0u64..1000)
+        -> (Vec<f64>, Vec<(RegionId, MobilityEvent)>)
+    {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        let mut times = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            t += rng.random_range(1.0..30.0);
+            times.push(t);
+            labels.push((
+                RegionId(rng.random_range(0..5)),
+                if rng.random_bool(0.5) { MobilityEvent::Stay } else { MobilityEvent::Pass },
+            ));
+        }
+        (times, labels)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Label-and-merge: every record is covered exactly once, adjacent
+    /// m-semantics differ, and periods are ordered.
+    #[test]
+    fn merge_labels_invariants((times, labels) in arb_labels()) {
+        let ms = merge_labels(&times, &labels);
+        prop_assert!(!ms.is_empty());
+        for (t, lab) in times.iter().zip(&labels) {
+            let covering: Vec<_> = ms.iter().filter(|m| m.period.contains(*t)).collect();
+            prop_assert_eq!(covering.len(), 1);
+            prop_assert_eq!((covering[0].region, covering[0].event), *lab);
+        }
+        for w in ms.windows(2) {
+            prop_assert!(w[0].period.end < w[1].period.start);
+            prop_assert!(w[0].region != w[1].region || w[0].event != w[1].event);
+        }
+    }
+
+    /// MIWD over generated venues is a metric-like distance: non-negative,
+    /// symmetric, and at least the Euclidean distance.
+    #[test]
+    fn miwd_metric_properties(seed in 0u64..50,
+                              ax in 0.05f64..0.95, ay in 0.05f64..0.95,
+                              bx in 0.05f64..0.95, by in 0.05f64..0.95,
+                              pa in 0usize..12, pb in 0usize..12) {
+        let venue = BuildingGenerator::small_office()
+            .generate(&mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let parts = venue.partitions();
+        let p1 = &parts[pa % parts.len()];
+        let p2 = &parts[pb % parts.len()];
+        let a = indoor_semantics::indoor::IndoorPoint::new(p1.floor, p1.rect.at(ax, ay));
+        let b = indoor_semantics::indoor::IndoorPoint::new(p2.floor, p2.rect.at(bx, by));
+        let d_ab = venue.miwd(&a, &b);
+        let d_ba = venue.miwd(&b, &a);
+        prop_assert!(d_ab >= 0.0);
+        prop_assert!((d_ab - d_ba).abs() < 1e-6, "asymmetric: {d_ab} vs {d_ba}");
+        if a.floor == b.floor {
+            prop_assert!(d_ab + 1e-9 >= a.planar_distance(&b),
+                "MIWD {d_ab} below Euclidean {}", a.planar_distance(&b));
+        }
+        // Identity of indiscernibles (same point).
+        prop_assert!(venue.miwd(&a, &a).abs() < 1e-12);
+    }
+
+    /// The simulator's ground truth is always consistent: labels match the
+    /// region containing the true position, and stays are destinations.
+    #[test]
+    fn simulator_truth_is_consistent(seed in 0u64..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let venue = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+        let sim = indoor_semantics::mobility::Simulator::new(
+            &venue,
+            SimulationConfig::quick(),
+        );
+        let traj = sim.simulate_object(0, &mut rng);
+        for p in &traj.points {
+            prop_assert_eq!(venue.region_at(&p.location), Some(p.region));
+            if p.event == MobilityEvent::Stay {
+                prop_assert!(venue.region(p.region).is_destination());
+            }
+        }
+    }
+}
