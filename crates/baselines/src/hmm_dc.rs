@@ -43,11 +43,7 @@ pub struct HmmDc<'a> {
 
 impl<'a> HmmDc<'a> {
     /// Trains the HMM by frequency counting over labelled sequences.
-    pub fn train(
-        space: &'a IndoorSpace,
-        train: &[LabeledSequence],
-        config: HmmDcConfig,
-    ) -> Self {
+    pub fn train(space: &'a IndoorSpace, train: &[LabeledSequence], config: HmmDcConfig) -> Self {
         // Build the observation alphabet from the training data.
         let mut symbols: HashMap<(u16, i32, i32), usize> = HashMap::new();
         let cell = |r: &PositioningRecord| -> (u16, i32, i32) {
@@ -133,7 +129,9 @@ mod tests {
     #[test]
     fn hmm_dc_learns_reasonable_regions() {
         let mut rng = StdRng::seed_from_u64(1);
-        let space = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+        let space = BuildingGenerator::small_office()
+            .generate(&mut rng)
+            .unwrap();
         let dataset = Dataset::generate(
             "d",
             &space,
@@ -164,7 +162,9 @@ mod tests {
     #[test]
     fn unseen_cells_fall_back_to_unknown() {
         let mut rng = StdRng::seed_from_u64(2);
-        let space = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+        let space = BuildingGenerator::small_office()
+            .generate(&mut rng)
+            .unwrap();
         let dataset = Dataset::generate(
             "d",
             &space,

@@ -105,8 +105,7 @@ impl Sap<'_> {
                 let speeds: Vec<f64> = records
                     .windows(2)
                     .map(|w| {
-                        w[0].location.xy.distance(w[1].location.xy)
-                            / (w[1].t - w[0].t).max(1e-6)
+                        w[0].location.xy.distance(w[1].location.xy) / (w[1].t - w[0].t).max(1e-6)
                     })
                     .collect();
                 let mean = if speeds.is_empty() {
@@ -118,7 +117,11 @@ impl Sap<'_> {
                 (0..n)
                     .map(|i| {
                         let left = if i > 0 { Some(speeds[i - 1]) } else { None };
-                        let right = if i < speeds.len() { Some(speeds[i]) } else { None };
+                        let right = if i < speeds.len() {
+                            Some(speeds[i])
+                        } else {
+                            None
+                        };
                         match (left, right) {
                             (Some(a), Some(b)) => a.min(b) < threshold,
                             (Some(a), None) => a < threshold,
@@ -132,12 +135,17 @@ impl Sap<'_> {
                 let half = self.config.window * 0.5;
                 (0..n)
                     .map(|i| {
-                        let (mut min, mut max) =
-                            (records[i].location.xy, records[i].location.xy);
+                        let (mut min, mut max) = (records[i].location.xy, records[i].location.xy);
                         for r in records.iter() {
                             if (r.t - records[i].t).abs() <= half {
-                                min = Point2::new(min.x.min(r.location.xy.x), min.y.min(r.location.xy.y));
-                                max = Point2::new(max.x.max(r.location.xy.x), max.y.max(r.location.xy.y));
+                                min = Point2::new(
+                                    min.x.min(r.location.xy.x),
+                                    min.y.min(r.location.xy.y),
+                                );
+                                max = Point2::new(
+                                    max.x.max(r.location.xy.x),
+                                    max.y.max(r.location.xy.y),
+                                );
                             }
                         }
                         min.distance(max) <= self.config.max_diameter
@@ -222,7 +230,8 @@ impl Sap<'_> {
             let center = IndoorPoint::new(floor, mean);
             // 2σ disk ≈ 95 % of the location mass.
             let circle = Circle::new(mean, 2.0 * sigma);
-            self.space.candidate_regions(&center, 2.0 * sigma + 5.0, &mut buf);
+            self.space
+                .candidate_regions(&center, 2.0 * sigma + 5.0, &mut buf);
             let scores: Vec<f64> = buf
                 .iter()
                 .map(|&r| {
@@ -358,7 +367,11 @@ mod tests {
     #[test]
     fn empty_input() {
         let space = venue();
-        assert!(SapDv::new(&space, SapConfig::default()).label(&[]).is_empty());
-        assert!(SapDa::new(&space, SapConfig::default()).label(&[]).is_empty());
+        assert!(SapDv::new(&space, SapConfig::default())
+            .label(&[])
+            .is_empty());
+        assert!(SapDa::new(&space, SapConfig::default())
+            .label(&[])
+            .is_empty());
     }
 }

@@ -138,8 +138,9 @@ mod tests {
     fn stationary_run_is_a_stay_in_the_right_region() {
         let space = venue();
         let smot = Smot::new(&space, SmotConfig::default());
-        let records: Vec<PositioningRecord> =
-            (0..6).map(|i| rec(&space, 4, 0.1 * i as f64, 15.0 * i as f64)).collect();
+        let records: Vec<PositioningRecord> = (0..6)
+            .map(|i| rec(&space, 4, 0.1 * i as f64, 15.0 * i as f64))
+            .collect();
         let labels = smot.label(&records);
         assert!(labels.iter().all(|l| l.1 == MobilityEvent::Stay));
         let truth = space.partitions()[4].region;
@@ -151,8 +152,9 @@ mod tests {
         let space = venue();
         let smot = Smot::new(&space, SmotConfig::default());
         // 10 m per 5 s = 2 m/s > threshold.
-        let records: Vec<PositioningRecord> =
-            (0..5).map(|i| rec(&space, 2, 10.0 * i as f64, 5.0 * i as f64)).collect();
+        let records: Vec<PositioningRecord> = (0..5)
+            .map(|i| rec(&space, 2, 10.0 * i as f64, 5.0 * i as f64))
+            .collect();
         let labels = smot.label(&records);
         assert!(labels.iter().all(|l| l.1 == MobilityEvent::Pass));
     }

@@ -2,8 +2,8 @@
 //! (60 / 120 / 180 minutes) for all ten methods on the mall dataset.
 
 use ism_bench::{
-    all_methods, annotate_store, f3, mall_dataset, print_table, query_precision,
-    train_c2mn_family, truth_store, Scale, C2MN_VARIANTS,
+    all_methods, annotate_store, f3, mall_dataset, print_table, query_precision, train_c2mn_family,
+    truth_store, Scale, C2MN_VARIANTS,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;

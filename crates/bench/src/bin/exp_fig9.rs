@@ -27,9 +27,5 @@ fn main() {
     let headers: Vec<&str> = std::iter::once("max_iter")
         .chain(C2MN_VARIANTS.iter().map(|(n, _)| *n))
         .collect();
-    print_table(
-        "Figure 9 — training time (s) vs max_iter",
-        &headers,
-        &rows,
-    );
+    print_table("Figure 9 — training time (s) vs max_iter", &headers, &rows);
 }

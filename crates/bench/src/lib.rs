@@ -134,11 +134,15 @@ pub fn vita_space(seed: u64) -> IndoorSpace {
         .unwrap()
 }
 
+/// A labeling closure: per-record (region, event) labels from a p-sequence.
+pub type Labeler<'a> =
+    Box<dyn Fn(&[PositioningRecord], &mut StdRng) -> Vec<(RegionId, MobilityEvent)> + 'a>;
+
 /// A method under evaluation: a name plus a labeling closure.
 pub struct Method<'a> {
     /// Display name matching the paper's tables.
     pub name: &'static str,
-    labeler: Box<dyn Fn(&[PositioningRecord], &mut StdRng) -> Vec<(RegionId, MobilityEvent)> + 'a>,
+    labeler: Labeler<'a>,
 }
 
 impl<'a> Method<'a> {

@@ -135,7 +135,8 @@ impl<'a> SequenceContext<'a> {
             let row: Vec<f64> = cand_buf
                 .iter()
                 .map(|&r| {
-                    let mut val = space.region_circle_overlap(r, rec.location.floor, circle) / denom;
+                    let mut val =
+                        space.region_circle_overlap(r, rec.location.floor, circle) / denom;
                     if config.use_frequency_prior && max_freq > 0.0 {
                         let f = region_freq.get(r.index()).copied().unwrap_or(0.0);
                         val *= f / max_freq;
@@ -262,10 +263,10 @@ mod tests {
         let recs = records(&space);
         let ctx = SequenceContext::build(&space, &config, &recs, &[]);
         assert_eq!(ctx.len(), 8);
-        for i in 0..ctx.len() {
+        for (i, rec) in recs.iter().enumerate() {
             assert!(!ctx.candidates[i].is_empty());
             let nearest = ctx.candidates[i][ctx.nearest_idx[i]];
-            assert_eq!(nearest, space.nearest_region(&recs[i].location));
+            assert_eq!(nearest, space.nearest_region(&rec.location));
             // fsm rows align with candidates and are valid probabilities.
             assert_eq!(ctx.fsm[i].len(), ctx.candidates[i].len());
             for &v in &ctx.fsm[i] {
@@ -331,10 +332,7 @@ mod tests {
         for f in &ctx.fem {
             assert!(f[0] >= f[1], "stay affinity should dominate: {f:?}");
         }
-        assert!(ctx
-            .dbscan_events
-            .iter()
-            .all(|e| *e == MobilityEvent::Stay));
+        assert!(ctx.dbscan_events.iter().all(|e| *e == MobilityEvent::Stay));
     }
 
     #[test]

@@ -229,7 +229,7 @@ mod tests {
         let ctx = walk_ctx(&space, &config, 2.0, 5.0, 4);
         let a = space.regions()[0].id;
         let b = space.regions()[1].id;
-        let alternating = |k: usize| if k % 2 == 0 { a } else { b };
+        let alternating = |k: usize| if k.is_multiple_of(2) { a } else { b };
         let f = ctx.fes(0, 3, Pass, alternating);
         assert!((f[0] - 0.5).abs() < 1e-12, "2 distinct over 4 records");
         let single = ctx.fes(0, 3, Pass, |_| a);

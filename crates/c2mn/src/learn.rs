@@ -70,7 +70,11 @@ impl Objective for Surrogate<'_> {
                 continue;
             }
             // log-sum-exp over {0 (×zero), e_d}.
-            let mut m = if site.zero > 0 { 0.0 } else { f64::NEG_INFINITY };
+            let mut m = if site.zero > 0 {
+                0.0
+            } else {
+                f64::NEG_INFINITY
+            };
             let mut exps: Vec<f64> = Vec::with_capacity(site.deltas.len());
             for df in &site.deltas {
                 let mut e = 0.0;
@@ -205,7 +209,16 @@ pub(crate) fn alternate_learning<R: Rng + ?Sized>(
             let net = CoupledNetwork::new(ctx, &weights);
             let n = ctx.len();
             let mut counts: Vec<Vec<u32>> = (0..n)
-                .map(|i| vec![0u32; if sample_regions { ctx.candidates[i].len() } else { 2 }])
+                .map(|i| {
+                    vec![
+                        0u32;
+                        if sample_regions {
+                            ctx.candidates[i].len()
+                        } else {
+                            2
+                        }
+                    ]
+                })
                 .collect();
             for i in 0..n {
                 let (num_cand, truth_idx) = if sample_regions {
@@ -335,7 +348,9 @@ mod tests {
 
     fn tiny_training_data() -> (ism_indoor::IndoorSpace, Vec<LabeledSequence>) {
         let mut rng = StdRng::seed_from_u64(1);
-        let space = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+        let space = BuildingGenerator::small_office()
+            .generate(&mut rng)
+            .unwrap();
         let dataset = Dataset::generate(
             "train",
             &space,

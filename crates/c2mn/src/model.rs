@@ -3,7 +3,9 @@
 use crate::learn::{alternate_learning, TrainReport};
 use crate::{C2mnConfig, CoupledNetwork, EventSites, RegionSites, SequenceContext, Weights};
 use ism_indoor::{IndoorSpace, RegionId};
-use ism_mobility::{merge_labels, LabeledSequence, MobilityEvent, MobilitySemantics, PositioningRecord};
+use ism_mobility::{
+    merge_labels, LabeledSequence, MobilityEvent, MobilitySemantics, PositioningRecord,
+};
 use ism_pgm::{gibbs_sweep, icm_sweep};
 use rand::Rng;
 use std::fmt;
@@ -126,11 +128,9 @@ impl<'a> C2mn<'a> {
         let n = ctx.len();
 
         let mut region_state: Vec<usize> = ctx.nearest_idx.clone();
-        let mut event_state: Vec<usize> =
-            ctx.dbscan_events.iter().map(|e| e.index()).collect();
-        let mut regions: Vec<RegionId> = (0..n)
-            .map(|i| ctx.candidates[i][region_state[i]])
-            .collect();
+        let mut event_state: Vec<usize> = ctx.dbscan_events.iter().map(|e| e.index()).collect();
+        let mut regions: Vec<RegionId> =
+            (0..n).map(|i| ctx.candidates[i][region_state[i]]).collect();
         let mut events: Vec<MobilityEvent> = ctx.dbscan_events.clone();
 
         // Annealed coupled Gibbs.
@@ -213,7 +213,9 @@ mod tests {
 
     fn pipeline() -> (ism_indoor::IndoorSpace, Dataset) {
         let mut rng = StdRng::seed_from_u64(1);
-        let space = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+        let space = BuildingGenerator::small_office()
+            .generate(&mut rng)
+            .unwrap();
         let dataset = Dataset::generate(
             "d",
             &space,
@@ -293,8 +295,7 @@ mod tests {
     fn from_weights_skips_training() {
         let (space, dataset) = pipeline();
         let mut rng = StdRng::seed_from_u64(5);
-        let model =
-            C2mn::from_weights(&space, C2mnConfig::quick_test(), Weights::uniform(1.0));
+        let model = C2mn::from_weights(&space, C2mnConfig::quick_test(), Weights::uniform(1.0));
         let records: Vec<_> = dataset.sequences[0].positioning().collect();
         let labels = model.label(&records, &mut rng);
         assert_eq!(labels.len(), records.len());

@@ -33,8 +33,7 @@ impl<'c> CoupledNetwork<'c> {
             return self.ctx.fsm[i][c];
         }
         let rec = &self.ctx.records[i];
-        let circle =
-            ism_geometry::Circle::new(rec.location.xy, self.ctx.config.uncertainty_radius);
+        let circle = ism_geometry::Circle::new(rec.location.xy, self.ctx.config.uncertainty_radius);
         self.ctx
             .space
             .region_circle_overlap(region, rec.location.floor, circle)
@@ -161,17 +160,19 @@ impl<'c> CoupledNetwork<'c> {
             let lo = if i == 0 {
                 0
             } else {
-                self.run_around(i - 1, |k, j| region_at(k) == region_at(j)).0
+                self.run_around(i - 1, |k, j| region_at(k) == region_at(j))
+                    .0
             };
             let hi = if i + 1 >= n {
                 n - 1
             } else {
-                self.run_around(i + 1, |k, j| region_at(k) == region_at(j)).1
+                self.run_around(i + 1, |k, j| region_at(k) == region_at(j))
+                    .1
             };
             let mut a = lo;
             while a <= hi {
                 let mut b = a;
-                while b + 1 <= hi && eff(b + 1) == eff(a) {
+                while b < hi && eff(b + 1) == eff(a) {
                     b += 1;
                 }
                 let f = ctx.fss(a, b, &event_at);
@@ -233,7 +234,7 @@ impl<'c> CoupledNetwork<'c> {
             let mut a = lo;
             while a <= hi {
                 let mut b = a;
-                while b + 1 <= hi && eff(b + 1) == eff(a) {
+                while b < hi && eff(b + 1) == eff(a) {
                     b += 1;
                 }
                 let f = ctx.fes(a, b, eff(a), &region_at);
@@ -372,7 +373,7 @@ mod tests {
                 .map(|i| ctx.candidates[i][rng.random_range(0..ctx.candidates[i].len())])
                 .collect();
             let mut events: Vec<MobilityEvent> = (0..ctx.len())
-                .map(|_| MobilityEvent::ALL[rng.random_range(0..2)])
+                .map(|_| MobilityEvent::ALL[rng.random_range(0..MobilityEvent::ALL.len())])
                 .collect();
 
             for _trial in 0..40 {
@@ -398,7 +399,7 @@ mod tests {
 
                 // --- Event flip --------------------------------------
                 let old_e = events[i];
-                let new_e = MobilityEvent::ALL[rng.random_range(0..2)];
+                let new_e = MobilityEvent::ALL[rng.random_range(0..MobilityEvent::ALL.len())];
                 net.event_local_features(i, old_e, |k| regions[k], |k| events[k], &mut f_old);
                 net.event_local_features(i, new_e, |k| regions[k], |k| events[k], &mut f_new);
                 let local_delta = weights.dot(&f_new) - weights.dot(&f_old);

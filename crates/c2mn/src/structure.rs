@@ -156,8 +156,8 @@ impl Weights {
     #[inline]
     pub fn dot(&self, features: &[f64; NUM_FEATURES]) -> f64 {
         let mut s = 0.0;
-        for i in 0..NUM_FEATURES {
-            s += self.0[i] * features[i];
+        for (w, f) in self.0.iter().zip(features) {
+            s += w * f;
         }
         s
     }
@@ -167,7 +167,7 @@ impl Weights {
     pub fn chebyshev(&self, other: &Weights, mask: Option<&[bool; NUM_FEATURES]>) -> f64 {
         let mut m = 0.0f64;
         for i in 0..NUM_FEATURES {
-            if mask.map_or(true, |mk| mk[i]) {
+            if mask.is_none_or(|mk| mk[i]) {
                 m = m.max((self.0[i] - other.0[i]).abs());
             }
         }

@@ -182,6 +182,73 @@ mod tests {
     }
 
     #[test]
+    fn empty_sequences_contribute_nothing() {
+        let mut acc = AccuracyAccumulator::new();
+        acc.add(&[], Vec::new());
+        acc.add(&[], Vec::new());
+        let m = acc.finish();
+        assert_eq!(m.total, 0);
+        assert_eq!(m.region, 0.0);
+        assert_eq!(m.event, 0.0);
+        assert_eq!(m.perfect, 0.0);
+        assert_eq!(m.combined(PAPER_LAMBDA), 0.0);
+    }
+
+    #[test]
+    fn all_correct_is_perfect_on_every_metric() {
+        let mut acc = AccuracyAccumulator::new();
+        let labels = vec![(r(0), Stay), (r(1), Pass), (r(2), Stay), (r(3), Pass)];
+        acc.add(&labels, labels.clone());
+        let m = acc.finish();
+        assert_eq!(m.total, 4);
+        assert_eq!(m.region, 1.0);
+        assert_eq!(m.event, 1.0);
+        assert_eq!(m.perfect, 1.0);
+        assert_eq!(m.combined(PAPER_LAMBDA), 1.0);
+        assert_eq!(combined_accuracy(&m, PAPER_LAMBDA), 1.0);
+        assert_eq!(perfect_accuracy(&m), 1.0);
+    }
+
+    #[test]
+    fn all_wrong_is_zero_on_every_metric() {
+        let mut acc = AccuracyAccumulator::new();
+        let pred = vec![(r(0), Stay), (r(1), Pass)];
+        let truth = vec![(r(5), Pass), (r(6), Stay)];
+        acc.add(&pred, truth);
+        let m = acc.finish();
+        assert_eq!(m.total, 2);
+        assert_eq!(m.region, 0.0);
+        assert_eq!(m.event, 0.0);
+        assert_eq!(m.perfect, 0.0);
+        assert_eq!(m.combined(PAPER_LAMBDA), 0.0);
+    }
+
+    #[test]
+    fn combined_interpolates_between_components() {
+        let m = LabelAccuracy {
+            region: 0.8,
+            event: 0.2,
+            perfect: 0.1,
+            total: 5,
+        };
+        // Endpoints are exactly the components...
+        assert_eq!(m.combined(0.0), m.event);
+        assert_eq!(m.combined(1.0), m.region);
+        // ...and every λ in between stays inside [EA, RA], monotonically.
+        let mut prev = m.combined(0.0);
+        for step in 1..=10 {
+            let ca = m.combined(step as f64 / 10.0);
+            assert!(ca >= m.event - 1e-12 && ca <= m.region + 1e-12);
+            assert!(ca >= prev - 1e-12, "CA must grow with λ when RA > EA");
+            prev = ca;
+        }
+        // The paper's λ = 0.7 leans toward region accuracy.
+        let ca = m.combined(PAPER_LAMBDA);
+        assert!((ca - (0.7 * 0.8 + 0.3 * 0.2)).abs() < 1e-12);
+        assert!((ca - m.region).abs() < (ca - m.event).abs());
+    }
+
+    #[test]
     fn k_folds_partition() {
         let mut rng = StdRng::seed_from_u64(1);
         let folds = k_fold_indices(23, 5, &mut rng);

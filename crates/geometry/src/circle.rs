@@ -253,7 +253,10 @@ mod tests {
         let r = rect(0.0, 0.0, 1.2, 0.9);
         let exact = circle_rect_intersection_area(circle, &r);
         let approx = mc_area(circle, &r, 1_000_000);
-        assert!((exact - approx).abs() < 5e-3, "exact={exact} approx={approx}");
+        assert!(
+            (exact - approx).abs() < 5e-3,
+            "exact={exact} approx={approx}"
+        );
     }
 
     #[test]
@@ -262,7 +265,10 @@ mod tests {
         let r = rect(0.95, -2.0, 3.0, 2.0);
         let exact = circle_rect_intersection_area(circle, &r);
         let approx = mc_area(circle, &r, 4_000_000);
-        assert!((exact - approx).abs() < 5e-3, "exact={exact} approx={approx}");
+        assert!(
+            (exact - approx).abs() < 5e-3,
+            "exact={exact} approx={approx}"
+        );
     }
 
     #[test]

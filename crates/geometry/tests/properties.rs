@@ -4,12 +4,7 @@ use ism_geometry::{circle_rect_intersection_area, Circle, Point2, Rect};
 use proptest::prelude::*;
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    (
-        -50.0f64..50.0,
-        -50.0f64..50.0,
-        0.01f64..40.0,
-        0.01f64..40.0,
-    )
+    (-50.0f64..50.0, -50.0f64..50.0, 0.01f64..40.0, 0.01f64..40.0)
         .prop_map(|(x, y, w, h)| Rect::from_origin_size(x, y, w, h))
 }
 

@@ -35,7 +35,10 @@ impl fmt::Display for IndoorError {
                 write!(f, "door {door} references unknown partition {partition}")
             }
             IndoorError::DanglingRegion { partition, region } => {
-                write!(f, "partition {partition} references unknown region {region}")
+                write!(
+                    f,
+                    "partition {partition} references unknown region {region}"
+                )
             }
             IndoorError::OverlappingPartitions(a, b) => {
                 write!(f, "partitions {a} and {b} overlap with positive area")
@@ -56,7 +59,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = IndoorError::DanglingDoor { door: 3, partition: 99 };
+        let e = IndoorError::DanglingDoor {
+            door: 3,
+            partition: 99,
+        };
         assert!(e.to_string().contains("door 3"));
         let e = IndoorError::InvalidConfig("zero floors".into());
         assert!(e.to_string().contains("zero floors"));

@@ -206,10 +206,8 @@ impl BuildingGenerator {
                     shaft_specs.push((c.width - c.stair_size, floor_h, right_strip, floor_h));
                 }
                 for (sx, sy, strip, door_y) in shaft_specs {
-                    let rid = b.new_region(
-                        &format!("F{floor}-Stair@{:.0}", sx),
-                        RegionKind::Staircase,
-                    );
+                    let rid =
+                        b.new_region(&format!("F{floor}-Stair@{:.0}", sx), RegionKind::Staircase);
                     let shaft = b.add_partition(
                         floor,
                         Rect::from_origin_size(sx, sy, c.stair_size, c.stair_size),
@@ -308,15 +306,15 @@ impl BuildingGenerator {
                     let (x0, w) = (edges[col], edges[col + 1] - edges[col]);
                     // Region: possibly merge with the left neighbour.
                     let region = match prev_region {
-                        Some((rid, count)) if count < 2 && rng.random::<f64>() < c.shop_merge_prob => {
+                        Some((rid, count))
+                            if count < 2 && rng.random::<f64>() < c.shop_merge_prob =>
+                        {
                             prev_region = Some((rid, count + 1));
                             rid
                         }
                         _ => {
-                            let rid = b.new_region(
-                                &format!("F{floor}-Shop{row}-{col}"),
-                                RegionKind::Shop,
-                            );
+                            let rid = b
+                                .new_region(&format!("F{floor}-Shop{row}-{col}"), RegionKind::Shop);
                             prev_region = Some((rid, 1));
                             rid
                         }
@@ -330,9 +328,7 @@ impl BuildingGenerator {
                     // top row opens down, interior rows alternate by column.
                     let (corridor_idx, door_y) = if row == 0 {
                         (0, y0 + c.shop_depth)
-                    } else if row == c.shop_rows - 1 {
-                        (row - 1, y0)
-                    } else if col % 2 == 0 {
+                    } else if row == c.shop_rows - 1 || col % 2 == 0 {
                         (row - 1, y0)
                     } else {
                         (row, y0 + c.shop_depth)
@@ -444,7 +440,9 @@ mod tests {
     #[test]
     fn small_office_is_connected() {
         let mut rng = StdRng::seed_from_u64(1);
-        let space = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+        let space = BuildingGenerator::small_office()
+            .generate(&mut rng)
+            .unwrap();
         assert!(space.door_graph().is_connected());
         assert_eq!(space.floor_count(), 1);
         let shops = space
@@ -476,8 +474,16 @@ mod tests {
         let space = BuildingGenerator::vita_like().generate(&mut rng).unwrap();
         assert!(space.door_graph().is_connected());
         assert_eq!(space.floor_count(), 10);
-        assert!(space.partitions().len() >= 800, "partitions = {}", space.partitions().len());
-        assert!(space.regions().len() >= 350, "regions = {}", space.regions().len());
+        assert!(
+            space.partitions().len() >= 800,
+            "partitions = {}",
+            space.partitions().len()
+        );
+        assert!(
+            space.regions().len() >= 350,
+            "regions = {}",
+            space.regions().len()
+        );
     }
 
     #[test]
@@ -503,7 +509,9 @@ mod tests {
     #[test]
     fn every_point_has_a_region() {
         let mut rng = StdRng::seed_from_u64(5);
-        let space = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+        let space = BuildingGenerator::small_office()
+            .generate(&mut rng)
+            .unwrap();
         // Sample a grid over the floor; every in-partition point must map to
         // a region, and regions must tile the covered space.
         for i in 0..40 {

@@ -432,7 +432,7 @@ impl IndoorSpace {
             for &d2 in &self.partitions[pb.index()].doors {
                 let mid = self.graph.door_distance(d1, d2);
                 let total = leg1 + mid + self.doors[d2.index()].position.distance(to.xy);
-                if best.map_or(true, |(_, _, t)| total < t) && total.is_finite() {
+                if best.is_none_or(|(_, _, t)| total < t) && total.is_finite() {
                     best = Some((d1, d2, total));
                 }
             }
@@ -560,6 +560,7 @@ mod tests {
         let s = two_rooms();
         let a = IndoorPoint::new(0, Point2::new(5.0, 5.0)); // room A
         let b = IndoorPoint::new(0, Point2::new(35.0, 5.0)); // room B
+
         // Straight along y=5 through both doors: 5 + 20 + 5 = 30.
         assert!((s.miwd(&a, &b) - 30.0).abs() < 1e-9);
         // MIWD >= Euclidean.

@@ -125,7 +125,9 @@ mod tests {
 
     fn small_dataset() -> Dataset {
         let mut rng = StdRng::seed_from_u64(1);
-        let space = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+        let space = BuildingGenerator::small_office()
+            .generate(&mut rng)
+            .unwrap();
         Dataset::generate(
             "test",
             &space,

@@ -117,8 +117,7 @@ impl<'a> PositioningSampler<'a> {
                 let delta = if rng.random::<f64>() < 0.5 { 1 } else { 2 };
                 let up = rng.random::<f64>() < 0.5;
                 let f = truth.location.floor as i32 + if up { delta } else { -delta };
-                self.space
-                    .clamp_floor(f.clamp(0, u16::MAX as i32) as u16)
+                self.space.clamp_floor(f.clamp(0, u16::MAX as i32) as u16)
             } else {
                 truth.location.floor
             };
@@ -147,10 +146,7 @@ impl<'a> PositioningSampler<'a> {
         trajectories: &[Trajectory],
         rng: &mut R,
     ) -> Vec<LabeledSequence> {
-        trajectories
-            .iter()
-            .map(|t| self.observe(t, rng))
-            .collect()
+        trajectories.iter().map(|t| self.observe(t, rng)).collect()
     }
 }
 

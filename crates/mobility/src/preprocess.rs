@@ -52,7 +52,10 @@ pub fn split_by_gap(seq: &LabeledSequence, eta_gap: f64) -> Vec<LabeledSequence>
 }
 
 /// Full preprocessing: split on η-gaps, then drop sequences shorter than ψ.
-pub fn preprocess(sequences: &[LabeledSequence], config: &PreprocessConfig) -> Vec<LabeledSequence> {
+pub fn preprocess(
+    sequences: &[LabeledSequence],
+    config: &PreprocessConfig,
+) -> Vec<LabeledSequence> {
     sequences
         .iter()
         .flat_map(|s| split_by_gap(s, config.eta_gap))
@@ -73,10 +76,7 @@ mod tests {
             records: times
                 .iter()
                 .map(|&t| LabeledRecord {
-                    record: PositioningRecord::new(
-                        IndoorPoint::new(0, Point2::new(0.0, 0.0)),
-                        t,
-                    ),
+                    record: PositioningRecord::new(IndoorPoint::new(0, Point2::new(0.0, 0.0)), t),
                     region: RegionId(0),
                     event: MobilityEvent::Stay,
                 })

@@ -296,10 +296,7 @@ mod tests {
         for w in traj.points.windows(2) {
             if w[0].location.floor == w[1].location.floor {
                 let d = w[0].location.planar_distance(&w[1].location);
-                assert!(
-                    d <= cfg.max_speed * 1.0 + 1e-6,
-                    "moved {d} m in one second"
-                );
+                assert!(d <= cfg.max_speed * 1.0 + 1e-6, "moved {d} m in one second");
             }
         }
     }

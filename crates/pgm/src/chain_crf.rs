@@ -128,13 +128,13 @@ impl Objective for CrfObjective<'_> {
                 for y in 0..k {
                     let p = (alpha[t * k + y] + beta[t * k + y] - log_z).exp();
                     let base = (t * k + y) * d;
-                    for f in 0..d {
-                        grad[f] += p * seq.features[base + f];
+                    for (g, &feat) in grad.iter_mut().zip(&seq.features[base..base + d]) {
+                        *g += p * feat;
                     }
                 }
                 let gold_base = (t * k + seq.labels[t]) * d;
-                for f in 0..d {
-                    grad[f] -= seq.features[gold_base + f];
+                for (g, &feat) in grad.iter_mut().zip(&seq.features[gold_base..gold_base + d]) {
+                    *g -= feat;
                 }
                 // Edge marginals.
                 if t > 0 {

@@ -115,8 +115,8 @@ impl Hmm {
             for s in 0..ns {
                 let mut best = f64::NEG_INFINITY;
                 let mut arg = 0u32;
-                for p in 0..ns {
-                    let v = delta[p] + self.log_transition[p * ns + s];
+                for (p, &dp) in delta.iter().enumerate() {
+                    let v = dp + self.log_transition[p * ns + s];
                     if v > best {
                         best = v;
                         arg = p as u32;
@@ -155,11 +155,11 @@ impl Hmm {
         let mut scratch = vec![0.0f64; ns];
         let mut lse_buf = vec![0.0f64; ns];
         for &obs in &observations[1..] {
-            for s in 0..ns {
-                for p in 0..ns {
-                    lse_buf[p] = alpha[p] + self.log_transition[p * ns + s];
+            for (s, sc) in scratch.iter_mut().enumerate() {
+                for (p, lb) in lse_buf.iter_mut().enumerate() {
+                    *lb = alpha[p] + self.log_transition[p * ns + s];
                 }
-                scratch[s] = crate::util::log_sum_exp(&lse_buf) + self.log_emission(s, obs);
+                *sc = crate::util::log_sum_exp(&lse_buf) + self.log_emission(s, obs);
             }
             std::mem::swap(&mut alpha, &mut scratch);
         }

@@ -1,0 +1,174 @@
+//! Deterministic fixture tests: TkPRQ / TkFRPQ agree with a brute-force
+//! scan, return exactly `k` results, and rank stably across runs.
+
+use ism_indoor::RegionId;
+use ism_mobility::{MobilityEvent, MobilitySemantics, TimePeriod};
+use ism_queries::{tk_frpq, tk_prq, SemanticsStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+const NUM_OBJECTS: u64 = 40;
+const NUM_REGIONS: u32 = 12;
+
+/// A randomized-but-seeded store: 40 objects, each a timeline of stays and
+/// passes over 12 regions spanning [0, 1000].
+fn fixture_store(seed: u64) -> SemanticsStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = SemanticsStore::new();
+    for object in 0..NUM_OBJECTS {
+        let mut t = rng.random_range(0.0..50.0);
+        let mut timeline = Vec::new();
+        while t < 1000.0 {
+            let duration = rng.random_range(5.0..60.0);
+            timeline.push(MobilitySemantics {
+                region: RegionId(rng.random_range(0..NUM_REGIONS)),
+                period: TimePeriod::new(t, t + duration),
+                event: if rng.random_bool(0.6) {
+                    MobilityEvent::Stay
+                } else {
+                    MobilityEvent::Pass
+                },
+            });
+            t += duration + rng.random_range(1.0..10.0);
+        }
+        store.insert(object, timeline);
+    }
+    store
+}
+
+/// Brute-force TkPRQ: count qualifying stays per region with nested loops.
+fn brute_prq(
+    store: &SemanticsStore,
+    query: &[RegionId],
+    k: usize,
+    qt: &TimePeriod,
+) -> Vec<(RegionId, usize)> {
+    let mut counts: BTreeMap<RegionId, usize> = BTreeMap::new();
+    for (_, timeline) in store.iter() {
+        for ms in timeline {
+            if ms.event == MobilityEvent::Stay
+                && ms.period.overlaps(qt)
+                && query.contains(&ms.region)
+            {
+                *counts.entry(ms.region).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut ranked: Vec<(RegionId, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+/// Brute-force TkFRPQ: per object, the set of stayed regions; count each
+/// unordered pair once per object.
+fn brute_frpq(
+    store: &SemanticsStore,
+    query: &[RegionId],
+    k: usize,
+    qt: &TimePeriod,
+) -> Vec<((RegionId, RegionId), usize)> {
+    let mut counts: BTreeMap<(RegionId, RegionId), usize> = BTreeMap::new();
+    for (_, timeline) in store.iter() {
+        let visited: BTreeSet<RegionId> = timeline
+            .iter()
+            .filter(|ms| {
+                ms.event == MobilityEvent::Stay
+                    && ms.period.overlaps(qt)
+                    && query.contains(&ms.region)
+            })
+            .map(|ms| ms.region)
+            .collect();
+        let visited: Vec<RegionId> = visited.into_iter().collect();
+        for i in 0..visited.len() {
+            for j in i + 1..visited.len() {
+                *counts.entry((visited[i], visited[j])).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut ranked: Vec<((RegionId, RegionId), usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+#[test]
+fn tk_prq_matches_brute_force_and_returns_exactly_k() {
+    let store = fixture_store(0xF1C7);
+    let query: Vec<RegionId> = (0..NUM_REGIONS).map(RegionId).collect();
+    for (qt_start, qt_end, k) in [(0.0, 1000.0, 5), (100.0, 400.0, 3), (800.0, 950.0, 7)] {
+        let qt = TimePeriod::new(qt_start, qt_end);
+        let got = tk_prq(&store, &query, k, qt);
+        let want = brute_prq(&store, &query, k, &qt);
+        assert_eq!(
+            got, want,
+            "TkPRQ disagrees with brute force for qt=[{qt_start},{qt_end}]"
+        );
+        // With 40 objects over 12 regions every window has >= k active regions.
+        assert_eq!(got.len(), k, "TkPRQ must return exactly k results");
+        // Ranked by count descending, ties by region id ascending.
+        for w in got.windows(2) {
+            assert!(
+                w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                "unstable ranking: {:?} before {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn tk_frpq_matches_brute_force_and_returns_exactly_k() {
+    let store = fixture_store(0xF1C7);
+    let query: Vec<RegionId> = (0..NUM_REGIONS).map(RegionId).collect();
+    for (qt_start, qt_end, k) in [(0.0, 1000.0, 5), (200.0, 600.0, 4)] {
+        let qt = TimePeriod::new(qt_start, qt_end);
+        let got = tk_frpq(&store, &query, k, qt);
+        let want = brute_frpq(&store, &query, k, &qt);
+        assert_eq!(
+            got, want,
+            "TkFRPQ disagrees with brute force for qt=[{qt_start},{qt_end}]"
+        );
+        assert_eq!(got.len(), k, "TkFRPQ must return exactly k results");
+        for w in got.windows(2) {
+            assert!(
+                w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                "unstable ranking: {:?} before {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn restricted_query_set_excludes_other_regions() {
+    let store = fixture_store(0xF1C7);
+    let query = vec![RegionId(0), RegionId(3), RegionId(8)];
+    let qt = TimePeriod::new(0.0, 1000.0);
+    let top = tk_prq(&store, &query, 10, qt);
+    assert!(top.iter().all(|(r, _)| query.contains(r)));
+    assert_eq!(top, brute_prq(&store, &query, 10, &qt));
+    let pairs = tk_frpq(&store, &query, 10, qt);
+    assert!(pairs
+        .iter()
+        .all(|((a, b), _)| query.contains(a) && query.contains(b) && a < b));
+}
+
+#[test]
+fn ranking_is_stable_across_runs() {
+    let query: Vec<RegionId> = (0..NUM_REGIONS).map(RegionId).collect();
+    let qt = TimePeriod::new(0.0, 1000.0);
+    let a_store = fixture_store(0xF1C7);
+    let b_store = fixture_store(0xF1C7);
+    assert_eq!(
+        tk_prq(&a_store, &query, 6, qt),
+        tk_prq(&b_store, &query, 6, qt)
+    );
+    assert_eq!(
+        tk_frpq(&a_store, &query, 6, qt),
+        tk_frpq(&b_store, &query, 6, qt)
+    );
+}

@@ -11,7 +11,9 @@ use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(3);
-    let venue = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+    let venue = BuildingGenerator::small_office()
+        .generate(&mut rng)
+        .unwrap();
     let dataset = Dataset::generate(
         "cmp",
         &venue,

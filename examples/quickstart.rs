@@ -11,7 +11,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(7);
 
     // 1. A small synthetic office venue (6 shops around a corridor).
-    let venue = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+    let venue = BuildingGenerator::small_office()
+        .generate(&mut rng)
+        .unwrap();
     println!(
         "venue: {} regions, {} partitions, {} doors",
         venue.regions().len(),

@@ -13,7 +13,9 @@ use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
-    let venue = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+    let venue = BuildingGenerator::small_office()
+        .generate(&mut rng)
+        .unwrap();
 
     // Training corpus.
     let dataset = Dataset::generate(
@@ -25,8 +27,13 @@ fn main() {
         10,
         &mut rng,
     );
-    let model = C2mn::train(&venue, &dataset.sequences, &C2mnConfig::quick_test(), &mut rng)
-        .unwrap();
+    let model = C2mn::train(
+        &venue,
+        &dataset.sequences,
+        &C2mnConfig::quick_test(),
+        &mut rng,
+    )
+    .unwrap();
 
     // One fresh "tourist" trajectory.
     let sim = Simulator::new(&venue, SimulationConfig::quick());

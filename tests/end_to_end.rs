@@ -10,7 +10,9 @@ use rand::SeedableRng;
 
 fn pipeline(seed: u64) -> (IndoorSpace, Dataset) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let venue = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+    let venue = BuildingGenerator::small_office()
+        .generate(&mut rng)
+        .unwrap();
     let dataset = Dataset::generate(
         "it",
         &venue,
@@ -93,8 +95,13 @@ fn every_method_produces_aligned_labels() {
 fn annotation_round_trip_preserves_record_coverage() {
     let (venue, dataset) = pipeline(6);
     let mut rng = StdRng::seed_from_u64(7);
-    let model = C2mn::train(&venue, &dataset.sequences, &C2mnConfig::quick_test(), &mut rng)
-        .unwrap();
+    let model = C2mn::train(
+        &venue,
+        &dataset.sequences,
+        &C2mnConfig::quick_test(),
+        &mut rng,
+    )
+    .unwrap();
     for seq in dataset.sequences.iter().take(3) {
         let records: Vec<_> = seq.positioning().collect();
         let ms = model.annotate(&records, &mut rng);
@@ -180,8 +187,13 @@ fn multi_floor_pipeline_works() {
         .flat_map(|s| s.records.iter().map(|r| r.record.location.floor))
         .collect();
     assert!(!floors.is_empty());
-    let model = C2mn::train(&venue, &dataset.sequences, &C2mnConfig::quick_test(), &mut rng)
-        .unwrap();
+    let model = C2mn::train(
+        &venue,
+        &dataset.sequences,
+        &C2mnConfig::quick_test(),
+        &mut rng,
+    )
+    .unwrap();
     let records: Vec<_> = dataset.sequences[0].positioning().collect();
     assert_eq!(model.label(&records, &mut rng).len(), records.len());
 }

@@ -1,0 +1,241 @@
+//! Vendored, offline subset of the `criterion` bench harness.
+//!
+//! Supports the `[[bench]] harness = false` workflow this workspace uses:
+//! `criterion_group! { name = ..; config = ..; targets = .. }`,
+//! `criterion_main!`, `Criterion::default().sample_size(..)
+//! .warm_up_time(..).measurement_time(..)` and
+//! `bench_function(name, |b| b.iter(..))`.
+//!
+//! Timing model: per sample, run a batch of iterations sized so one batch
+//! takes roughly `measurement_time / sample_size`, then report the median
+//! per-iteration time over all samples. No plots, no statistics beyond
+//! min/median/max — enough to compare hot paths between commits in CI logs.
+//!
+//! CLI behaviour mirrors what cargo expects of a bench harness:
+//! `--test` (run every benchmark once, used by `cargo test --benches`),
+//! `--bench`/`--profile-time` style flags are accepted and ignored, and a
+//! bare positional argument filters benchmarks by substring.
+
+use std::time::{Duration, Instant};
+
+/// Bench-harness entry point; collects configuration and runs benchmarks.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timing samples to collect per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to warm up before timing.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the timing budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies harness CLI arguments (`--test`, filters). Called by
+    /// `criterion_group!`; not part of upstream's public API surface that
+    /// user code touches.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags cargo/criterion pass that carry a value we ignore.
+                "--profile-time" | "--save-baseline" | "--baseline" | "--load-baseline"
+                | "--sample-size" | "--measurement-time" | "--warm-up-time" | "--color" => {
+                    let _ = args.next();
+                }
+                // Boolean flags we accept and ignore.
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" | "--noplot"
+                | "--discard-baseline" | "--exact" | "--list" => {}
+                other => {
+                    if !other.starts_with('-') {
+                        self.filter = Some(other.to_string());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Runs (or, in `--test` mode, smoke-runs) one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+}
+
+/// Hands the benchmark body a timing loop via [`Bencher::iter`].
+pub struct Bencher {
+    test_mode: bool,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration samples for the report.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+
+        // Warm-up: also estimates the per-iteration cost so batches can be
+        // sized to fill the measurement budget.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let budget = self.measurement_time.as_secs_f64();
+        let per_sample = budget / self.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / batch as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.test_mode {
+            println!("test {id} ... ok (bench smoke run)");
+            return;
+        }
+        if self.samples_ns.is_empty() {
+            println!("{id:<40} (no samples: body never called iter)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        let median = sorted[sorted.len() / 2];
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(median),
+            format_ns(max)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group. Mirrors `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`. Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}

@@ -1,0 +1,358 @@
+//! Vendored, offline subset of `proptest`, tuned for reproducibility.
+//!
+//! Implements the slice of the proptest API this workspace uses —
+//! `proptest!`, `prop_compose!`, `prop_assert!`/`prop_assert_eq!`,
+//! [`Strategy`] over numeric ranges / tuples / `prop_map`, and
+//! [`ProptestConfig::with_cases`] — on top of the vendored deterministic
+//! `rand` crate.
+//!
+//! ## Determinism contract
+//!
+//! Unlike upstream proptest (which seeds from the OS), every run is fully
+//! deterministic:
+//!
+//! * Case `i` of a test runs with seed `base + i`, where `base` is
+//!   [`ProptestConfig::seed`] (default [`DEFAULT_BASE_SEED`]).
+//! * `REPRO_SEED=<n>` overrides the base seed and `REPRO_CASES=<n>` the case
+//!   count, so a failure printed as `seed = S` replays exactly with
+//!   `REPRO_SEED=S REPRO_CASES=1`. (`PROPTEST_SEED`/`PROPTEST_CASES` are
+//!   accepted as aliases.)
+//! * A checked-in `proptest-regressions/seeds.txt` next to the crate's
+//!   `Cargo.toml` (lines `test_name = seed`) is replayed *before* the fresh
+//!   cases, pinning past failures forever.
+//!
+//! Shrinking is intentionally not implemented; the seed of the failing case
+//! is reported instead, which is sufficient for a deterministic generator.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Base seed used when neither the config nor the environment pins one.
+pub const DEFAULT_BASE_SEED: u64 = 0x1CDE_2020_C2F7;
+
+/// A failed test case, produced by `prop_assert!` and friends.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of fresh random cases to run per test.
+    pub cases: u32,
+    /// Base seed; case `i` runs with seed `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            seed: DEFAULT_BASE_SEED,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` fresh cases from the default base seed.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+fn env_u64(names: &[&str]) -> Option<u64> {
+    for name in names {
+        if let Ok(raw) = std::env::var(name) {
+            let raw = raw.trim();
+            let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                raw.parse()
+            };
+            match parsed {
+                Ok(v) => return Some(v),
+                Err(_) => panic!("could not parse {name}={raw} as u64"),
+            }
+        }
+    }
+    None
+}
+
+/// Seeds pinned in `proptest-regressions/seeds.txt` for `test_name`.
+///
+/// File format: one `test_name = seed` per line (decimal or `0x` hex);
+/// `#` starts a comment. The file lives next to the `Cargo.toml` of the
+/// crate whose tests are running (`CARGO_MANIFEST_DIR`).
+fn regression_seeds(test_name: &str) -> Vec<u64> {
+    let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") else {
+        return Vec::new();
+    };
+    let path = std::path::Path::new(&dir)
+        .join("proptest-regressions")
+        .join("seeds.txt");
+    let Ok(contents) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in contents.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        let Some((name, seed)) = line.split_once('=') else {
+            continue;
+        };
+        if name.trim() != test_name {
+            continue;
+        }
+        let seed = seed.trim();
+        let parsed = if let Some(hex) = seed.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16)
+        } else {
+            seed.parse()
+        };
+        match parsed {
+            Ok(v) => seeds.push(v),
+            Err(_) => panic!("{}: bad seed {seed:?} for {test_name}", path.display()),
+        }
+    }
+    seeds
+}
+
+/// Drives one property test: regression seeds first, then fresh cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Builds a runner for the test `name`, applying `REPRO_*` /
+    /// `PROPTEST_*` environment overrides on top of `config`.
+    pub fn new(mut config: ProptestConfig, name: &'static str) -> Self {
+        if let Some(cases) = env_u64(&["REPRO_CASES", "PROPTEST_CASES"]) {
+            config.cases = cases as u32;
+        }
+        if let Some(seed) = env_u64(&["REPRO_SEED", "PROPTEST_SEED"]) {
+            config.seed = seed;
+        }
+        TestRunner { config, name }
+    }
+
+    /// Runs `test` against values generated by `strategy`, panicking with a
+    /// replay recipe on the first failing case.
+    pub fn run<S, F>(&self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let pinned = regression_seeds(self.name);
+        let fresh = (0..u64::from(self.config.cases)).map(|i| self.config.seed.wrapping_add(i));
+        for (source, seed) in pinned
+            .into_iter()
+            .map(|s| ("regression", s))
+            .chain(fresh.map(|s| ("fresh", s)))
+        {
+            let mut rng = strategy::new_rng(seed);
+            let value = strategy.generate(&mut rng);
+            let outcome = catch_unwind(AssertUnwindSafe(|| (test)(value)));
+            let failure = match outcome {
+                Ok(Ok(())) => continue,
+                Ok(Err(e)) => e.message,
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| panic.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    format!("panicked: {msg}")
+                }
+            };
+            panic!(
+                "property test `{}` failed ({source} case, seed = {seed}): {failure}\n\
+                 replay with: REPRO_SEED={seed} REPRO_CASES=1 cargo test {}\n\
+                 pin it by adding `{} = {seed}` to proptest-regressions/seeds.txt",
+                self.name, self.name, self.name
+            );
+        }
+    }
+}
+
+/// Prelude mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest, ProptestConfig,
+        TestCaseError, TestRunner,
+    };
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ [$config] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ([$config:expr] $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let runner = $crate::TestRunner::new($config, stringify!($name));
+                let strategy = ($($strat,)+);
+                runner.run(&strategy, |($($pat,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Composes strategies into a named strategy-returning function.
+/// Mirrors `proptest::prop_compose!`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($args:tt)*)
+        ($($pat:pat in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($args)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::strategy::Map::new(($($strat,)+), move |($($pat,)+)| $body)
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?} == {:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?} != {:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn config_with_cases() {
+        let c = ProptestConfig::with_cases(17);
+        assert_eq!(c.cases, 17);
+        assert_eq!(c.seed, crate::DEFAULT_BASE_SEED);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Generated range values respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        /// Tuple + prop_map composition works.
+        #[test]
+        fn mapped_tuple(v in (0u64..5, 0u64..5).prop_map(|(a, b)| a + b)) {
+            prop_assert!(v <= 8);
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0i32..10, b in 0i32..10) -> (i32, i32) {
+            (a.min(b), a.max(b))
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn composed_pair_ordered((lo, hi) in arb_pair()) {
+            prop_assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "replay with")]
+    fn failure_reports_seed() {
+        let runner = TestRunner::new(ProptestConfig::with_cases(4), "always_fails");
+        runner.run(&(0u64..10,), |(_x,)| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let mut out = Vec::new();
+            let runner = TestRunner::new(ProptestConfig::with_cases(16), "det");
+            runner.run(&(0u64..1000,), |(x,)| {
+                out.push(x);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,163 @@
+//! Value-generation strategies: numeric ranges, tuples, `prop_map`, `Just`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies. Deterministic per case seed.
+pub type TestRng = StdRng;
+
+/// Builds the per-case RNG for `seed`.
+pub fn new_rng(seed: u64) -> TestRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Upstream proptest separates strategies from value trees to support
+/// shrinking; this offline subset generates values directly and relies on
+/// per-case seeds for reproduction instead.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map::new(self, f)
+    }
+}
+
+/// Strategy producing a constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy adaptor applying a function to another strategy's output.
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F> Map<S, F> {
+    /// Wraps `source` so its values are passed through `f`.
+    ///
+    /// The bounds are stated here (not only on the `Strategy` impl) so the
+    /// closure's argument type is known at the construction site — this is
+    /// what lets `prop_compose!` use untyped closure patterns.
+    pub fn new<O>(source: S, f: F) -> Self
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        Map { source, f }
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_strategy_bounds() {
+        let mut rng = new_rng(1);
+        for _ in 0..1000 {
+            let v = (5usize..9).generate(&mut rng);
+            assert!((5..9).contains(&v));
+            let f = (0.5f64..0.75).generate(&mut rng);
+            assert!((0.5..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn just_is_constant() {
+        let mut rng = new_rng(2);
+        assert_eq!(Just(41).generate(&mut rng), 41);
+    }
+
+    #[test]
+    fn map_applies() {
+        let mut rng = new_rng(3);
+        let s = (0u32..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = new_rng(4);
+        let (a, b, c, d) = (0u8..2, 10i32..12, 0.0f64..1.0, 5usize..6).generate(&mut rng);
+        assert!(a < 2);
+        assert!((10..12).contains(&b));
+        assert!((0.0..1.0).contains(&c));
+        assert_eq!(d, 5);
+    }
+}

@@ -1,0 +1,16 @@
+//! Vendored, offline subset of the `serde` facade.
+//!
+//! Exposes the `Serialize`/`Deserialize` traits and re-exports the (no-op)
+//! derive macros so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. No data format
+//! crates exist in this environment, so the traits carry no methods yet;
+//! they are markers that reserve the API surface for a future PR that
+//! vendors a JSON/bincode backend.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

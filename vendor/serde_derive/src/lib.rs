@@ -1,0 +1,21 @@
+//! Vendored no-op replacements for serde's derive macros.
+//!
+//! The build environment has no crates.io access, and nothing in the
+//! workspace serializes values yet — `#[derive(Serialize, Deserialize)]`
+//! only needs to *compile*. These derives accept the `#[serde(...)]`
+//! helper attribute and expand to nothing; real impls can be generated
+//! here later without touching any call site.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
