@@ -1,0 +1,91 @@
+//! Batch annotation throughput: sequences/second of [`BatchAnnotator`] at
+//! 1, 2 and 4 worker threads over a mall workload.
+//!
+//! Besides the usual criterion console report, the bench writes
+//! `BENCH_annotate.json` at the repository root so CI can archive the perf
+//! trajectory across commits. In `--test` (smoke) mode each configuration
+//! runs once and the JSON carries coarse single-run estimates.
+
+use criterion::Criterion;
+use ism_bench::positioning_batch;
+use ism_c2mn::{BatchAnnotator, C2mn};
+use ism_indoor::BuildingGenerator;
+use ism_mobility::{Dataset, PositioningConfig, SimulationConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_annotate.json");
+
+fn main() {
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .configure_from_args();
+
+    // A mall workload sized so a full measurement finishes in seconds:
+    // a trained model plus a batch of ~100-record test sequences.
+    let mut rng = StdRng::seed_from_u64(1);
+    let space = BuildingGenerator::mall().generate(&mut rng).unwrap();
+    let dataset = Dataset::generate(
+        "bench",
+        &space,
+        SimulationConfig::quick(),
+        PositioningConfig::wifi_mall(),
+        None,
+        16,
+        &mut rng,
+    );
+    let config = ism_c2mn::C2mnConfig::quick_test();
+    let model = C2mn::train(&space, &dataset.sequences, &config, &mut rng).unwrap();
+    let sequences = positioning_batch(&dataset.sequences);
+    let num_records: usize = sequences.iter().map(|s| s.len()).sum();
+
+    let mut throughputs: Vec<(usize, f64)> = Vec::new();
+    for threads in THREAD_COUNTS {
+        let engine = BatchAnnotator::new(&model, threads, 7);
+        c.bench_function(&format!("annotate/mall_batch_{threads}_threads"), |b| {
+            b.iter(|| engine.label_batch(black_box(&sequences)))
+        });
+        if let Some(ns) = c.last_estimate_ns() {
+            throughputs.push((threads, sequences.len() as f64 / (ns / 1e9)));
+        }
+    }
+
+    write_report(&throughputs, sequences.len(), num_records);
+}
+
+/// Emits `BENCH_annotate.json` (hand-rolled JSON: the vendored serde does
+/// not serialize).
+fn write_report(throughputs: &[(usize, f64)], num_sequences: usize, num_records: usize) {
+    // Speedups are relative to the measured 1-thread run; when a CLI
+    // filter skipped it, report `null` rather than a made-up baseline.
+    let baseline = throughputs
+        .iter()
+        .find(|&&(threads, _)| threads == 1)
+        .map(|&(_, tp)| tp);
+    let entries: Vec<String> = throughputs
+        .iter()
+        .map(|&(threads, tp)| {
+            let speedup = baseline.map_or("null".to_string(), |base| format!("{:.3}", tp / base));
+            format!(
+                "    {{\"threads\": {threads}, \"sequences_per_sec\": {tp:.3}, \
+                 \"speedup_vs_1_thread\": {speedup}}}"
+            )
+        })
+        .collect();
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"annotate_throughput\",\n  \"workload\": \"mall\",\n  \
+         \"num_sequences\": {num_sequences},\n  \"num_records\": {num_records},\n  \
+         \"host_parallelism\": {available},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::write(OUT_PATH, &json) {
+        Ok(()) => println!("wrote {OUT_PATH}"),
+        Err(e) => eprintln!("could not write {OUT_PATH}: {e}"),
+    }
+}

@@ -51,7 +51,7 @@ fn main() {
     for (name, config) in &configs {
         let mut rng = StdRng::seed_from_u64(3);
         let model = C2mn::train(&space, &train, config, &mut rng).unwrap();
-        let method = Method::new("x", |r, rng| model.label(r, rng));
+        let method = Method::batched("x", &model, scale.threads);
         let acc = evaluate_accuracy(&method, &test, 4);
         rows.push(vec![
             name.to_string(),

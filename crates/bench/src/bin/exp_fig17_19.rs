@@ -27,7 +27,7 @@ fn main() {
             ..scale.c2mn_config()
         };
         let family = train_c2mn_family(&space, &train, &config, &variants, 3);
-        let methods = all_methods(&space, &train, &family);
+        let methods = all_methods(&space, &train, &family, scale.threads);
         let truth = truth_store(&test);
         for (mi, m) in methods.iter().enumerate() {
             if mi_idx == 0 {

@@ -21,7 +21,7 @@ fn main() {
         let mut ca_row = vec![format!("{:.0}%", frac * 100.0)];
         let mut pa_row = vec![format!("{:.0}%", frac * 100.0)];
         for (name, model) in &family {
-            let method = Method::new(name, move |r, rng| model.label(r, rng));
+            let method = Method::batched(name, model, scale.threads);
             let acc = evaluate_accuracy(&method, &test, 4);
             ca_row.push(f3(acc.combined(PAPER_LAMBDA)));
             pa_row.push(f3(acc.perfect));

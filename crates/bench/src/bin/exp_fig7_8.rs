@@ -25,7 +25,7 @@ fn main() {
         let mut ra_row = vec![format!("{m}")];
         let mut ea_row = vec![format!("{m}")];
         for (name, model) in &family {
-            let method = Method::new(name, move |r, rng| model.label(r, rng));
+            let method = Method::batched(name, model, scale.threads);
             let acc = evaluate_accuracy(&method, &test, 4);
             ra_row.push(f3(acc.region));
             ea_row.push(f3(acc.event));

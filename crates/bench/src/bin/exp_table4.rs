@@ -20,7 +20,7 @@ fn main() {
         test.len()
     );
     let family = train_c2mn_family(&space, &train, &scale.c2mn_config(), &C2MN_VARIANTS, 3);
-    let methods = all_methods(&space, &train, &family);
+    let methods = all_methods(&space, &train, &family, scale.threads);
     let mut rows = Vec::new();
     for m in &methods {
         let acc = evaluate_accuracy(m, &test, 4);

@@ -16,7 +16,7 @@
 #![deny(missing_docs)]
 
 use ism_baselines::{HmmDc, HmmDcConfig, SapConfig, SapDa, SapDv, Smot, SmotConfig};
-use ism_c2mn::{C2mn, C2mnConfig, FirstConfigured, ModelStructure};
+use ism_c2mn::{sequence_seed, BatchAnnotator, C2mn, C2mnConfig, FirstConfigured, ModelStructure};
 use ism_eval::{top_k_precision, AccuracyAccumulator, LabelAccuracy};
 use ism_indoor::{BuildingGenerator, IndoorSpace, RegionId, RegionKind};
 use ism_mobility::{
@@ -38,6 +38,10 @@ pub struct Scale {
     pub max_iter: usize,
     /// Top-k size for the query experiments (`REPRO_K`).
     pub k: usize,
+    /// Worker threads for batch annotation (`REPRO_THREADS`); defaults to
+    /// the machine's available parallelism. Thread count never changes
+    /// results — see [`BatchAnnotator`]'s determinism contract.
+    pub threads: usize,
 }
 
 impl Scale {
@@ -49,11 +53,13 @@ impl Scale {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(default)
         };
+        let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         Scale {
             objects: get("REPRO_OBJECTS", 60),
             mcmc_m: get("REPRO_MCMC_M", 10),
             max_iter: get("REPRO_MAX_ITER", 6),
             k: get("REPRO_K", 10),
+            threads: get("REPRO_THREADS", default_threads).max(1),
         }
     }
 
@@ -71,15 +77,33 @@ impl Scale {
 }
 
 /// Splits long sequences into chunks so segment-window costs stay bounded.
+///
+/// `chunks(max_len)` can leave a final chunk of a single record, which is
+/// too short to label as a sequence. Dropping it (the old behaviour)
+/// silently removed records from every accuracy denominator; instead the
+/// tail is folded into the preceding chunk, so chunks hold between 2 and
+/// `max_len + 1` records and every record of a labelable (≥ 2 records)
+/// sequence is conserved.
 pub fn chunk_sequences(seqs: &[LabeledSequence], max_len: usize) -> Vec<LabeledSequence> {
+    let max_len = max_len.max(2);
     let mut out = Vec::new();
     for s in seqs {
+        let first_of_seq = out.len();
         for chunk in s.records.chunks(max_len) {
-            if chunk.len() >= 2 {
-                out.push(LabeledSequence {
-                    object_id: s.object_id,
-                    records: chunk.to_vec(),
-                });
+            out.push(LabeledSequence {
+                object_id: s.object_id,
+                records: chunk.to_vec(),
+            });
+        }
+        if out.len() > first_of_seq && out[out.len() - 1].records.len() < 2 {
+            if out.len() - first_of_seq >= 2 {
+                // Fold the 1-record tail into the previous chunk.
+                let tail = out.pop().unwrap();
+                out.last_mut().unwrap().records.extend(tail.records);
+            } else {
+                // A 1-record sequence has no previous chunk and cannot be
+                // labelled as a sequence at all.
+                out.pop();
             }
         }
     }
@@ -138,11 +162,18 @@ pub fn vita_space(seed: u64) -> IndoorSpace {
 pub type Labeler<'a> =
     Box<dyn Fn(&[PositioningRecord], &mut StdRng) -> Vec<(RegionId, MobilityEvent)> + 'a>;
 
-/// A method under evaluation: a name plus a labeling closure.
+enum LabelerKind<'a> {
+    /// An arbitrary per-sequence closure (the non-C2MN baselines).
+    PerSequence(Labeler<'a>),
+    /// A trained C2MN decoded through the parallel [`BatchAnnotator`].
+    Batch { model: &'a C2mn<'a>, threads: usize },
+}
+
+/// A method under evaluation: a name plus a labeling strategy.
 pub struct Method<'a> {
     /// Display name matching the paper's tables.
     pub name: &'static str,
-    labeler: Labeler<'a>,
+    kind: LabelerKind<'a>,
 }
 
 impl<'a> Method<'a> {
@@ -153,18 +184,49 @@ impl<'a> Method<'a> {
     {
         Method {
             name,
-            labeler: Box::new(labeler),
+            kind: LabelerKind::PerSequence(Box::new(labeler)),
         }
     }
 
-    /// Labels one positioning sequence.
-    pub fn label(
-        &self,
-        records: &[PositioningRecord],
-        rng: &mut StdRng,
-    ) -> Vec<(RegionId, MobilityEvent)> {
-        (self.labeler)(records, rng)
+    /// Creates a method decoding a trained C2MN on `threads` workers.
+    pub fn batched(name: &'static str, model: &'a C2mn<'a>, threads: usize) -> Self {
+        Method {
+            name,
+            kind: LabelerKind::Batch { model, threads },
+        }
     }
+
+    /// Labels a whole batch of sequences; sequence `i` uses an RNG seeded
+    /// from `sequence_seed(seed, i)`.
+    ///
+    /// Batched methods shard the work across their worker pool; closure
+    /// methods run sequentially. Both derive per-sequence RNGs the same
+    /// way, so a batched method returns exactly what its sequential
+    /// counterpart would.
+    pub fn label_all(
+        &self,
+        sequences: &[Vec<PositioningRecord>],
+        seed: u64,
+    ) -> Vec<Vec<(RegionId, MobilityEvent)>> {
+        match &self.kind {
+            LabelerKind::Batch { model, threads } => {
+                BatchAnnotator::new(model, *threads, seed).label_batch(sequences)
+            }
+            LabelerKind::PerSequence(labeler) => sequences
+                .iter()
+                .enumerate()
+                .map(|(i, records)| {
+                    let mut rng = StdRng::seed_from_u64(sequence_seed(seed, i));
+                    labeler(records, &mut rng)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Collects each test sequence's positioning records for batch labeling.
+pub fn positioning_batch(test: &[LabeledSequence]) -> Vec<Vec<PositioningRecord>> {
+    test.iter().map(|s| s.positioning().collect()).collect()
 }
 
 /// The C2MN structural variants in the paper's table order.
@@ -197,67 +259,53 @@ pub fn train_c2mn_family<'a>(
 }
 
 /// Builds all ten methods of Table IV: the four non-C2MN baselines plus
-/// the six C2MN structures (pre-trained).
+/// the six C2MN structures (pre-trained, decoded on `threads` workers).
 pub fn all_methods<'a>(
     space: &'a IndoorSpace,
     train: &'a [LabeledSequence],
     family: &'a [(&'static str, C2mn<'a>)],
+    threads: usize,
 ) -> Vec<Method<'a>> {
     let mut methods: Vec<Method<'a>> = Vec::new();
     let smot = Smot::new(space, SmotConfig::default());
-    methods.push(Method {
-        name: "SMoT",
-        labeler: Box::new(move |r, _| smot.label(r)),
-    });
+    methods.push(Method::new("SMoT", move |r, _| smot.label(r)));
     let hmm_dc = HmmDc::train(space, train, HmmDcConfig::default());
-    methods.push(Method {
-        name: "HMM+DC",
-        labeler: Box::new(move |r, _| hmm_dc.label(r)),
-    });
+    methods.push(Method::new("HMM+DC", move |r, _| hmm_dc.label(r)));
     let sapdv = SapDv::new(space, SapConfig::default());
-    methods.push(Method {
-        name: "SAPDV",
-        labeler: Box::new(move |r, _| sapdv.label(r)),
-    });
+    methods.push(Method::new("SAPDV", move |r, _| sapdv.label(r)));
     let sapda = SapDa::new(space, SapConfig::default());
-    methods.push(Method {
-        name: "SAPDA",
-        labeler: Box::new(move |r, _| sapda.label(r)),
-    });
+    methods.push(Method::new("SAPDA", move |r, _| sapda.label(r)));
     for (name, model) in family {
-        methods.push(Method {
-            name,
-            labeler: Box::new(move |r, rng| model.label(r, rng)),
-        });
+        methods.push(Method::batched(name, model, threads));
     }
     methods
 }
 
-/// Evaluates one method's labeling accuracy over the test sequences.
+/// Evaluates one method's labeling accuracy over the test sequences
+/// (batched: C2MN methods decode in parallel).
 pub fn evaluate_accuracy(
     method: &Method<'_>,
     test: &[LabeledSequence],
     seed: u64,
 ) -> LabelAccuracy {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let sequences = positioning_batch(test);
+    let all_labels = method.label_all(&sequences, seed);
     let mut acc = AccuracyAccumulator::new();
-    for seq in test {
-        let records: Vec<PositioningRecord> = seq.positioning().collect();
-        let labels = method.label(&records, &mut rng);
-        acc.add(&labels, seq.truth_labels());
+    for (labels, seq) in all_labels.iter().zip(test) {
+        acc.add(labels, seq.truth_labels());
     }
     acc.finish()
 }
 
-/// Builds a [`SemanticsStore`] from a method's annotations of the test set.
+/// Builds a [`SemanticsStore`] from a method's annotations of the test set
+/// (batched: C2MN methods decode in parallel).
 pub fn annotate_store(method: &Method<'_>, test: &[LabeledSequence], seed: u64) -> SemanticsStore {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let sequences = positioning_batch(test);
+    let all_labels = method.label_all(&sequences, seed);
     let mut store = SemanticsStore::new();
-    for seq in test {
-        let records: Vec<PositioningRecord> = seq.positioning().collect();
-        let labels = method.label(&records, &mut rng);
+    for ((records, labels), seq) in sequences.iter().zip(&all_labels).zip(test) {
         let times: Vec<f64> = records.iter().map(|r| r.t).collect();
-        store.insert(seq.object_id, merge_labels(&times, &labels));
+        store.insert(seq.object_id, merge_labels(&times, labels));
     }
     store
 }
@@ -376,28 +424,85 @@ mod tests {
         assert!(s.objects > 0 && s.mcmc_m > 0 && s.max_iter > 0 && s.k > 0);
     }
 
-    #[test]
-    fn chunking_respects_bounds() {
+    fn tiny_dataset(seed: u64, objects: usize) -> Dataset {
         let space = BuildingGenerator::small_office()
             .generate(&mut StdRng::seed_from_u64(1))
             .unwrap();
-        let mut rng = StdRng::seed_from_u64(2);
-        let d = Dataset::generate(
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::generate(
             "d",
             &space,
             SimulationConfig::quick(),
             PositioningConfig::synthetic(5.0, 2.0),
             None,
-            3,
+            objects,
             &mut rng,
-        );
+        )
+    }
+
+    #[test]
+    fn chunking_respects_bounds() {
+        let d = tiny_dataset(2, 3);
         let chunks = chunk_sequences(&d.sequences, 40);
+        // A 1-record tail is folded into the previous chunk, so chunk
+        // lengths span 2..=max_len+1.
         assert!(chunks
             .iter()
-            .all(|c| c.records.len() <= 40 && c.records.len() >= 2));
-        let total: usize = chunks.iter().map(|c| c.records.len()).sum();
-        let orig: usize = d.sequences.iter().map(|c| c.records.len()).sum();
-        assert!(total <= orig);
+            .all(|c| c.records.len() <= 41 && c.records.len() >= 2));
+    }
+
+    #[test]
+    fn chunking_conserves_records() {
+        // Regression: trailing chunks of length 1 were silently dropped,
+        // removing records from every accuracy denominator. Check record
+        // conservation across chunk sizes that do and do not divide the
+        // sequence lengths (max_len = k and k+1 sweep the remainder space).
+        let d = tiny_dataset(3, 4);
+        let orig: usize = d
+            .sequences
+            .iter()
+            .map(|s| s.records.len())
+            .filter(|&n| n >= 2)
+            .sum();
+        assert!(orig > 0);
+        for max_len in [2, 3, 5, 7, 11, 40, 1000] {
+            let chunks = chunk_sequences(&d.sequences, max_len);
+            let total: usize = chunks.iter().map(|c| c.records.len()).sum();
+            assert_eq!(total, orig, "records lost at max_len={max_len}");
+        }
+    }
+
+    #[test]
+    fn chunking_folds_one_record_tail() {
+        // 7 records chunked at 3 → [3, 3, 1]: the tail must fold into the
+        // middle chunk, yielding [3, 4].
+        let d = tiny_dataset(4, 1);
+        let seq = LabeledSequence {
+            object_id: d.sequences[0].object_id,
+            records: d.sequences[0].records.iter().take(7).cloned().collect(),
+        };
+        assert_eq!(seq.records.len(), 7, "simulation produced a short run");
+        let chunks = chunk_sequences(&[seq], 3);
+        let lens: Vec<usize> = chunks.iter().map(|c| c.records.len()).collect();
+        assert_eq!(lens, vec![3, 4]);
+    }
+
+    #[test]
+    fn batched_method_matches_sequential_closure() {
+        let space = BuildingGenerator::small_office()
+            .generate(&mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let d = tiny_dataset(5, 4);
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = C2mnConfig::quick_test();
+        let model = C2mn::train(&space, &d.sequences, &config, &mut rng).unwrap();
+        let batched = Method::batched("C2MN", &model, 4);
+        let closure = Method::new("C2MN", |r, rng| model.label(r, rng));
+        let sequences = positioning_batch(&d.sequences);
+        assert_eq!(
+            batched.label_all(&sequences, 11),
+            closure.label_all(&sequences, 11)
+        );
     }
 
     #[test]

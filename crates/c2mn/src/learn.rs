@@ -47,6 +47,10 @@ struct Surrogate<'a> {
     active: &'a [usize],
     m_total: f64,
     sigma_sq: f64,
+    /// Reusable per-site importance-weight buffer: `eval` runs once per
+    /// L-BFGS line-search step over every site, so allocating it per site
+    /// would dominate small-problem training time.
+    exps: Vec<f64>,
 }
 
 impl Objective for Surrogate<'_> {
@@ -55,15 +59,23 @@ impl Objective for Surrogate<'_> {
     }
 
     fn eval(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
+        let Surrogate {
+            sites,
+            anchor,
+            active,
+            m_total,
+            sigma_sq,
+            exps: exps_buf,
+        } = self;
         // Reconstruct the full displacement d = w − ŵ (frozen dims are 0).
         let mut d = [0.0f64; NUM_FEATURES];
-        for (j, &k) in self.active.iter().enumerate() {
-            d[k] = x[j] - self.anchor[k];
+        for (j, &k) in active.iter().enumerate() {
+            d[k] = x[j] - anchor[k];
         }
         grad.fill(0.0);
         let mut value = 0.0;
-        let log_m = self.m_total.ln();
-        for site in self.sites {
+        let log_m = m_total.ln();
+        for site in *sites {
             if site.deltas.is_empty() {
                 // All samples matched the empirical label: log(zero/M).
                 value += (site.zero as f64).ln() - log_m;
@@ -75,7 +87,8 @@ impl Objective for Surrogate<'_> {
             } else {
                 f64::NEG_INFINITY
             };
-            let mut exps: Vec<f64> = Vec::with_capacity(site.deltas.len());
+            exps_buf.clear();
+            let exps = &mut *exps_buf;
             for df in &site.deltas {
                 let mut e = 0.0;
                 for k in 0..NUM_FEATURES {
@@ -96,16 +109,16 @@ impl Objective for Surrogate<'_> {
             value += m + denom.ln() - log_m;
             for (e, df) in exps.iter().zip(&site.deltas) {
                 let wgt = e / denom;
-                for (j, &k) in self.active.iter().enumerate() {
+                for (j, &k) in active.iter().enumerate() {
                     grad[j] += wgt * df[k] as f64;
                 }
             }
         }
         // Gaussian prior on the active components.
-        for (j, &k) in self.active.iter().enumerate() {
+        for (j, &k) in active.iter().enumerate() {
             let w = x[j];
-            value += 0.5 * w * w / self.sigma_sq;
-            grad[j] += w / self.sigma_sq;
+            value += 0.5 * w * w / *sigma_sq;
+            grad[j] += w / *sigma_sq;
             let _ = k;
         }
         value
@@ -177,6 +190,10 @@ pub(crate) fn alternate_learning<R: Rng + ?Sized>(
     let region_mask = config.structure.region_step_mask();
     let event_mask = config.structure.event_step_mask();
 
+    // Sampling buffers reused across every outer iteration and site.
+    let mut feats: Vec<[f64; NUM_FEATURES]> = Vec::new();
+    let mut log_pot: Vec<f64> = Vec::new();
+
     for iter in 0..config.max_iter {
         report.iterations = iter + 1;
         let sample_regions = match config.first_configured {
@@ -203,8 +220,6 @@ pub(crate) fn alternate_learning<R: Rng + ?Sized>(
         let mut sites: Vec<SiteSamples> = Vec::new();
         // Majority-vote accumulators for updating the configured chain.
         let mut vote: Vec<Vec<Vec<u32>>> = Vec::with_capacity(contexts.len());
-        let mut feats: Vec<[f64; NUM_FEATURES]> = Vec::new();
-        let mut log_pot: Vec<f64> = Vec::new();
         for (s, ctx) in contexts.iter().enumerate() {
             let net = CoupledNetwork::new(ctx, &weights);
             let n = ctx.len();
@@ -278,6 +293,7 @@ pub(crate) fn alternate_learning<R: Rng + ?Sized>(
             active: &active,
             m_total: config.mcmc_m.max(1) as f64,
             sigma_sq: config.sigma_sq,
+            exps: Vec::new(),
         };
         let x0: Vec<f64> = active.iter().map(|&k| weights.0[k]).collect();
         let params = LbfgsParams {
@@ -408,6 +424,7 @@ mod tests {
             active: &active,
             m_total: 6.0,
             sigma_sq: 0.5,
+            exps: Vec::new(),
         };
         let x: Vec<f64> = (0..NUM_FEATURES).map(|k| 0.2 + 0.05 * k as f64).collect();
         let err = max_gradient_error(&mut s, &x, 1e-5);

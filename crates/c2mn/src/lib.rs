@@ -19,10 +19,16 @@
 //!   pseudo-likelihood with MCMC (Gibbs) sampling and L-BFGS steps,
 //!   alternating which target chain is configured;
 //! * [`C2mn::annotate`] — joint decoding (annealed Gibbs + ICM) followed by
-//!   label-and-merge into m-semantics.
+//!   label-and-merge into m-semantics;
+//! * [`BatchAnnotator`] — the parallel batch engine: shards a batch of
+//!   p-sequences across scoped worker threads with per-worker
+//!   [`DecodeScratch`] buffers and per-sequence seeds derived from
+//!   `(base_seed, sequence_index)`, making output byte-identical for any
+//!   thread count.
 
 #![deny(missing_docs)]
 
+mod batch;
 mod config;
 mod context;
 mod features;
@@ -31,9 +37,10 @@ mod model;
 mod network;
 mod structure;
 
+pub use batch::{sequence_seed, BatchAnnotator};
 pub use config::{C2mnConfig, FirstConfigured};
 pub use context::SequenceContext;
 pub use learn::TrainReport;
-pub use model::{C2mn, C2mnError};
+pub use model::{C2mn, C2mnError, DecodeScratch};
 pub use network::{CoupledNetwork, EventSites, RegionSites};
 pub use structure::{ModelStructure, Weights, NUM_FEATURES};

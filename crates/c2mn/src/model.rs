@@ -6,9 +6,33 @@ use ism_indoor::{IndoorSpace, RegionId};
 use ism_mobility::{
     merge_labels, LabeledSequence, MobilityEvent, MobilitySemantics, PositioningRecord,
 };
-use ism_pgm::{gibbs_sweep, icm_sweep};
+use ism_pgm::{gibbs_sweep_with, icm_sweep, AnnealSchedule, SweepScratch};
 use rand::Rng;
 use std::fmt;
+
+/// Reusable decode buffers: the per-sequence state vectors plus the
+/// per-sweep log-weight buffer of the Gibbs sampler.
+///
+/// [`C2mn::label`] runs dozens of sweeps per sequence; batch workloads
+/// decode thousands of sequences. Owning one `DecodeScratch` per worker
+/// (see [`crate::BatchAnnotator`]) and routing decoding through
+/// [`C2mn::label_with`] replaces those per-sequence/per-sweep allocations
+/// with buffers that grow once and are reused.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    region_state: Vec<usize>,
+    event_state: Vec<usize>,
+    regions: Vec<RegionId>,
+    events: Vec<MobilityEvent>,
+    sweep: SweepScratch,
+}
+
+impl DecodeScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        DecodeScratch::default()
+    }
+}
 
 /// Errors of model training.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,6 +144,20 @@ impl<'a> C2mn<'a> {
         records: &[PositioningRecord],
         rng: &mut R,
     ) -> Vec<(RegionId, MobilityEvent)> {
+        self.label_with(records, rng, &mut DecodeScratch::new())
+    }
+
+    /// [`C2mn::label`] routed through caller-owned scratch buffers.
+    ///
+    /// Output is identical to [`C2mn::label`] for the same RNG state; only
+    /// the allocation strategy differs. Batch workloads keep one
+    /// [`DecodeScratch`] per worker and reuse it across sequences.
+    pub fn label_with<R: Rng + ?Sized>(
+        &self,
+        records: &[PositioningRecord],
+        rng: &mut R,
+        scratch: &mut DecodeScratch,
+    ) -> Vec<(RegionId, MobilityEvent)> {
         if records.is_empty() {
             return Vec::new();
         }
@@ -127,23 +165,42 @@ impl<'a> C2mn<'a> {
         let net = CoupledNetwork::new(&ctx, &self.weights);
         let n = ctx.len();
 
-        let mut region_state: Vec<usize> = ctx.nearest_idx.clone();
-        let mut event_state: Vec<usize> = ctx.dbscan_events.iter().map(|e| e.index()).collect();
-        let mut regions: Vec<RegionId> =
-            (0..n).map(|i| ctx.candidates[i][region_state[i]]).collect();
-        let mut events: Vec<MobilityEvent> = ctx.dbscan_events.clone();
+        let DecodeScratch {
+            region_state,
+            event_state,
+            regions,
+            events,
+            sweep,
+        } = scratch;
+        region_state.clear();
+        region_state.extend_from_slice(&ctx.nearest_idx);
+        event_state.clear();
+        event_state.extend(ctx.dbscan_events.iter().map(|e| e.index()));
+        regions.clear();
+        regions.extend(
+            ctx.nearest_idx
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| ctx.candidates[i][c]),
+        );
+        events.clear();
+        events.extend_from_slice(&ctx.dbscan_events);
 
-        // Annealed coupled Gibbs.
-        let sweeps = self.config.anneal_sweeps.max(1);
-        let ratio = (self.config.anneal_t_end / self.config.anneal_t_start).max(1e-9);
-        for k in 0..sweeps {
-            let t = self.config.anneal_t_start * ratio.powf(k as f64 / sweeps as f64);
+        // Annealed coupled Gibbs, cooling geometrically from `t_start` on
+        // the first sweep to exactly `t_end` on the last.
+        let schedule = AnnealSchedule {
+            t_start: self.config.anneal_t_start,
+            t_end: self.config.anneal_t_end,
+            sweeps: self.config.anneal_sweeps.max(1),
+        };
+        for k in 0..schedule.sweeps {
+            let t = schedule.temperature(k);
             {
                 let rs = RegionSites {
                     net: &net,
-                    events: &events,
+                    events: events.as_slice(),
                 };
-                gibbs_sweep(&rs, &mut region_state, t, rng);
+                gibbs_sweep_with(&rs, region_state, t, rng, sweep);
             }
             for i in 0..n {
                 regions[i] = ctx.candidates[i][region_state[i]];
@@ -151,9 +208,9 @@ impl<'a> C2mn<'a> {
             {
                 let es = EventSites {
                     net: &net,
-                    regions: &regions,
+                    regions: regions.as_slice(),
                 };
-                gibbs_sweep(&es, &mut event_state, t, rng);
+                gibbs_sweep_with(&es, event_state, t, rng, sweep);
             }
             for i in 0..n {
                 events[i] = MobilityEvent::ALL[event_state[i]];
@@ -165,9 +222,9 @@ impl<'a> C2mn<'a> {
             let changed_r = {
                 let rs = RegionSites {
                     net: &net,
-                    events: &events,
+                    events: events.as_slice(),
                 };
-                icm_sweep(&rs, &mut region_state)
+                icm_sweep(&rs, region_state)
             };
             for i in 0..n {
                 regions[i] = ctx.candidates[i][region_state[i]];
@@ -175,9 +232,9 @@ impl<'a> C2mn<'a> {
             let changed_e = {
                 let es = EventSites {
                     net: &net,
-                    regions: &regions,
+                    regions: regions.as_slice(),
                 };
-                icm_sweep(&es, &mut event_state)
+                icm_sweep(&es, event_state)
             };
             for i in 0..n {
                 events[i] = MobilityEvent::ALL[event_state[i]];
@@ -187,7 +244,11 @@ impl<'a> C2mn<'a> {
             }
         }
 
-        regions.into_iter().zip(events).collect()
+        regions
+            .iter()
+            .copied()
+            .zip(events.iter().copied())
+            .collect()
     }
 
     /// Annotates a p-sequence with m-semantics: label every record, then
@@ -197,7 +258,17 @@ impl<'a> C2mn<'a> {
         records: &[PositioningRecord],
         rng: &mut R,
     ) -> Vec<MobilitySemantics> {
-        let labels = self.label(records, rng);
+        self.annotate_with(records, rng, &mut DecodeScratch::new())
+    }
+
+    /// [`C2mn::annotate`] routed through caller-owned scratch buffers.
+    pub fn annotate_with<R: Rng + ?Sized>(
+        &self,
+        records: &[PositioningRecord],
+        rng: &mut R,
+        scratch: &mut DecodeScratch,
+    ) -> Vec<MobilitySemantics> {
+        let labels = self.label_with(records, rng, scratch);
         let times: Vec<f64> = records.iter().map(|r| r.t).collect();
         merge_labels(&times, &labels)
     }
@@ -289,6 +360,25 @@ mod tests {
         let model = C2mn::train(&space, &dataset.sequences, &config, &mut rng).unwrap();
         assert!(model.label(&[], &mut rng).is_empty());
         assert!(model.annotate(&[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_buffers() {
+        let (space, dataset) = pipeline();
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = C2mnConfig::quick_test();
+        let model = C2mn::train(&space, &dataset.sequences, &config, &mut rng).unwrap();
+        // One scratch reused across sequences must match per-call fresh
+        // buffers for identical RNG streams.
+        let mut scratch = DecodeScratch::new();
+        for (i, seq) in dataset.sequences.iter().take(4).enumerate() {
+            let records: Vec<_> = seq.positioning().collect();
+            let mut rng_a = StdRng::seed_from_u64(100 + i as u64);
+            let mut rng_b = StdRng::seed_from_u64(100 + i as u64);
+            let fresh = model.label(&records, &mut rng_a);
+            let reused = model.label_with(&records, &mut rng_b, &mut scratch);
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]

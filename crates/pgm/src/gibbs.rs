@@ -33,8 +33,30 @@ pub trait ConditionalModel {
     fn local_log_potential(&self, site: usize, candidate: usize, state: &[usize]) -> f64;
 }
 
+/// Reusable buffers for the sweep hot path.
+///
+/// [`gibbs_sweep`] needs one log-weight vector per resampled site; decoding
+/// a sequence runs tens of sweeps, and a batch workload decodes thousands
+/// of sequences. Holding the buffer in a `SweepScratch` owned by the caller
+/// (one per worker thread in the batch engine) turns those per-sweep
+/// allocations into a single allocation per worker.
+#[derive(Debug, Default)]
+pub struct SweepScratch {
+    log_weights: Vec<f64>,
+}
+
+impl SweepScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        SweepScratch::default()
+    }
+}
+
 /// One Gibbs sweep: resamples every site in order from its conditional at
 /// temperature `temperature` (1.0 = the model distribution).
+///
+/// Allocates a fresh buffer per call; hot paths should prefer
+/// [`gibbs_sweep_with`] with a reused [`SweepScratch`].
 ///
 /// Returns the number of sites whose label changed.
 pub fn gibbs_sweep<M: ConditionalModel + ?Sized, R: Rng + ?Sized>(
@@ -43,10 +65,24 @@ pub fn gibbs_sweep<M: ConditionalModel + ?Sized, R: Rng + ?Sized>(
     temperature: f64,
     rng: &mut R,
 ) -> usize {
+    gibbs_sweep_with(model, state, temperature, rng, &mut SweepScratch::new())
+}
+
+/// [`gibbs_sweep`] routed through caller-owned scratch buffers.
+///
+/// Behaviour (including the RNG stream consumed) is identical to
+/// [`gibbs_sweep`]; only the allocation strategy differs.
+pub fn gibbs_sweep_with<M: ConditionalModel + ?Sized, R: Rng + ?Sized>(
+    model: &M,
+    state: &mut [usize],
+    temperature: f64,
+    rng: &mut R,
+    scratch: &mut SweepScratch,
+) -> usize {
     debug_assert_eq!(state.len(), model.num_sites());
     let inv_t = 1.0 / temperature.max(1e-9);
     let mut changed = 0;
-    let mut weights: Vec<f64> = Vec::new();
+    let weights = &mut scratch.log_weights;
     for site in 0..model.num_sites() {
         let k = model.num_candidates(site);
         if k <= 1 {
@@ -54,7 +90,7 @@ pub fn gibbs_sweep<M: ConditionalModel + ?Sized, R: Rng + ?Sized>(
         }
         weights.clear();
         weights.extend((0..k).map(|c| model.local_log_potential(site, c, state) * inv_t));
-        let new = sample_from_log_weights(&weights, rng);
+        let new = sample_from_log_weights(weights, rng);
         if new != state[site] {
             changed += 1;
         }
@@ -112,6 +148,27 @@ impl Default for AnnealSchedule {
     }
 }
 
+impl AnnealSchedule {
+    /// Temperature of sweep `i` (`0 ≤ i < sweeps`): geometric interpolation
+    /// with `temperature(0) = t_start` and
+    /// `temperature(sweeps − 1) = t_end`.
+    ///
+    /// The denominator is `sweeps − 1`, not `sweeps`: dividing by `sweeps`
+    /// would leave the final sweep at `t_start·ratio^((sweeps−1)/sweeps)`,
+    /// never reaching the configured `t_end` (and a 1-sweep schedule would
+    /// run entirely at `t_start`).
+    pub fn temperature(&self, i: usize) -> f64 {
+        debug_assert!(i < self.sweeps.max(1));
+        if self.sweeps <= 1 {
+            // A single sweep runs at the coldest configured temperature.
+            return self.t_end;
+        }
+        let ratio = (self.t_end / self.t_start).max(1e-12);
+        let frac = i as f64 / (self.sweeps - 1) as f64;
+        self.t_start * ratio.powf(frac)
+    }
+}
+
 /// Simulated annealing: tempered Gibbs sweeps followed by ICM until a local
 /// optimum is reached (at most `num_sites` extra ICM sweeps).
 pub fn simulated_annealing<M: ConditionalModel + ?Sized, R: Rng + ?Sized>(
@@ -120,13 +177,9 @@ pub fn simulated_annealing<M: ConditionalModel + ?Sized, R: Rng + ?Sized>(
     schedule: &AnnealSchedule,
     rng: &mut R,
 ) {
-    if schedule.sweeps > 0 {
-        let ratio = (schedule.t_end / schedule.t_start).max(1e-12);
-        for i in 0..schedule.sweeps {
-            let frac = i as f64 / schedule.sweeps.max(1) as f64;
-            let t = schedule.t_start * ratio.powf(frac);
-            gibbs_sweep(model, state, t, rng);
-        }
+    let mut scratch = SweepScratch::new();
+    for i in 0..schedule.sweeps {
+        gibbs_sweep_with(model, state, schedule.temperature(i), rng, &mut scratch);
     }
     for _ in 0..model.num_sites().max(1) {
         if icm_sweep(model, state) == 0 {
@@ -259,6 +312,70 @@ mod tests {
         let mut state: Vec<usize> = (0..20).map(|i| i % 4).collect();
         simulated_annealing(&model, &mut state, &AnnealSchedule::default(), &mut rng);
         assert_eq!(state, vec![1; 20]);
+    }
+
+    #[test]
+    fn schedule_reaches_configured_endpoints() {
+        // Regression: `frac = i / sweeps` left the final sweep at
+        // t_start·ratio^((sweeps−1)/sweeps) > t_end.
+        for sweeps in [2usize, 3, 7, 20, 100] {
+            let s = AnnealSchedule {
+                t_start: 2.0,
+                t_end: 0.2,
+                sweeps,
+            };
+            assert!(
+                (s.temperature(0) - 2.0).abs() < 1e-12,
+                "sweeps={sweeps}: first sweep at {}",
+                s.temperature(0)
+            );
+            assert!(
+                (s.temperature(sweeps - 1) - 0.2).abs() < 1e-12,
+                "sweeps={sweeps}: final sweep at {}",
+                s.temperature(sweeps - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_is_monotonically_cooling() {
+        let s = AnnealSchedule::default();
+        for i in 1..s.sweeps {
+            assert!(s.temperature(i) < s.temperature(i - 1));
+        }
+    }
+
+    #[test]
+    fn one_sweep_schedule_runs_cold() {
+        // Regression: with sweeps = 1 the whole anneal used to run at
+        // t_start; a single sweep should use the coldest temperature.
+        let s = AnnealSchedule {
+            t_start: 2.0,
+            t_end: 0.2,
+            sweeps: 1,
+        };
+        assert_eq!(s.temperature(0), 0.2);
+    }
+
+    #[test]
+    fn scratch_sweep_matches_allocating_sweep() {
+        let model = Chain {
+            prefs: vec![1, 0, 2, 1, 1, 0, 2, 2],
+            k: 3,
+            unary: 1.0,
+            coupling: 0.7,
+        };
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let mut state_a = vec![0; 8];
+        let mut state_b = vec![0; 8];
+        let mut scratch = SweepScratch::new();
+        for _ in 0..20 {
+            let ca = gibbs_sweep(&model, &mut state_a, 0.8, &mut rng_a);
+            let cb = gibbs_sweep_with(&model, &mut state_b, 0.8, &mut rng_b, &mut scratch);
+            assert_eq!(ca, cb);
+            assert_eq!(state_a, state_b);
+        }
     }
 
     #[test]

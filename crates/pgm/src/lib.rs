@@ -22,6 +22,9 @@ pub mod hmm;
 pub mod util;
 
 pub use chain_crf::{ChainCrf, ChainCrfConfig};
-pub use gibbs::{gibbs_sweep, icm_sweep, simulated_annealing, AnnealSchedule, ConditionalModel};
+pub use gibbs::{
+    gibbs_sweep, gibbs_sweep_with, icm_sweep, simulated_annealing, AnnealSchedule,
+    ConditionalModel, SweepScratch,
+};
 pub use hmm::{Hmm, HmmConfig};
 pub use util::{log_sum_exp, sample_from_log_weights};

@@ -37,7 +37,15 @@ pub fn sample_from_log_weights<R: Rng + ?Sized>(log_weights: &[f64], rng: &mut R
             return i;
         }
     }
-    log_weights.len() - 1
+    // Floating-point slack left `u` positive after the full pass. Falling
+    // back to `len() - 1` would be wrong when trailing entries are `-∞`
+    // (they carry probability zero but would still be returned); fall back
+    // to the last *finite*-weight index instead, which exists because `m`
+    // is finite.
+    log_weights
+        .iter()
+        .rposition(|w| w.is_finite())
+        .expect("a finite weight exists")
 }
 
 #[cfg(test)]
@@ -85,6 +93,64 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..100 {
             assert_eq!(sample_from_log_weights(&lw, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn trailing_neg_inf_is_never_sampled_at_extreme_draws() {
+        // Regression: the floating-point fallback returned `len() - 1`
+        // even when that entry was -∞. A large dominant weight makes every
+        // other finite weight underflow to 0 after the max-shift, so the
+        // cumulative pass can exit only via accumulated slack — the exact
+        // path the fallback serves.
+        let lw = [800.0, -900.0, f64::NEG_INFINITY, f64::NEG_INFINITY];
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let idx = sample_from_log_weights(&lw, &mut rng);
+            assert!(lw[idx].is_finite(), "sampled -inf entry {idx}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::sample_from_log_weights;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// `-∞` entries have probability zero and must never be returned,
+        /// including when they occupy the last position (the fallback path).
+        #[test]
+        fn neg_inf_never_sampled(
+            len in 2usize..10,
+            finite in 1usize..10,
+            spread in 0.0f64..600.0,
+            seed in 0u64..1_000_000,
+        ) {
+            let finite = finite.min(len - 1); // ≥ 1 trailing -∞ entry
+            let mut gen = StdRng::seed_from_u64(seed);
+            let mut lw: Vec<f64> = (0..finite)
+                .map(|_| gen.random_range(-spread - 1.0..spread + 1.0))
+                .collect();
+            // Shuffle a few -∞ entries in, then force one onto the last
+            // slot — the position the old fallback would return.
+            for _ in finite..len {
+                let at = gen.random_range(0..=lw.len());
+                lw.insert(at, f64::NEG_INFINITY);
+            }
+            lw.push(f64::NEG_INFINITY);
+            prop_assert!(lw.iter().any(|w| w.is_finite()));
+
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+            for _ in 0..200 {
+                let idx = sample_from_log_weights(&lw, &mut rng);
+                prop_assert!(lw[idx].is_finite(),
+                    "sampled -inf index {idx} of {lw:?}");
+            }
         }
     }
 }

@@ -16,6 +16,8 @@
 //! * [`optim`] — L-BFGS with line search.
 //! * [`pgm`] — probabilistic graphical model toolkit (HMM, linear-chain CRF,
 //!   Gibbs/ICM inference).
+//! * [`runtime`] — deterministic scoped-thread worker pool backing the
+//!   batch annotation engine.
 //! * [`c2mn`] — the paper's coupled conditional Markov network: feature
 //!   functions, alternate learning (Algorithm 1), joint decoding,
 //!   label-and-merge, and all structural variants.
@@ -70,11 +72,12 @@ pub use ism_mobility as mobility;
 pub use ism_optim as optim;
 pub use ism_pgm as pgm;
 pub use ism_queries as queries;
+pub use ism_runtime as runtime;
 
 /// Convenience prelude importing the most frequently used types.
 pub mod prelude {
     pub use ism_baselines::{HmmDc, SapDa, SapDv, Smot};
-    pub use ism_c2mn::{C2mn, C2mnConfig, ModelStructure};
+    pub use ism_c2mn::{sequence_seed, BatchAnnotator, C2mn, C2mnConfig, ModelStructure};
     pub use ism_cluster::{DensityClass, StDbscan, StDbscanParams};
     pub use ism_eval::{combined_accuracy, perfect_accuracy, LabelAccuracy};
     pub use ism_geometry::{Circle, Point2, Rect};
@@ -84,4 +87,5 @@ pub mod prelude {
         SimulationConfig, Simulator,
     };
     pub use ism_queries::{tk_frpq, tk_prq, SemanticsStore};
+    pub use ism_runtime::WorkerPool;
 }

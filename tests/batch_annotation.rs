@@ -1,0 +1,92 @@
+//! Tier-1 determinism contract of the parallel batch annotation engine:
+//! `BatchAnnotator` output must be byte-identical across thread counts and
+//! equal to the sequential `C2mn::annotate` reference on a seeded mall
+//! dataset.
+
+use indoor_semantics::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BASE_SEED: u64 = 2020;
+
+fn mall_pipeline() -> (IndoorSpace, Dataset) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let space = BuildingGenerator::mall().generate(&mut rng).unwrap();
+    let dataset = Dataset::generate(
+        "mall",
+        &space,
+        SimulationConfig::quick(),
+        PositioningConfig::wifi_mall(),
+        None,
+        10,
+        &mut rng,
+    );
+    (space, dataset)
+}
+
+#[test]
+fn batch_annotation_is_thread_count_invariant_and_matches_sequential() {
+    let (space, dataset) = mall_pipeline();
+    let mut rng = StdRng::seed_from_u64(2);
+    let model = C2mn::train(
+        &space,
+        &dataset.sequences,
+        &C2mnConfig::quick_test(),
+        &mut rng,
+    )
+    .expect("training data");
+    let sequences: Vec<Vec<PositioningRecord>> = dataset
+        .sequences
+        .iter()
+        .map(|s| s.positioning().collect())
+        .collect();
+    assert!(sequences.len() >= 4, "need a real batch");
+
+    // Sequential reference: the documented contract — sequence i decoded
+    // with an RNG seeded from sequence_seed(BASE_SEED, i).
+    let sequential: Vec<Vec<MobilitySemantics>> = sequences
+        .iter()
+        .enumerate()
+        .map(|(i, records)| {
+            let mut rng = StdRng::seed_from_u64(sequence_seed(BASE_SEED, i));
+            model.annotate(records, &mut rng)
+        })
+        .collect();
+
+    for threads in [1usize, 2, 4] {
+        let engine = BatchAnnotator::new(&model, threads, BASE_SEED);
+        assert_eq!(engine.threads(), threads);
+        let batch = engine.annotate_batch(&sequences);
+        assert_eq!(
+            batch, sequential,
+            "batch output with {threads} threads diverged from sequential annotate"
+        );
+    }
+}
+
+#[test]
+fn batch_labels_are_thread_count_invariant() {
+    let (space, dataset) = mall_pipeline();
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = C2mn::train(
+        &space,
+        &dataset.sequences,
+        &C2mnConfig::quick_test(),
+        &mut rng,
+    )
+    .expect("training data");
+    let sequences: Vec<Vec<PositioningRecord>> = dataset
+        .sequences
+        .iter()
+        .map(|s| s.positioning().collect())
+        .collect();
+    let reference = BatchAnnotator::new(&model, 1, BASE_SEED).label_batch(&sequences);
+    assert_eq!(reference.len(), sequences.len());
+    for (labels, records) in reference.iter().zip(&sequences) {
+        assert_eq!(labels.len(), records.len());
+    }
+    for threads in [2usize, 4] {
+        let labels = BatchAnnotator::new(&model, threads, BASE_SEED).label_batch(&sequences);
+        assert_eq!(labels, reference, "threads = {threads}");
+    }
+}

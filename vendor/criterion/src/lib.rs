@@ -25,6 +25,7 @@ pub struct Criterion {
     measurement_time: Duration,
     test_mode: bool,
     filter: Option<String>,
+    last_estimate_ns: Option<f64>,
 }
 
 impl Default for Criterion {
@@ -35,6 +36,7 @@ impl Default for Criterion {
             measurement_time: Duration::from_secs(5),
             test_mode: false,
             filter: None,
+            last_estimate_ns: None,
         }
     }
 }
@@ -90,6 +92,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        // Reset up front so a filtered-out bench reads as "did not run"
+        // (`last_estimate_ns() == None`) instead of leaking the previous
+        // bench's estimate.
+        self.last_estimate_ns = None;
         if let Some(filter) = &self.filter {
             if !id.contains(filter.as_str()) {
                 return self;
@@ -104,7 +110,17 @@ impl Criterion {
         };
         f(&mut bencher);
         bencher.report(id);
+        self.last_estimate_ns = bencher.median_ns();
         self
+    }
+
+    /// Median per-iteration time (ns) of the most recent
+    /// [`Criterion::bench_function`] call, or `None` when that call was
+    /// skipped by the CLI filter. In `--test` mode the estimate comes
+    /// from the single smoke iteration. Lets harness-less bench binaries
+    /// export machine-readable results (e.g. a `BENCH_*.json`).
+    pub fn last_estimate_ns(&self) -> Option<f64> {
+        self.last_estimate_ns
     }
 }
 
@@ -124,7 +140,12 @@ impl Bencher {
         R: FnMut() -> O,
     {
         if self.test_mode {
+            // Smoke mode still times its single iteration so callers can
+            // export a coarse estimate via `last_estimate_ns`.
+            let start = Instant::now();
             std::hint::black_box(routine());
+            self.samples_ns.clear();
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
             return;
         }
 
@@ -151,6 +172,15 @@ impl Bencher {
             let elapsed = start.elapsed().as_nanos() as f64;
             self.samples_ns.push(elapsed / batch as f64);
         }
+    }
+
+    fn median_ns(&self) -> Option<f64> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Some(sorted[sorted.len() / 2])
     }
 
     fn report(&self, id: &str) {
@@ -229,6 +259,37 @@ mod tests {
         let mut calls = 0u64;
         c.bench_function("smoke", |b| b.iter(|| calls += 1));
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn filtered_bench_leaves_no_estimate() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        c.filter = Some("matches-nothing".to_string());
+        c.bench_function("first", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        assert!(
+            c.last_estimate_ns().is_none(),
+            "skipped bench must not report an estimate"
+        );
+    }
+
+    #[test]
+    fn last_estimate_tracks_most_recent_bench() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        assert!(c.last_estimate_ns().is_none());
+        c.bench_function("first", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        let first = c.last_estimate_ns().expect("estimate after bench");
+        assert!(first > 0.0);
+        c.bench_function("second", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_micros(50)))
+        });
+        let second = c.last_estimate_ns().expect("estimate after bench");
+        assert!(second > first);
     }
 
     #[test]
