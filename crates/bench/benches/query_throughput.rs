@@ -1,0 +1,140 @@
+//! Semantic query throughput: queries/second of the sharded TkPRQ / TkFRPQ
+//! engine at 1, 2 and 4 worker threads, plus the flat full-scan reference.
+//!
+//! Besides the usual criterion console report, the bench writes
+//! `BENCH_queries.json` at the repository root so CI can archive the perf
+//! trajectory across commits (the query-side companion of
+//! `BENCH_annotate.json`). In `--test` (smoke) mode each configuration runs
+//! once and the JSON carries coarse single-run estimates.
+
+use criterion::Criterion;
+use ism_indoor::RegionId;
+use ism_mobility::{MobilityEvent, MobilitySemantics, TimePeriod};
+use ism_queries::{
+    tk_frpq, tk_frpq_sharded, tk_prq, tk_prq_sharded, SemanticsStore, ShardedSemanticsStore,
+};
+use ism_runtime::WorkerPool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const NUM_OBJECTS: u64 = 1500;
+const NUM_REGIONS: u32 = 120;
+const SHARDS: usize = 16;
+const K: usize = 20;
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_queries.json");
+
+/// A synthetic store standing in for a day of annotated mall traffic:
+/// `NUM_OBJECTS` timelines of stays/passes over `NUM_REGIONS` regions
+/// spanning [0, 86400].
+fn workload_store() -> SemanticsStore {
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    let mut store = SemanticsStore::new();
+    for object in 0..NUM_OBJECTS {
+        let mut t = rng.random_range(0.0..3600.0);
+        let mut timeline = Vec::new();
+        while t < 86_400.0 {
+            let duration = rng.random_range(30.0..1800.0);
+            timeline.push(MobilitySemantics {
+                region: RegionId(rng.random_range(0..NUM_REGIONS)),
+                period: TimePeriod::new(t, t + duration),
+                event: if rng.random_bool(0.6) {
+                    MobilityEvent::Stay
+                } else {
+                    MobilityEvent::Pass
+                },
+            });
+            t += duration + rng.random_range(10.0..600.0);
+        }
+        store.insert(object, timeline);
+    }
+    store
+}
+
+/// One TkPRQ + one TkFRPQ over a two-hour window and a 60-region query set
+/// (≈ half the venue, like the paper's 101-of-202 setup).
+fn run_pair(store: &ShardedSemanticsStore, query: &[RegionId], qt: TimePeriod, pool: &WorkerPool) {
+    black_box(tk_prq_sharded(store, query, K, qt, pool));
+    black_box(tk_frpq_sharded(store, query, K, qt, pool));
+}
+
+fn main() {
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .configure_from_args();
+
+    let flat = workload_store();
+    let sharded = ShardedSemanticsStore::from_store(&flat, SHARDS);
+    let query: Vec<RegionId> = (0..NUM_REGIONS / 2).map(RegionId).collect();
+    let qt = TimePeriod::new(36_000.0, 43_200.0);
+
+    // Flat full-scan reference (one TkPRQ + one TkFRPQ, single core).
+    let mut flat_qps = None;
+    c.bench_function("queries/flat_full_scan_pair", |b| {
+        b.iter(|| {
+            black_box(tk_prq(black_box(&flat), &query, K, qt));
+            black_box(tk_frpq(black_box(&flat), &query, K, qt));
+        })
+    });
+    if let Some(ns) = c.last_estimate_ns() {
+        flat_qps = Some(2.0 / (ns / 1e9));
+    }
+
+    let mut throughputs: Vec<(usize, f64)> = Vec::new();
+    for threads in THREAD_COUNTS {
+        let pool = WorkerPool::new(threads);
+        c.bench_function(&format!("queries/sharded_pair_{threads}_threads"), |b| {
+            b.iter(|| run_pair(black_box(&sharded), &query, qt, &pool))
+        });
+        if let Some(ns) = c.last_estimate_ns() {
+            throughputs.push((threads, 2.0 / (ns / 1e9)));
+        }
+    }
+
+    write_report(&sharded, flat_qps, &throughputs);
+}
+
+/// Emits `BENCH_queries.json` (hand-rolled JSON: the vendored serde does
+/// not serialize).
+fn write_report(
+    store: &ShardedSemanticsStore,
+    flat_qps: Option<f64>,
+    throughputs: &[(usize, f64)],
+) {
+    // Speedups are relative to the measured 1-thread sharded run; when a
+    // CLI filter skipped it, report `null` rather than a made-up baseline.
+    let baseline = throughputs
+        .iter()
+        .find(|&&(threads, _)| threads == 1)
+        .map(|&(_, qps)| qps);
+    let entries: Vec<String> = throughputs
+        .iter()
+        .map(|&(threads, qps)| {
+            let speedup = baseline.map_or("null".to_string(), |base| format!("{:.3}", qps / base));
+            format!(
+                "    {{\"threads\": {threads}, \"queries_per_sec\": {qps:.3}, \
+                 \"speedup_vs_1_thread\": {speedup}}}"
+            )
+        })
+        .collect();
+    let flat = flat_qps.map_or("null".to_string(), |qps| format!("{qps:.3}"));
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"query_throughput\",\n  \"workload\": \"synthetic_day\",\n  \
+         \"num_objects\": {},\n  \"num_postings\": {},\n  \"shards\": {},\n  \
+         \"k\": {K},\n  \"host_parallelism\": {available},\n  \
+         \"flat_full_scan_queries_per_sec\": {flat},\n  \"results\": [\n{}\n  ]\n}}\n",
+        store.len(),
+        store.num_postings(),
+        store.num_shards(),
+        entries.join(",\n")
+    );
+    match std::fs::write(OUT_PATH, &json) {
+        Ok(()) => println!("wrote {OUT_PATH}"),
+        Err(e) => eprintln!("could not write {OUT_PATH}: {e}"),
+    }
+}

@@ -10,21 +10,22 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_env();
+    let pool = scale.pool();
     let (space, dataset) = mall_dataset(&scale, 1);
     let mut rng = StdRng::seed_from_u64(2);
     let (train, test) = dataset.split(0.7, &mut rng);
     let family = train_c2mn_family(&space, &train, &scale.c2mn_config(), &C2MN_VARIANTS, 3);
     let methods = all_methods(&space, &train, &family, scale.threads);
-    let truth = truth_store(&test);
+    let truth = truth_store(&test, scale.shards);
 
     let mut prq_rows = Vec::new();
     let mut frpq_rows = Vec::new();
     for m in &methods {
-        let store = annotate_store(m, &test, 4);
+        let store = annotate_store(m, &test, 4, scale.shards);
         let mut prq_row = vec![m.name.to_string()];
         let mut frpq_row = vec![m.name.to_string()];
         for qt in [60.0, 120.0, 180.0] {
-            let (prq, frpq) = query_precision(&space, &store, &truth, scale.k, qt, 10, 5);
+            let (prq, frpq) = query_precision(&space, &store, &truth, scale.k, qt, 10, 5, &pool);
             prq_row.push(f3(prq));
             frpq_row.push(f3(frpq));
         }

@@ -11,6 +11,7 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_env();
+    let pool = scale.pool();
     let space = vita_space(7);
     let variants: [(&'static str, ModelStructure); 2] = [
         ("CMN", ModelStructure::cmn()),
@@ -28,15 +29,15 @@ fn main() {
         };
         let family = train_c2mn_family(&space, &train, &config, &variants, 3);
         let methods = all_methods(&space, &train, &family, scale.threads);
-        let truth = truth_store(&test);
+        let truth = truth_store(&test, scale.shards);
         for (mi, m) in methods.iter().enumerate() {
             if mi_idx == 0 {
                 names.push(m.name.to_string());
                 columns.push(Vec::new());
             }
             let acc = evaluate_accuracy(m, &test, 4);
-            let store = annotate_store(m, &test, 4);
-            let (prq, frpq) = query_precision(&space, &store, &truth, scale.k, 120.0, 10, 5);
+            let store = annotate_store(m, &test, 4, scale.shards);
+            let (prq, frpq) = query_precision(&space, &store, &truth, scale.k, 120.0, 10, 5, &pool);
             columns[mi].push((acc.perfect, prq, frpq));
         }
     }

@@ -9,9 +9,10 @@
 //! million records with `M = 800` MCMC samples. The defaults here are
 //! scaled down to finish in minutes on a laptop; set the environment
 //! variables `REPRO_OBJECTS`, `REPRO_MCMC_M`, `REPRO_MAX_ITER`, `REPRO_K`
-//! to approach paper scale. The *shape* of the results (method ranking,
-//! trends across sweeps) is what the harness reproduces; absolute numbers
-//! depend on scale.
+//! to approach paper scale (`REPRO_THREADS` / `REPRO_SHARDS` tune worker
+//! and store-shard counts without changing any result). The *shape* of the
+//! results (method ranking, trends across sweeps) is what the harness
+//! reproduces; absolute numbers depend on scale.
 
 #![deny(missing_docs)]
 
@@ -23,7 +24,8 @@ use ism_mobility::{
     merge_labels, Dataset, LabeledSequence, MobilityEvent, PositioningConfig, PositioningRecord,
     PreprocessConfig, SimulationConfig, TimePeriod,
 };
-use ism_queries::{tk_frpq, tk_prq, SemanticsStore};
+use ism_queries::{tk_frpq_sharded, tk_prq_sharded, ShardedSemanticsStore, ShardedStoreBuilder};
+use ism_runtime::WorkerPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,6 +44,10 @@ pub struct Scale {
     /// the machine's available parallelism. Thread count never changes
     /// results — see [`BatchAnnotator`]'s determinism contract.
     pub threads: usize,
+    /// Shards of the semantics stores behind the query experiments
+    /// (`REPRO_SHARDS`). Shard count never changes query results — see
+    /// the `ism-queries` determinism contract.
+    pub shards: usize,
 }
 
 impl Scale {
@@ -60,7 +66,13 @@ impl Scale {
             max_iter: get("REPRO_MAX_ITER", 6),
             k: get("REPRO_K", 10),
             threads: get("REPRO_THREADS", default_threads).max(1),
+            shards: get("REPRO_SHARDS", 8).max(1),
         }
+    }
+
+    /// The worker pool query evaluation fans out over.
+    pub fn pool(&self) -> WorkerPool {
+        WorkerPool::new(self.threads)
     }
 
     /// The C2MN configuration at this scale (real-data profile).
@@ -297,40 +309,68 @@ pub fn evaluate_accuracy(
     acc.finish()
 }
 
-/// Builds a [`SemanticsStore`] from a method's annotations of the test set
-/// (batched: C2MN methods decode in parallel).
-pub fn annotate_store(method: &Method<'_>, test: &[LabeledSequence], seed: u64) -> SemanticsStore {
+/// Builds a [`ShardedSemanticsStore`] over `shards` shards from a method's
+/// annotations of the test set.
+///
+/// C2MN methods decode *and shard* in parallel
+/// ([`BatchAnnotator::annotate_into_store`] — no intermediate flat
+/// collection); closure baselines label sequentially and shard through a
+/// [`ShardedStoreBuilder`]. Both derive per-sequence RNGs from
+/// [`sequence_seed`]`(seed, i)` and tag entries with their item index, so
+/// the store content is independent of thread and shard count.
+pub fn annotate_store(
+    method: &Method<'_>,
+    test: &[LabeledSequence],
+    seed: u64,
+    shards: usize,
+) -> ShardedSemanticsStore {
     let sequences = positioning_batch(test);
-    let all_labels = method.label_all(&sequences, seed);
-    let mut store = SemanticsStore::new();
-    for ((records, labels), seq) in sequences.iter().zip(&all_labels).zip(test) {
-        let times: Vec<f64> = records.iter().map(|r| r.t).collect();
-        store.insert(seq.object_id, merge_labels(&times, labels));
+    match &method.kind {
+        LabelerKind::Batch { model, threads } => {
+            let object_ids: Vec<u64> = test.iter().map(|s| s.object_id).collect();
+            BatchAnnotator::new(model, *threads, seed).annotate_into_store(
+                &sequences,
+                &object_ids,
+                shards,
+            )
+        }
+        LabelerKind::PerSequence(_) => {
+            let all_labels = method.label_all(&sequences, seed);
+            let mut builder = ShardedStoreBuilder::new(shards);
+            for ((records, labels), seq) in sequences.iter().zip(&all_labels).zip(test) {
+                let times: Vec<f64> = records.iter().map(|r| r.t).collect();
+                builder.insert(seq.object_id, merge_labels(&times, labels));
+            }
+            builder.build()
+        }
     }
-    store
 }
 
-/// Ground-truth store from the test labels themselves.
-pub fn truth_store(test: &[LabeledSequence]) -> SemanticsStore {
-    let mut store = SemanticsStore::new();
+/// Ground-truth store from the test labels themselves, sharded like
+/// [`annotate_store`] output.
+pub fn truth_store(test: &[LabeledSequence], shards: usize) -> ShardedSemanticsStore {
+    let mut builder = ShardedStoreBuilder::new(shards);
     for seq in test {
         let times: Vec<f64> = seq.records.iter().map(|r| r.record.t).collect();
         let labels: Vec<(RegionId, MobilityEvent)> = seq.truth_labels().collect();
-        store.insert(seq.object_id, merge_labels(&times, &labels));
+        builder.insert(seq.object_id, merge_labels(&times, &labels));
     }
-    store
+    builder.build()
 }
 
 /// Average TkPRQ and TkFRPQ precision of a store against the ground truth
-/// over `trials` random query sets within `qt_minutes`-long windows.
+/// over `trials` random query sets within `qt_minutes`-long windows,
+/// evaluating both stores' queries on `pool`.
+#[allow(clippy::too_many_arguments)]
 pub fn query_precision(
     space: &IndoorSpace,
-    store: &SemanticsStore,
-    truth: &SemanticsStore,
+    store: &ShardedSemanticsStore,
+    truth: &ShardedSemanticsStore,
     k: usize,
     qt_minutes: f64,
     trials: usize,
     seed: u64,
+    pool: &WorkerPool,
 ) -> (f64, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let shops: Vec<RegionId> = space
@@ -353,14 +393,24 @@ pub fn query_precision(
         let start = rng.random_range(0.0..(horizon - qt_minutes * 60.0).max(1.0));
         let qt = TimePeriod::new(start, start + qt_minutes * 60.0);
 
-        let true_prq: Vec<RegionId> = tk_prq(truth, &q, k, qt).into_iter().map(|x| x.0).collect();
-        let got_prq: Vec<RegionId> = tk_prq(store, &q, k, qt).into_iter().map(|x| x.0).collect();
+        let true_prq: Vec<RegionId> = tk_prq_sharded(truth, &q, k, qt, pool)
+            .into_iter()
+            .map(|x| x.0)
+            .collect();
+        let got_prq: Vec<RegionId> = tk_prq_sharded(store, &q, k, qt, pool)
+            .into_iter()
+            .map(|x| x.0)
+            .collect();
         prq_sum += top_k_precision(&got_prq, &true_prq);
 
-        let true_frpq: Vec<(RegionId, RegionId)> =
-            tk_frpq(truth, &q, k, qt).into_iter().map(|x| x.0).collect();
-        let got_frpq: Vec<(RegionId, RegionId)> =
-            tk_frpq(store, &q, k, qt).into_iter().map(|x| x.0).collect();
+        let true_frpq: Vec<(RegionId, RegionId)> = tk_frpq_sharded(truth, &q, k, qt, pool)
+            .into_iter()
+            .map(|x| x.0)
+            .collect();
+        let got_frpq: Vec<(RegionId, RegionId)> = tk_frpq_sharded(store, &q, k, qt, pool)
+            .into_iter()
+            .map(|x| x.0)
+            .collect();
         frpq_sum += top_k_precision(&got_frpq, &true_frpq);
     }
     (prq_sum / trials as f64, frpq_sum / trials as f64)
@@ -422,6 +472,8 @@ mod tests {
     fn scale_reads_defaults() {
         let s = Scale::from_env();
         assert!(s.objects > 0 && s.mcmc_m > 0 && s.max_iter > 0 && s.k > 0);
+        assert!(s.threads > 0 && s.shards > 0);
+        assert_eq!(s.pool().threads(), s.threads);
     }
 
     fn tiny_dataset(seed: u64, objects: usize) -> Dataset {
@@ -506,7 +558,7 @@ mod tests {
     }
 
     #[test]
-    fn truth_store_has_one_entry_per_sequence() {
+    fn truth_store_has_one_entry_per_object() {
         let space = BuildingGenerator::small_office()
             .generate(&mut StdRng::seed_from_u64(1))
             .unwrap();
@@ -520,7 +572,45 @@ mod tests {
             4,
             &mut rng,
         );
-        let store = truth_store(&d.sequences);
-        assert_eq!(store.len(), d.sequences.len());
+        // Chunked / repeated sequences of one object merge into one entry.
+        let mut distinct: Vec<u64> = d.sequences.iter().map(|s| s.object_id).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let store = truth_store(&d.sequences, 3);
+        assert_eq!(store.num_shards(), 3);
+        assert_eq!(store.len(), distinct.len());
+    }
+
+    #[test]
+    fn annotate_store_is_shard_and_thread_invariant() {
+        let space = BuildingGenerator::small_office()
+            .generate(&mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let d = tiny_dataset(7, 5);
+        let mut rng = StdRng::seed_from_u64(8);
+        let config = C2mnConfig::quick_test();
+        let model = C2mn::train(&space, &d.sequences, &config, &mut rng).unwrap();
+        let truth = truth_store(&d.sequences, 4);
+        let reference = {
+            let m = Method::batched("C2MN", &model, 1);
+            let store = annotate_store(&m, &d.sequences, 11, 4);
+            query_precision(&space, &store, &truth, 5, 10.0, 3, 5, &WorkerPool::new(1))
+        };
+        for (threads, shards) in [(2, 1), (4, 4), (3, 9)] {
+            let m = Method::batched("C2MN", &model, threads);
+            let truth = truth_store(&d.sequences, shards);
+            let store = annotate_store(&m, &d.sequences, 11, shards);
+            let got = query_precision(
+                &space,
+                &store,
+                &truth,
+                5,
+                10.0,
+                3,
+                5,
+                &WorkerPool::new(threads),
+            );
+            assert_eq!(got, reference, "threads={threads} shards={shards}");
+        }
     }
 }

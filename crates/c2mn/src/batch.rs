@@ -25,6 +25,7 @@ use crate::model::DecodeScratch;
 use crate::C2mn;
 use ism_indoor::RegionId;
 use ism_mobility::{MobilityEvent, MobilitySemantics, PositioningRecord};
+use ism_queries::{ShardedSemanticsStore, ShardedStoreBuilder};
 use ism_runtime::WorkerPool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -128,6 +129,40 @@ impl<'m, 'a> BatchAnnotator<'m, 'a> {
                 self.model.annotate_with(&sequences[i], &mut rng, scratch)
             })
     }
+
+    /// Annotates the batch straight into a sharded semantics store: each
+    /// worker folds its sequences' m-semantics into per-shard partial
+    /// builders (map), partial builders merge, and shard indexes build in
+    /// parallel (reduce) — no intermediate flat collection of the batch.
+    ///
+    /// `object_ids[i]` is the object owning `sequences[i]`; repeated ids
+    /// (e.g. one object's chunked sub-sequences) extend a single store
+    /// entry in item order. Entries carry their item index, so the result
+    /// is byte-identical for any thread count and equal to inserting
+    /// `annotate_batch` output into a [`ShardedStoreBuilder`] sequentially.
+    pub fn annotate_into_store(
+        &self,
+        sequences: &[Vec<PositioningRecord>],
+        object_ids: &[u64],
+        num_shards: usize,
+    ) -> ShardedSemanticsStore {
+        assert_eq!(
+            sequences.len(),
+            object_ids.len(),
+            "one object id per sequence"
+        );
+        let (_, builder) = self.pool.map_reduce(
+            sequences.len(),
+            || (DecodeScratch::new(), ShardedStoreBuilder::new(num_shards)),
+            |(scratch, builder), i| {
+                let mut rng = StdRng::seed_from_u64(sequence_seed(self.base_seed, i));
+                let semantics = self.model.annotate_with(&sequences[i], &mut rng, scratch);
+                builder.insert_at(i as u64, object_ids[i], semantics);
+            },
+            |(_, total), (_, partial)| total.merge(partial),
+        );
+        builder.build_with(&self.pool)
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +224,39 @@ mod tests {
         for (i, seq) in sequences.iter().enumerate() {
             let mut rng = StdRng::seed_from_u64(sequence_seed(99, i));
             assert_eq!(batch[i], model.annotate(seq, &mut rng));
+        }
+    }
+
+    #[test]
+    fn annotate_into_store_matches_sequential_builder() {
+        let (space, sequences) = setup();
+        let model = C2mn::from_weights(&space, C2mnConfig::quick_test(), Weights::uniform(1.0));
+        // Duplicate ids on purpose: chunked sub-sequences of one object.
+        let object_ids: Vec<u64> = (0..sequences.len() as u64).map(|i| i % 4).collect();
+        let reference = {
+            let engine = BatchAnnotator::new(&model, 1, 21);
+            let mut builder = ShardedStoreBuilder::new(3);
+            for (id, semantics) in object_ids.iter().zip(engine.annotate_batch(&sequences)) {
+                builder.insert(*id, semantics);
+            }
+            builder.build()
+        };
+        for threads in [1, 2, 4] {
+            let engine = BatchAnnotator::new(&model, threads, 21);
+            let store = engine.annotate_into_store(&sequences, &object_ids, 3);
+            assert_eq!(store.num_shards(), 3);
+            assert_eq!(store.len(), 4);
+            for s in 0..store.num_shards() {
+                let got: Vec<_> = store
+                    .iter_shard(s)
+                    .map(|(id, sem)| (id, sem.to_vec()))
+                    .collect();
+                let want: Vec<_> = reference
+                    .iter_shard(s)
+                    .map(|(id, sem)| (id, sem.to_vec()))
+                    .collect();
+                assert_eq!(got, want, "shard {s} diverged at threads = {threads}");
+            }
         }
     }
 

@@ -1,0 +1,308 @@
+//! Per-shard posting index: region → time-bucketed visit postings.
+//!
+//! A *visit* is one `Stay` m-semantics triple. The index inverts a shard's
+//! objects into one posting list per region, sorted by visit start time and
+//! overlaid with equi-width time buckets, so a query with interval `qt`
+//! scans only the buckets that can contain an overlapping visit instead of
+//! every record in the shard.
+
+use ism_indoor::RegionId;
+use ism_mobility::{MobilityEvent, MobilitySemantics, TimePeriod};
+use std::collections::HashMap;
+
+use crate::topk::QuerySet;
+
+/// One visit posting: the visiting object and the stay interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Posting {
+    pub object: u64,
+    pub period: TimePeriod,
+}
+
+impl Posting {
+    #[inline]
+    fn overlaps(&self, qt: &TimePeriod) -> bool {
+        self.period.overlaps(qt)
+    }
+}
+
+/// Target number of postings per time bucket.
+const POSTINGS_PER_BUCKET: usize = 16;
+
+/// One region's visit postings, sorted by start time and bucketed.
+///
+/// `offsets` has one entry per bucket boundary: bucket `b` spans postings
+/// `offsets[b]..offsets[b + 1]`. Bucket membership is `bucket_of(start)` —
+/// the same clamped floor formula build and query both use, so the two
+/// sides can never disagree about which bucket a boundary posting is in.
+/// A visit lasting at most `max_duration` and overlapping `qt` must start
+/// in `[qt.start − max_duration, qt.end]`, and `bucket_of` is monotone in
+/// `t`, so scanning buckets `bucket_of(qt.start − max_duration) ..=
+/// bucket_of(qt.end)` covers every qualifying visit; the per-posting
+/// overlap filter rejects the rest.
+#[derive(Debug, Clone)]
+pub(crate) struct RegionPostings {
+    postings: Vec<Posting>,
+    max_duration: f64,
+    t0: f64,
+    width: f64,
+    offsets: Vec<usize>,
+}
+
+impl RegionPostings {
+    fn build(mut postings: Vec<Posting>) -> Self {
+        postings.sort_unstable_by(|a, b| {
+            (a.period.start, a.period.end, a.object)
+                .partial_cmp(&(b.period.start, b.period.end, b.object))
+                .expect("finite posting times")
+        });
+        let max_duration = postings
+            .iter()
+            .map(|p| p.period.duration())
+            .fold(0.0_f64, f64::max);
+        let t0 = postings.first().map_or(0.0, |p| p.period.start);
+        let t_last = postings.last().map_or(0.0, |p| p.period.start);
+        let buckets = postings.len().div_ceil(POSTINGS_PER_BUCKET).max(1);
+        let span = t_last - t0;
+        // Degenerate spans (single start time) collapse to one bucket.
+        let width = if span > 0.0 {
+            span / buckets as f64
+        } else {
+            1.0
+        };
+        let mut this = RegionPostings {
+            postings,
+            max_duration,
+            t0,
+            width,
+            offsets: Vec::with_capacity(buckets + 1),
+        };
+        // offsets[b + 1] = first posting past bucket b. bucket_of is
+        // monotone over the sorted starts, so one forward walk suffices.
+        this.offsets.push(0);
+        let mut i = 0;
+        for b in 0..buckets {
+            while i < this.postings.len()
+                && this.bucket_of(this.postings[i].period.start, buckets) <= b
+            {
+                i += 1;
+            }
+            this.offsets.push(i);
+        }
+        this
+    }
+
+    fn num_buckets(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The bucket whose range contains time `t`, clamped into
+    /// `[0, buckets)`. The single bucket-assignment formula shared by
+    /// [`RegionPostings::build`] and [`RegionPostings::candidates`].
+    #[inline]
+    fn bucket_of(&self, t: f64, buckets: usize) -> usize {
+        let b = ((t - self.t0) / self.width).floor();
+        // Clamp in f64 before the usize cast (casts saturate, but clamping
+        // keeps the arithmetic explicit and NaN-safe).
+        b.clamp(0.0, (buckets - 1) as f64) as usize
+    }
+
+    /// The contiguous posting range whose buckets cover the start-time
+    /// window `[qt.start − max_duration, qt.end]`.
+    ///
+    /// Out-of-range windows clamp to the nearest bucket rather than
+    /// short-circuiting: the cost is one bucket's worth of filtered-out
+    /// postings, and it keeps inclusive interval endpoints (`p.end ==
+    /// qt.start` etc.) from ever being dropped by float edge arithmetic.
+    fn candidates(&self, qt: &TimePeriod) -> &[Posting] {
+        if self.postings.is_empty() {
+            return &[];
+        }
+        let buckets = self.num_buckets();
+        // qt.start − max_duration ≤ qt.end and bucket_of is monotone, so
+        // lo ≤ hi always holds.
+        let lo = self.bucket_of(qt.start - self.max_duration, buckets);
+        let hi = self.bucket_of(qt.end, buckets);
+        &self.postings[self.offsets[lo]..self.offsets[hi + 1]]
+    }
+
+    /// Number of visits overlapping `qt`.
+    pub fn count_overlapping(&self, qt: &TimePeriod) -> usize {
+        self.candidates(qt)
+            .iter()
+            .filter(|p| p.overlaps(qt))
+            .count()
+    }
+
+    /// Calls `f(object)` for every visit overlapping `qt` (one call per
+    /// visit, not per distinct object).
+    pub fn for_each_overlapping(&self, qt: &TimePeriod, mut f: impl FnMut(u64)) {
+        for p in self.candidates(qt) {
+            if p.overlaps(qt) {
+                f(p.object);
+            }
+        }
+    }
+}
+
+/// One shard's region → postings index.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ShardIndex {
+    regions: HashMap<RegionId, RegionPostings>,
+    num_postings: usize,
+}
+
+impl ShardIndex {
+    /// Inverts a shard's `(object, m-semantics)` entries into per-region
+    /// posting lists.
+    pub fn build(objects: &[(u64, Vec<MobilitySemantics>)]) -> Self {
+        let mut raw: HashMap<RegionId, Vec<Posting>> = HashMap::new();
+        let mut num_postings = 0;
+        for (object, semantics) in objects {
+            for ms in semantics {
+                if ms.event == MobilityEvent::Stay {
+                    raw.entry(ms.region).or_default().push(Posting {
+                        object: *object,
+                        period: ms.period,
+                    });
+                    num_postings += 1;
+                }
+            }
+        }
+        ShardIndex {
+            regions: raw
+                .into_iter()
+                .map(|(region, postings)| (region, RegionPostings::build(postings)))
+                .collect(),
+            num_postings,
+        }
+    }
+
+    /// Total visit postings in this shard.
+    pub fn num_postings(&self) -> usize {
+        self.num_postings
+    }
+
+    /// Per-region visit counts within `qt`, restricted to `query`; only
+    /// regions with at least one qualifying visit appear.
+    pub fn prq_counts(&self, query: &QuerySet, qt: &TimePeriod) -> Vec<(RegionId, usize)> {
+        let mut counts = Vec::new();
+        for region in query.iter() {
+            if let Some(postings) = self.regions.get(&region) {
+                let n = postings.count_overlapping(qt);
+                if n > 0 {
+                    counts.push((region, n));
+                }
+            }
+        }
+        counts
+    }
+
+    /// Per-pair object counts within `qt`, restricted to `query`: each
+    /// object contributes 1 to every unordered pair of distinct regions it
+    /// stayed at. Objects are hashed whole into a single shard, so per-shard
+    /// pair counts sum to the global answer.
+    pub fn frpq_counts(
+        &self,
+        query: &QuerySet,
+        qt: &TimePeriod,
+    ) -> Vec<((RegionId, RegionId), usize)> {
+        let mut visits: Vec<(u64, RegionId)> = Vec::new();
+        for region in query.iter() {
+            if let Some(postings) = self.regions.get(&region) {
+                postings.for_each_overlapping(qt, |object| visits.push((object, region)));
+            }
+        }
+        visits.sort_unstable();
+        visits.dedup();
+        let mut counts: HashMap<(RegionId, RegionId), usize> = HashMap::new();
+        let mut i = 0;
+        while i < visits.len() {
+            let object = visits[i].0;
+            let mut j = i;
+            while j < visits.len() && visits[j].0 == object {
+                j += 1;
+            }
+            // visits[i..j] holds this object's distinct regions, ascending.
+            for a in i..j {
+                for b in a + 1..j {
+                    *counts.entry((visits[a].1, visits[b].1)).or_insert(0) += 1;
+                }
+            }
+            i = j;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn posting(object: u64, start: f64, end: f64) -> Posting {
+        Posting {
+            object,
+            period: TimePeriod::new(start, end),
+        }
+    }
+
+    #[test]
+    fn bucketed_count_matches_linear_scan() {
+        // 100 postings with varied durations; counts must equal a full scan
+        // for windows inside, straddling, and outside the data span.
+        let postings: Vec<Posting> = (0..100)
+            .map(|i| {
+                let start = (i as f64 * 7.3) % 500.0;
+                posting(i as u64, start, start + 1.0 + (i % 13) as f64 * 4.0)
+            })
+            .collect();
+        let index = RegionPostings::build(postings.clone());
+        for (qs, qe) in [
+            (0.0, 500.0),
+            (100.0, 120.0),
+            (499.0, 600.0),
+            (-50.0, -1.0),
+            (600.0, 700.0),
+            (250.0, 250.0),
+        ] {
+            let qt = TimePeriod::new(qs, qe);
+            let want = postings.iter().filter(|p| p.overlaps(&qt)).count();
+            assert_eq!(index.count_overlapping(&qt), want, "qt=[{qs},{qe}]");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_posting_lists() {
+        let empty = RegionPostings::build(Vec::new());
+        assert_eq!(empty.count_overlapping(&TimePeriod::new(0.0, 1.0)), 0);
+        let one = RegionPostings::build(vec![posting(3, 5.0, 9.0)]);
+        assert_eq!(one.count_overlapping(&TimePeriod::new(0.0, 5.0)), 1);
+        assert_eq!(one.count_overlapping(&TimePeriod::new(9.0, 12.0)), 1);
+        assert_eq!(one.count_overlapping(&TimePeriod::new(9.1, 12.0)), 0);
+    }
+
+    #[test]
+    fn bucket_edge_boundary_postings_are_not_dropped() {
+        // Regression: 32 stays starting at 0,10,…,310 (2 buckets), the last
+        // lasting exactly max_duration and ending exactly at qt.start. The
+        // old candidate-range math computed lo == num_buckets for
+        // qt = [315, 400] and returned no candidates, dropping a visit the
+        // inclusive overlap rule counts.
+        let postings: Vec<Posting> = (0..32)
+            .map(|i| posting(i, i as f64 * 10.0, i as f64 * 10.0 + 5.0))
+            .collect();
+        let index = RegionPostings::build(postings.clone());
+        for (qs, qe) in [(315.0, 400.0), (310.0, 310.0), (-20.0, 0.0), (0.0, 0.0)] {
+            let qt = TimePeriod::new(qs, qe);
+            let want = postings.iter().filter(|p| p.period.overlaps(&qt)).count();
+            assert_eq!(index.count_overlapping(&qt), want, "qt=[{qs},{qe}]");
+        }
+    }
+
+    #[test]
+    fn identical_start_times_collapse_to_one_bucket() {
+        let index = RegionPostings::build((0..40).map(|i| posting(i, 10.0, 20.0)).collect());
+        assert_eq!(index.count_overlapping(&TimePeriod::new(0.0, 100.0)), 40);
+        assert_eq!(index.count_overlapping(&TimePeriod::new(21.0, 100.0)), 0);
+    }
+}

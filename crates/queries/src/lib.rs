@@ -1,124 +1,47 @@
 //! Semantics-oriented top-k queries over annotated m-semantics (§V-B4).
 //!
-//! * [`SemanticsStore`] — per-object m-semantics sequences,
-//! * [`tk_prq`] — **Top-k Popular Region Query**: the `k` regions from a
-//!   query set with the most visits (a visit = a stay event overlapping the
-//!   query time interval),
-//! * [`tk_frpq`] — **Top-k Frequent Region Pair Query**: the `k` region
-//!   pairs most frequently visited by the same object.
+//! Two engines over the same query semantics:
 //!
-//! Ties are broken by region id so results are deterministic.
+//! * **Flat reference** — [`SemanticsStore`] plus [`tk_prq`] / [`tk_frpq`]:
+//!   a sequential full scan, kept as the correctness oracle.
+//! * **Sharded engine** — [`ShardedSemanticsStore`] plus
+//!   [`tk_prq_sharded`] / [`tk_frpq_sharded`]: objects hashed into `S`
+//!   shards ([`shard_of`]), each shard holding a region→visit posting index
+//!   bucketed by time, query evaluation fanned out over an
+//!   [`ism_runtime::WorkerPool`] as a map-reduce (per-shard partial counts
+//!   merged by summation).
+//!
+//! The queries:
+//!
+//! * **TkPRQ** — the `k` regions from a query set with the most visits
+//!   (a visit = a stay event overlapping the query time interval),
+//! * **TkFRPQ** — the `k` region pairs most frequently visited by the same
+//!   object.
+//!
+//! ## Determinism contract
+//!
+//! Ties are broken by region id, per-shard partials merge through a
+//! commutative sum, and objects are hashed whole into a single shard — so
+//! sharded results are **byte-identical for any shard count and any thread
+//! count**, and equal to the flat sequential reference. The property suite
+//! (`tests/sharded_oracle.rs`) pins this over shard counts {1, 3, 8} ×
+//! thread counts {1, 2, 4}.
 
 #![deny(missing_docs)]
 
-use ism_indoor::RegionId;
-use ism_mobility::{MobilityEvent, MobilitySemantics, TimePeriod};
-use std::collections::HashMap;
+mod index;
+mod store;
+mod topk;
 
-/// M-semantics of a set of objects, the input to the semantic queries.
-#[derive(Debug, Clone, Default)]
-pub struct SemanticsStore {
-    objects: Vec<(u64, Vec<MobilitySemantics>)>,
-}
-
-impl SemanticsStore {
-    /// Creates an empty store.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds one object's annotated m-semantics sequence.
-    pub fn insert(&mut self, object_id: u64, semantics: Vec<MobilitySemantics>) {
-        self.objects.push((object_id, semantics));
-    }
-
-    /// Number of objects stored.
-    pub fn len(&self) -> usize {
-        self.objects.len()
-    }
-
-    /// Whether the store is empty.
-    pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
-    }
-
-    /// Iterates over `(object, m-semantics)` entries.
-    pub fn iter(&self) -> impl Iterator<Item = &(u64, Vec<MobilitySemantics>)> {
-        self.objects.iter()
-    }
-
-    /// All visits (stay m-semantics overlapping `qt`) of an object,
-    /// restricted to the query region set.
-    fn visits<'q>(
-        &self,
-        entry: &'q [MobilitySemantics],
-        query: &'q [RegionId],
-        qt: &'q TimePeriod,
-    ) -> impl Iterator<Item = RegionId> + 'q {
-        entry.iter().filter_map(move |ms| {
-            (ms.event == MobilityEvent::Stay
-                && ms.period.overlaps(qt)
-                && query.contains(&ms.region))
-            .then_some(ms.region)
-        })
-    }
-}
-
-/// Top-k Popular Region Query: the `k` regions of `query` with the most
-/// visits within `qt`, with visit counts, ordered by count descending then
-/// region id.
-pub fn tk_prq(
-    store: &SemanticsStore,
-    query: &[RegionId],
-    k: usize,
-    qt: TimePeriod,
-) -> Vec<(RegionId, usize)> {
-    let mut counts: HashMap<RegionId, usize> = HashMap::new();
-    for (_, semantics) in store.iter() {
-        for region in store.visits(semantics, query, &qt) {
-            *counts.entry(region).or_insert(0) += 1;
-        }
-    }
-    let mut ranked: Vec<(RegionId, usize)> = counts.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    ranked.truncate(k);
-    ranked
-}
-
-/// Top-k Frequent Region Pair Query: the `k` unordered region pairs from
-/// `query × query` that the most objects visited (stayed at both) within
-/// `qt`, with object counts.
-pub fn tk_frpq(
-    store: &SemanticsStore,
-    query: &[RegionId],
-    k: usize,
-    qt: TimePeriod,
-) -> Vec<((RegionId, RegionId), usize)> {
-    let mut counts: HashMap<(RegionId, RegionId), usize> = HashMap::new();
-    for (_, semantics) in store.iter() {
-        // Distinct visited regions of this object.
-        let mut visited: Vec<RegionId> = Vec::new();
-        for region in store.visits(semantics, query, &qt) {
-            if !visited.contains(&region) {
-                visited.push(region);
-            }
-        }
-        visited.sort_unstable();
-        for i in 0..visited.len() {
-            for j in i + 1..visited.len() {
-                *counts.entry((visited[i], visited[j])).or_insert(0) += 1;
-            }
-        }
-    }
-    let mut ranked: Vec<((RegionId, RegionId), usize)> = counts.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    ranked.truncate(k);
-    ranked
-}
+pub use store::{shard_of, SemanticsStore, ShardedSemanticsStore, ShardedStoreBuilder};
+pub use topk::{tk_frpq, tk_frpq_sharded, tk_prq, tk_prq_sharded, QuerySet};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ism_indoor::RegionId;
+    use ism_mobility::{MobilityEvent, MobilitySemantics, TimePeriod};
+    use ism_runtime::WorkerPool;
     use MobilityEvent::{Pass, Stay};
 
     fn ms(region: u32, start: f64, end: f64, event: MobilityEvent) -> MobilitySemantics {
@@ -219,12 +142,29 @@ mod tests {
     }
 
     #[test]
+    fn frpq_does_not_double_count_reinserted_objects() {
+        // Regression: two `insert` calls for one object id used to produce
+        // two store entries, counting the object twice per pair.
+        let mut store = SemanticsStore::new();
+        store.insert(7, vec![ms(0, 0.0, 10.0, Stay)]);
+        store.insert(7, vec![ms(1, 20.0, 30.0, Stay)]);
+        let query = vec![RegionId(0), RegionId(1)];
+        let top = tk_frpq(&store, &query, 5, TimePeriod::new(0.0, 100.0));
+        assert_eq!(top, vec![((RegionId(0), RegionId(1)), 1)]);
+    }
+
+    #[test]
     fn empty_store_returns_empty() {
         let store = SemanticsStore::new();
         assert!(store.is_empty());
         let query = vec![RegionId(0)];
         assert!(tk_prq(&store, &query, 3, TimePeriod::new(0.0, 1.0)).is_empty());
         assert!(tk_frpq(&store, &query, 3, TimePeriod::new(0.0, 1.0)).is_empty());
+        let sharded = ShardedSemanticsStore::from_store(&store, 4);
+        assert!(sharded.is_empty());
+        let pool = WorkerPool::new(2);
+        assert!(tk_prq_sharded(&sharded, &query, 3, TimePeriod::new(0.0, 1.0), &pool).is_empty());
+        assert!(tk_frpq_sharded(&sharded, &query, 3, TimePeriod::new(0.0, 1.0), &pool).is_empty());
     }
 
     #[test]
@@ -237,5 +177,27 @@ mod tests {
         // R1 and R2 both have one visit: lower id first.
         assert_eq!(a[1].0, RegionId(1));
         assert_eq!(a[2].0, RegionId(2));
+    }
+
+    #[test]
+    fn sharded_matches_flat_on_sample_store() {
+        let store = sample_store();
+        let query: Vec<RegionId> = (0..3).map(RegionId).collect();
+        for qt in [
+            TimePeriod::new(0.0, 300.0),
+            TimePeriod::new(115.0, 300.0),
+            TimePeriod::new(400.0, 500.0),
+        ] {
+            let flat_prq = tk_prq(&store, &query, 3, qt);
+            let flat_frpq = tk_frpq(&store, &query, 3, qt);
+            for shards in [1, 2, 5] {
+                let sharded = ShardedSemanticsStore::from_store(&store, shards);
+                for threads in [1, 2, 4] {
+                    let pool = WorkerPool::new(threads);
+                    assert_eq!(tk_prq_sharded(&sharded, &query, 3, qt, &pool), flat_prq);
+                    assert_eq!(tk_frpq_sharded(&sharded, &query, 3, qt, &pool), flat_frpq);
+                }
+            }
+        }
     }
 }

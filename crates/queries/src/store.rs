@@ -1,0 +1,441 @@
+//! Semantics stores: the flat reference store and the sharded, indexed
+//! store the parallel query engine runs on.
+
+use ism_indoor::RegionId;
+use ism_mobility::{MobilitySemantics, TimePeriod};
+use ism_runtime::WorkerPool;
+use std::collections::HashMap;
+
+use crate::index::ShardIndex;
+use crate::topk::QuerySet;
+
+/// M-semantics of a set of objects, the input to the semantic queries.
+///
+/// This is the *flat reference* store: queries against it scan every record
+/// sequentially. [`ShardedSemanticsStore`] is the indexed, parallel
+/// counterpart; both produce byte-identical query results.
+#[derive(Debug, Clone, Default)]
+pub struct SemanticsStore {
+    objects: Vec<(u64, Vec<MobilitySemantics>)>,
+    by_id: HashMap<u64, usize>,
+}
+
+impl SemanticsStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one object's annotated m-semantics sequence.
+    ///
+    /// Inserting an `object_id` that is already present *extends* that
+    /// object's existing sequence instead of creating a second entry — two
+    /// entries for one object would double-count it in
+    /// [`tk_frpq`](crate::tk_frpq), which counts *objects* per region pair.
+    pub fn insert(&mut self, object_id: u64, semantics: Vec<MobilitySemantics>) {
+        extend_or_push(&mut self.objects, &mut self.by_id, object_id, semantics);
+    }
+
+    /// Number of objects stored.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterates over `(object, m-semantics)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = &(u64, Vec<MobilitySemantics>)> {
+        self.objects.iter()
+    }
+}
+
+/// The shard an object hashes to in a store with `num_shards` shards.
+///
+/// SplitMix64-style finalisation of the object id, reduced modulo the shard
+/// count: deterministic, stable across runs and platforms, and part of the
+/// public contract so external builders ([`ShardedStoreBuilder`], the batch
+/// annotation engine) place objects identically.
+pub fn shard_of(object_id: u64, num_shards: usize) -> usize {
+    let mut z = object_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % num_shards.max(1) as u64) as usize
+}
+
+/// One shard: its objects plus the region→visit posting index.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Shard {
+    objects: Vec<(u64, Vec<MobilitySemantics>)>,
+    index: ShardIndex,
+}
+
+impl Shard {
+    fn build(objects: Vec<(u64, Vec<MobilitySemantics>)>) -> Self {
+        let index = ShardIndex::build(&objects);
+        Shard { objects, index }
+    }
+
+    pub fn index(&self) -> &ShardIndex {
+        &self.index
+    }
+}
+
+/// A [`SemanticsStore`] split into `S` shards, each carrying a region→visit
+/// posting index bucketed by time (see [`crate::index`]).
+///
+/// Objects are hashed whole into one shard by [`shard_of`], so per-shard
+/// partial answers of both top-k queries merge by plain summation. Queries
+/// fan out across an [`ism_runtime::WorkerPool`] via
+/// [`tk_prq_sharded`](crate::tk_prq_sharded) /
+/// [`tk_frpq_sharded`](crate::tk_frpq_sharded); results are byte-identical
+/// for any shard count and any thread count, and equal to the flat
+/// sequential reference.
+#[derive(Debug, Clone)]
+pub struct ShardedSemanticsStore {
+    shards: Vec<Shard>,
+}
+
+impl ShardedSemanticsStore {
+    /// Shards a flat store. Object order within each shard follows the flat
+    /// store's insertion order.
+    pub fn from_store(store: &SemanticsStore, num_shards: usize) -> Self {
+        let mut builder = ShardedStoreBuilder::new(num_shards);
+        for (object_id, semantics) in store.iter() {
+            builder.insert(*object_id, semantics.clone());
+        }
+        builder.build()
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of objects across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.objects.len()).sum()
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.objects.is_empty())
+    }
+
+    /// Total number of indexed visit postings (stay events).
+    pub fn num_postings(&self) -> usize {
+        self.shards.iter().map(|s| s.index.num_postings()).sum()
+    }
+
+    /// Objects per shard, in shard order (diagnostics / balance checks).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.objects.len()).collect()
+    }
+
+    /// Iterates `(object, m-semantics)` entries of shard `s`.
+    pub fn iter_shard(&self, s: usize) -> impl Iterator<Item = (u64, &[MobilitySemantics])> {
+        self.shards[s]
+            .objects
+            .iter()
+            .map(|(id, sem)| (*id, sem.as_slice()))
+    }
+
+    pub(crate) fn shard(&self, s: usize) -> &Shard {
+        &self.shards[s]
+    }
+
+    /// Per-shard partial TkPRQ counts, evaluated on `pool` and merged by
+    /// key. Exposed through [`tk_prq_sharded`](crate::tk_prq_sharded).
+    pub(crate) fn prq_partials(
+        &self,
+        query: &QuerySet,
+        qt: &TimePeriod,
+        pool: &WorkerPool,
+    ) -> HashMap<RegionId, usize> {
+        pool.map_reduce(
+            self.num_shards(),
+            HashMap::new,
+            |acc: &mut HashMap<RegionId, usize>, s| {
+                for (region, n) in self.shard(s).index().prq_counts(query, qt) {
+                    *acc.entry(region).or_insert(0) += n;
+                }
+            },
+            merge_counts,
+        )
+    }
+
+    /// Per-shard partial TkFRPQ counts, evaluated on `pool` and merged by
+    /// key. Exposed through [`tk_frpq_sharded`](crate::tk_frpq_sharded).
+    pub(crate) fn frpq_partials(
+        &self,
+        query: &QuerySet,
+        qt: &TimePeriod,
+        pool: &WorkerPool,
+    ) -> HashMap<(RegionId, RegionId), usize> {
+        pool.map_reduce(
+            self.num_shards(),
+            HashMap::new,
+            |acc: &mut HashMap<(RegionId, RegionId), usize>, s| {
+                for (pair, n) in self.shard(s).index().frpq_counts(query, qt) {
+                    *acc.entry(pair).or_insert(0) += n;
+                }
+            },
+            merge_counts,
+        )
+    }
+}
+
+/// Extends an existing object's entry or appends a new one — the single
+/// definition of duplicate-object-id folding, shared by
+/// [`SemanticsStore::insert`] and [`ShardedStoreBuilder`] coalescing so
+/// flat and sharded stores can never diverge on duplicate handling.
+fn extend_or_push(
+    objects: &mut Vec<(u64, Vec<MobilitySemantics>)>,
+    by_id: &mut HashMap<u64, usize>,
+    object_id: u64,
+    semantics: Vec<MobilitySemantics>,
+) {
+    match by_id.get(&object_id) {
+        Some(&i) => objects[i].1.extend(semantics),
+        None => {
+            by_id.insert(object_id, objects.len());
+            objects.push((object_id, semantics));
+        }
+    }
+}
+
+/// Sums `other` into `total` key-wise — the commutative reduction behind
+/// both queries, which is what makes the merge order unobservable.
+fn merge_counts<K: std::hash::Hash + Eq>(total: &mut HashMap<K, usize>, other: HashMap<K, usize>) {
+    for (key, n) in other {
+        *total.entry(key).or_insert(0) += n;
+    }
+}
+
+/// Accumulates `(object, m-semantics)` entries into shard-partitioned parts
+/// and builds a [`ShardedSemanticsStore`].
+///
+/// Parallel producers each fill their own builder (tagging entries with
+/// [`ShardedStoreBuilder::insert_at`] item indices), [`merge`] the partial
+/// builders, and [`build`] once: entries are re-ordered by their tags
+/// before indexing, so the result is identical to sequential insertion in
+/// tag order no matter which worker produced what.
+///
+/// [`merge`]: ShardedStoreBuilder::merge
+/// [`build`]: ShardedStoreBuilder::build
+#[derive(Debug, Clone)]
+pub struct ShardedStoreBuilder {
+    parts: Vec<Vec<TaggedEntry>>,
+    next_order: u64,
+}
+
+/// One builder entry: `(order tag, object, semantics)`.
+type TaggedEntry = (u64, u64, Vec<MobilitySemantics>);
+
+impl ShardedStoreBuilder {
+    /// Creates a builder targeting `num_shards` shards (clamped to ≥ 1).
+    pub fn new(num_shards: usize) -> Self {
+        ShardedStoreBuilder {
+            parts: vec![Vec::new(); num_shards.max(1)],
+            next_order: 0,
+        }
+    }
+
+    /// Number of shards the built store will have.
+    pub fn num_shards(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Adds one entry with the next sequential order tag (single-producer
+    /// use; matches [`SemanticsStore::insert`] order semantics).
+    pub fn insert(&mut self, object_id: u64, semantics: Vec<MobilitySemantics>) {
+        let order = self.next_order;
+        self.next_order += 1;
+        self.insert_at(order, object_id, semantics);
+    }
+
+    /// Adds one entry tagged with an explicit `order` (parallel producers
+    /// tag with the item index they processed).
+    pub fn insert_at(&mut self, order: u64, object_id: u64, semantics: Vec<MobilitySemantics>) {
+        let shard = shard_of(object_id, self.parts.len());
+        self.parts[shard].push((order, object_id, semantics));
+        self.next_order = self.next_order.max(order + 1);
+    }
+
+    /// Absorbs another builder's entries. Both must target the same shard
+    /// count.
+    pub fn merge(&mut self, other: ShardedStoreBuilder) {
+        assert_eq!(
+            self.parts.len(),
+            other.parts.len(),
+            "cannot merge builders with different shard counts"
+        );
+        for (into, from) in self.parts.iter_mut().zip(other.parts) {
+            into.extend(from);
+        }
+        self.next_order = self.next_order.max(other.next_order);
+    }
+
+    /// Finalises into a sharded store, building shard indexes sequentially.
+    pub fn build(self) -> ShardedSemanticsStore {
+        let shards = self
+            .parts
+            .into_iter()
+            .map(|part| Shard::build(Self::coalesce(part)))
+            .collect();
+        ShardedSemanticsStore { shards }
+    }
+
+    /// Finalises into a sharded store, fanning the per-shard index builds
+    /// out over `pool`. Output is identical to [`ShardedStoreBuilder::build`].
+    pub fn build_with(self, pool: &WorkerPool) -> ShardedSemanticsStore {
+        // `run` hands workers shared references, so each part travels to
+        // its worker through a take-once mutex slot.
+        let parts: Vec<std::sync::Mutex<Option<Vec<TaggedEntry>>>> = self
+            .parts
+            .into_iter()
+            .map(|p| std::sync::Mutex::new(Some(p)))
+            .collect();
+        let shards = pool.run(parts.len(), |s| {
+            let part = parts[s]
+                .lock()
+                .expect("shard part lock")
+                .take()
+                .expect("each shard part taken once");
+            Shard::build(Self::coalesce(part))
+        });
+        ShardedSemanticsStore { shards }
+    }
+
+    /// Orders a shard's entries by tag and folds duplicate object ids into
+    /// one entry each (first occurrence wins the position, later semantics
+    /// extend it) — the same semantics as repeated
+    /// [`SemanticsStore::insert`] calls.
+    fn coalesce(mut part: Vec<TaggedEntry>) -> Vec<(u64, Vec<MobilitySemantics>)> {
+        part.sort_unstable_by_key(|(order, object, _)| (*order, *object));
+        let mut objects: Vec<(u64, Vec<MobilitySemantics>)> = Vec::with_capacity(part.len());
+        let mut by_id: HashMap<u64, usize> = HashMap::new();
+        for (_, object_id, semantics) in part {
+            extend_or_push(&mut objects, &mut by_id, object_id, semantics);
+        }
+        objects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ism_mobility::MobilityEvent::Stay;
+
+    fn ms(region: u32, start: f64, end: f64) -> MobilitySemantics {
+        MobilitySemantics {
+            region: RegionId(region),
+            period: TimePeriod::new(start, end),
+            event: Stay,
+        }
+    }
+
+    #[test]
+    fn insert_extends_existing_object() {
+        // Regression: two inserts under one object id used to create two
+        // entries, double-counting the object in TkFRPQ.
+        let mut store = SemanticsStore::new();
+        store.insert(7, vec![ms(0, 0.0, 10.0)]);
+        store.insert(9, vec![ms(1, 0.0, 10.0)]);
+        store.insert(7, vec![ms(2, 20.0, 30.0)]);
+        assert_eq!(store.len(), 2);
+        let entry = store.iter().find(|(id, _)| *id == 7).unwrap();
+        assert_eq!(entry.1.len(), 2);
+        assert_eq!(entry.1[1].region, RegionId(2));
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for id in 0..1000u64 {
+            let s = shard_of(id, 7);
+            assert!(s < 7);
+            assert_eq!(s, shard_of(id, 7));
+        }
+        // Zero shards clamps rather than dividing by zero.
+        assert_eq!(shard_of(42, 0), 0);
+    }
+
+    #[test]
+    fn from_store_conserves_objects_and_postings() {
+        let mut store = SemanticsStore::new();
+        for id in 0..50u64 {
+            store.insert(id, vec![ms(id as u32 % 5, id as f64, id as f64 + 3.0)]);
+        }
+        for num_shards in [1, 3, 8, 64] {
+            let sharded = ShardedSemanticsStore::from_store(&store, num_shards);
+            assert_eq!(sharded.num_shards(), num_shards);
+            assert_eq!(sharded.len(), 50);
+            assert_eq!(sharded.num_postings(), 50);
+            assert_eq!(sharded.shard_sizes().iter().sum::<usize>(), 50);
+            let mut seen: Vec<u64> = (0..num_shards)
+                .flat_map(|s| sharded.iter_shard(s).map(|(id, _)| id))
+                .collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..50).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn builder_order_tags_make_merge_order_unobservable() {
+        // Two producers splitting the items [0..20) arbitrarily must build
+        // the same store as sequential insertion, including duplicate
+        // folding, regardless of merge direction.
+        let semantics = |i: u64| vec![ms(i as u32 % 4, i as f64, i as f64 + 2.0)];
+        let object = |i: u64| i % 6; // duplicates across items
+        let sequential = {
+            let mut b = ShardedStoreBuilder::new(3);
+            for i in 0..20u64 {
+                b.insert_at(i, object(i), semantics(i));
+            }
+            b.build()
+        };
+        let mut a = ShardedStoreBuilder::new(3);
+        let mut b = ShardedStoreBuilder::new(3);
+        for i in 0..20u64 {
+            let target = if i % 3 == 0 { &mut a } else { &mut b };
+            target.insert_at(i, object(i), semantics(i));
+        }
+        b.merge(a); // reversed merge order on purpose
+        let merged = b.build();
+        for s in 0..3 {
+            let want: Vec<_> = sequential
+                .iter_shard(s)
+                .map(|(id, sem)| (id, sem.to_vec()))
+                .collect();
+            let got: Vec<_> = merged
+                .iter_shard(s)
+                .map(|(id, sem)| (id, sem.to_vec()))
+                .collect();
+            assert_eq!(got, want, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn build_with_matches_sequential_build() {
+        let mut builder = ShardedStoreBuilder::new(5);
+        for i in 0..40u64 {
+            builder.insert(i, vec![ms(i as u32 % 3, i as f64, i as f64 + 1.0)]);
+        }
+        let parallel = builder.clone().build_with(&WorkerPool::new(4));
+        let sequential = builder.build();
+        for s in 0..5 {
+            let want: Vec<_> = sequential
+                .iter_shard(s)
+                .map(|(id, sem)| (id, sem.to_vec()))
+                .collect();
+            let got: Vec<_> = parallel
+                .iter_shard(s)
+                .map(|(id, sem)| (id, sem.to_vec()))
+                .collect();
+            assert_eq!(got, want, "shard {s}");
+        }
+    }
+}

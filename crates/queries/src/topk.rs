@@ -1,0 +1,175 @@
+//! TkPRQ / TkFRPQ evaluation: flat sequential reference and sharded
+//! map-reduce fan-out.
+//!
+//! Both paths rank `(key, count)` pairs by count descending then key
+//! ascending, and the sharded path merges per-shard partials by plain
+//! summation — so for any shard count and any thread count the sharded
+//! result is byte-identical to the flat sequential reference.
+
+use ism_indoor::RegionId;
+use ism_mobility::{MobilityEvent, TimePeriod};
+use ism_runtime::WorkerPool;
+use std::collections::HashMap;
+
+use crate::store::{SemanticsStore, ShardedSemanticsStore};
+
+/// A query region set with O(log n) membership tests.
+///
+/// Built once per query call from the caller's region slice: sorted,
+/// deduplicated, membership by binary search — replacing the O(|query|)
+/// linear `contains` the flat scan used to run per record.
+#[derive(Debug, Clone, Default)]
+pub struct QuerySet {
+    ids: Vec<RegionId>,
+}
+
+impl QuerySet {
+    /// Builds a query set from an arbitrary (unsorted, possibly duplicated)
+    /// region slice.
+    pub fn new(query: &[RegionId]) -> Self {
+        let mut ids = query.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        QuerySet { ids }
+    }
+
+    /// Whether `region` is in the query set.
+    #[inline]
+    pub fn contains(&self, region: RegionId) -> bool {
+        self.ids.binary_search(&region).is_ok()
+    }
+
+    /// The distinct query regions, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = RegionId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Number of distinct query regions.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the query set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Ranks counted keys by count descending then key ascending, truncated to
+/// `k` — the shared deterministic ranking of both queries and both engines.
+fn rank<K: Ord + Copy + std::hash::Hash>(counts: HashMap<K, usize>, k: usize) -> Vec<(K, usize)> {
+    let mut ranked: Vec<(K, usize)> = counts.into_iter().collect();
+    ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+/// Top-k Popular Region Query: the `k` regions of `query` with the most
+/// visits within `qt`, with visit counts, ordered by count descending then
+/// region id.
+///
+/// Flat sequential reference — scans every record of `store`. The indexed
+/// parallel equivalent is [`tk_prq_sharded`].
+pub fn tk_prq(
+    store: &SemanticsStore,
+    query: &[RegionId],
+    k: usize,
+    qt: TimePeriod,
+) -> Vec<(RegionId, usize)> {
+    let qs = QuerySet::new(query);
+    let mut counts: HashMap<RegionId, usize> = HashMap::new();
+    for (_, semantics) in store.iter() {
+        for ms in semantics {
+            if ms.event == MobilityEvent::Stay && ms.period.overlaps(&qt) && qs.contains(ms.region)
+            {
+                *counts.entry(ms.region).or_insert(0) += 1;
+            }
+        }
+    }
+    rank(counts, k)
+}
+
+/// Top-k Frequent Region Pair Query: the `k` unordered region pairs from
+/// `query × query` that the most objects visited (stayed at both) within
+/// `qt`, with object counts.
+///
+/// Flat sequential reference — scans every record of `store`. The indexed
+/// parallel equivalent is [`tk_frpq_sharded`].
+pub fn tk_frpq(
+    store: &SemanticsStore,
+    query: &[RegionId],
+    k: usize,
+    qt: TimePeriod,
+) -> Vec<((RegionId, RegionId), usize)> {
+    let qs = QuerySet::new(query);
+    let mut counts: HashMap<(RegionId, RegionId), usize> = HashMap::new();
+    let mut visited: Vec<RegionId> = Vec::new();
+    for (_, semantics) in store.iter() {
+        // Distinct visited regions of this object: collect every
+        // qualifying visit, then sort + dedup (the old per-visit
+        // `visited.contains` scan was O(v²)).
+        visited.clear();
+        visited.extend(semantics.iter().filter_map(|ms| {
+            (ms.event == MobilityEvent::Stay && ms.period.overlaps(&qt) && qs.contains(ms.region))
+                .then_some(ms.region)
+        }));
+        visited.sort_unstable();
+        visited.dedup();
+        for i in 0..visited.len() {
+            for j in i + 1..visited.len() {
+                *counts.entry((visited[i], visited[j])).or_insert(0) += 1;
+            }
+        }
+    }
+    rank(counts, k)
+}
+
+/// [`tk_prq`] over a sharded store: every worker of `pool` evaluates shard
+/// partials off the posting index, partial counts merge by summation, and
+/// the merged counts rank exactly like the flat reference.
+pub fn tk_prq_sharded(
+    store: &ShardedSemanticsStore,
+    query: &[RegionId],
+    k: usize,
+    qt: TimePeriod,
+    pool: &WorkerPool,
+) -> Vec<(RegionId, usize)> {
+    let qs = QuerySet::new(query);
+    rank(store.prq_partials(&qs, &qt, pool), k)
+}
+
+/// [`tk_frpq`] over a sharded store: per-shard pair partials (objects are
+/// hashed whole into one shard, so shard partials sum to the global
+/// answer), merged and ranked exactly like the flat reference.
+pub fn tk_frpq_sharded(
+    store: &ShardedSemanticsStore,
+    query: &[RegionId],
+    k: usize,
+    qt: TimePeriod,
+    pool: &WorkerPool,
+) -> Vec<((RegionId, RegionId), usize)> {
+    let qs = QuerySet::new(query);
+    rank(store.frpq_partials(&qs, &qt, pool), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_set_sorts_dedups_and_searches() {
+        let qs = QuerySet::new(&[RegionId(5), RegionId(1), RegionId(5), RegionId(3)]);
+        assert_eq!(qs.len(), 3);
+        assert!(!qs.is_empty());
+        assert!(qs.contains(RegionId(1)) && qs.contains(RegionId(3)) && qs.contains(RegionId(5)));
+        assert!(!qs.contains(RegionId(2)) && !qs.contains(RegionId(6)));
+        let ids: Vec<RegionId> = qs.iter().collect();
+        assert_eq!(ids, vec![RegionId(1), RegionId(3), RegionId(5)]);
+    }
+
+    #[test]
+    fn rank_orders_by_count_then_key() {
+        let counts: HashMap<u32, usize> = [(3, 2), (1, 2), (2, 5), (9, 1)].into_iter().collect();
+        assert_eq!(rank(counts, 3), vec![(2, 5), (1, 2), (3, 2)]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Oracle-equivalence property suite: for random stores and queries, the
+//! sharded-parallel engine at shard counts {1, 3, 8} × thread counts
+//! {1, 2, 4} returns exactly what the flat sequential reference returns,
+//! and repeated runs are deterministic.
+
+use ism_indoor::RegionId;
+use ism_mobility::{MobilityEvent, MobilitySemantics, TimePeriod};
+use ism_queries::{
+    tk_frpq, tk_frpq_sharded, tk_prq, tk_prq_sharded, SemanticsStore, ShardedSemanticsStore,
+};
+use ism_runtime::WorkerPool;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SHARD_COUNTS: [usize; 3] = [1, 3, 8];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Parameters of one random-store case.
+#[derive(Debug, Clone, Copy)]
+struct Case {
+    seed: u64,
+    objects: u64,
+    regions: u32,
+    query_regions: u32,
+    k: usize,
+    qt_start: f64,
+    qt_len: f64,
+}
+
+/// Builds a random store: `objects` timelines of stays/passes over
+/// `regions` regions spanning [0, 1000], with occasional duplicate object
+/// ids (exercising the insert-extend path).
+fn random_store(case: &Case) -> SemanticsStore {
+    let mut rng = StdRng::seed_from_u64(case.seed);
+    let mut store = SemanticsStore::new();
+    for i in 0..case.objects {
+        // ~1 in 4 entries reuses an earlier object id.
+        let object = if i > 0 && rng.random_bool(0.25) {
+            rng.random_range(0..i)
+        } else {
+            i
+        };
+        let mut t = rng.random_range(0.0..100.0);
+        let mut timeline = Vec::new();
+        while t < 1000.0 {
+            let duration = rng.random_range(1.0..80.0);
+            timeline.push(MobilitySemantics {
+                region: RegionId(rng.random_range(0..case.regions)),
+                period: TimePeriod::new(t, t + duration),
+                event: if rng.random_bool(0.6) {
+                    MobilityEvent::Stay
+                } else {
+                    MobilityEvent::Pass
+                },
+            });
+            t += duration + rng.random_range(0.5..30.0);
+        }
+        store.insert(object, timeline);
+    }
+    store
+}
+
+fn random_query(case: &Case) -> (Vec<RegionId>, TimePeriod) {
+    let mut rng = StdRng::seed_from_u64(case.seed ^ 0xABCD_EF01);
+    let mut query: Vec<RegionId> = (0..case.query_regions.min(case.regions))
+        .map(|_| RegionId(rng.random_range(0..case.regions)))
+        .collect();
+    if query.is_empty() {
+        query.push(RegionId(0));
+    }
+    let qt = TimePeriod::new(case.qt_start, case.qt_start + case.qt_len);
+    (query, qt)
+}
+
+prop_compose! {
+    fn arb_case()(
+        seed in 0u64..u64::MAX / 2,
+        objects in 1u64..40,
+        regions in 1u32..16,
+        query_regions in 1u32..16,
+        k in 1usize..10,
+        qt_start in -100.0f64..1100.0,
+        qt_len in 0.0f64..600.0,
+    ) -> Case {
+        Case { seed, objects, regions, query_regions, k, qt_start, qt_len }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sharded-parallel TkPRQ/TkFRPQ equal the flat sequential oracle for
+    /// every (shard count, thread count) pair.
+    #[test]
+    fn sharded_equals_flat_oracle(case in arb_case()) {
+        let store = random_store(&case);
+        let (query, qt) = random_query(&case);
+        let want_prq = tk_prq(&store, &query, case.k, qt);
+        let want_frpq = tk_frpq(&store, &query, case.k, qt);
+        for shards in SHARD_COUNTS {
+            let sharded = ShardedSemanticsStore::from_store(&store, shards);
+            for threads in THREAD_COUNTS {
+                let pool = WorkerPool::new(threads);
+                prop_assert_eq!(
+                    &tk_prq_sharded(&sharded, &query, case.k, qt, &pool),
+                    &want_prq,
+                    "TkPRQ diverged at shards={} threads={}", shards, threads
+                );
+                prop_assert_eq!(
+                    &tk_frpq_sharded(&sharded, &query, case.k, qt, &pool),
+                    &want_frpq,
+                    "TkFRPQ diverged at shards={} threads={}", shards, threads
+                );
+            }
+        }
+    }
+
+    /// Rebuilding the sharded store and re-running the parallel queries
+    /// yields identical output (no run-to-run nondeterminism).
+    #[test]
+    fn sharded_queries_are_deterministic_across_runs(case in arb_case()) {
+        let (query, qt) = random_query(&case);
+        let run = || {
+            let store = random_store(&case);
+            let sharded = ShardedSemanticsStore::from_store(&store, 3);
+            let pool = WorkerPool::new(4);
+            (
+                tk_prq_sharded(&sharded, &query, case.k, qt, &pool),
+                tk_frpq_sharded(&sharded, &query, case.k, qt, &pool),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

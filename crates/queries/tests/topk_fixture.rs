@@ -3,7 +3,10 @@
 
 use ism_indoor::RegionId;
 use ism_mobility::{MobilityEvent, MobilitySemantics, TimePeriod};
-use ism_queries::{tk_frpq, tk_prq, SemanticsStore};
+use ism_queries::{
+    tk_frpq, tk_frpq_sharded, tk_prq, tk_prq_sharded, SemanticsStore, ShardedSemanticsStore,
+};
+use ism_runtime::WorkerPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
@@ -155,6 +158,29 @@ fn restricted_query_set_excludes_other_regions() {
     assert!(pairs
         .iter()
         .all(|((a, b), _)| query.contains(a) && query.contains(b) && a < b));
+}
+
+#[test]
+fn sharded_engine_matches_brute_force_on_fixture() {
+    let store = fixture_store(0xF1C7);
+    let query: Vec<RegionId> = (0..NUM_REGIONS).map(RegionId).collect();
+    let pool = WorkerPool::new(4);
+    for shards in [1, 3, 8] {
+        let sharded = ShardedSemanticsStore::from_store(&store, shards);
+        for (qt_start, qt_end, k) in [(0.0, 1000.0, 5), (100.0, 400.0, 3), (800.0, 950.0, 7)] {
+            let qt = TimePeriod::new(qt_start, qt_end);
+            assert_eq!(
+                tk_prq_sharded(&sharded, &query, k, qt, &pool),
+                brute_prq(&store, &query, k, &qt),
+                "sharded TkPRQ diverged (shards={shards}, qt=[{qt_start},{qt_end}])"
+            );
+            assert_eq!(
+                tk_frpq_sharded(&sharded, &query, k, qt, &pool),
+                brute_frpq(&store, &query, k, &qt),
+                "sharded TkFRPQ diverged (shards={shards}, qt=[{qt_start},{qt_end}])"
+            );
+        }
+    }
 }
 
 #[test]

@@ -105,6 +105,63 @@ impl WorkerPool {
             .map(|slot| slot.into_inner().expect("worker filled every claimed slot"))
             .collect()
     }
+
+    /// Folds `0..num_items` into per-worker accumulators and reduces them
+    /// into one.
+    ///
+    /// Each worker builds an accumulator via `init`, folds every item it
+    /// claims into it with `fold(&mut acc, index)`, and the caller thread
+    /// combines the per-worker accumulators with `reduce(&mut total, acc)`
+    /// in worker-index order, starting from a fresh `init()` value.
+    ///
+    /// Items are claimed dynamically, so *which* items land in which
+    /// accumulator varies run to run. The overall result is deterministic
+    /// when the accumulation is order-insensitive — a commutative monoid
+    /// such as per-key count sums — or when the caller tags folded entries
+    /// with their item index and restores order inside `reduce` (or after
+    /// it). The map-reduce query engine does the former; the parallel
+    /// sharded-store builder does the latter.
+    pub fn map_reduce<A, I, F, R>(&self, num_items: usize, init: I, fold: F, reduce: R) -> A
+    where
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(&mut A, usize) + Sync,
+        R: Fn(&mut A, A),
+    {
+        let workers = self.threads.min(num_items);
+        if workers <= 1 {
+            let mut acc = init();
+            for i in 0..num_items {
+                fold(&mut acc, i);
+            }
+            return acc;
+        }
+
+        // One slot per worker; each worker writes only its own slot.
+        let slots: Vec<Mutex<Option<A>>> = (0..workers).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for slot in &slots {
+                scope.spawn(|| {
+                    let mut acc = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= num_items {
+                            break;
+                        }
+                        fold(&mut acc, i);
+                    }
+                    *slot.lock() = Some(acc);
+                });
+            }
+        });
+        let mut total = init();
+        for slot in slots {
+            let acc = slot.into_inner().expect("worker stored its accumulator");
+            reduce(&mut total, acc);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +223,64 @@ mod tests {
             let out = WorkerPool::new(threads).run(100, |i| (i as u64).wrapping_mul(0x9E37));
             assert_eq!(out, reference, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn map_reduce_sums_every_item_once() {
+        for threads in [1, 2, 4, 7] {
+            let pool = WorkerPool::new(threads);
+            let total = pool.map_reduce(
+                100,
+                || 0u64,
+                |acc, i| *acc += i as u64 + 1,
+                |total, acc| *total += acc,
+            );
+            assert_eq!(total, 5050, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_zero_items_returns_identity() {
+        let pool = WorkerPool::new(4);
+        let total = pool.map_reduce(0, || 41u64, |_, _| unreachable!(), |_, _| unreachable!());
+        assert_eq!(total, 41);
+    }
+
+    #[test]
+    fn map_reduce_order_insensitive_reduction_is_thread_invariant() {
+        // Per-key count sums: the canonical commutative accumulation.
+        let keys: Vec<usize> = (0..200).map(|i| i % 7).collect();
+        let count = |threads: usize| {
+            WorkerPool::new(threads).map_reduce(
+                keys.len(),
+                || vec![0usize; 7],
+                |acc, i| acc[keys[i]] += 1,
+                |total, acc| {
+                    for (t, a) in total.iter_mut().zip(acc) {
+                        *t += a;
+                    }
+                },
+            )
+        };
+        let reference = count(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(count(threads), reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_index_tagging_restores_order() {
+        // Order-sensitive result made deterministic by carrying indices.
+        let pool = WorkerPool::new(4);
+        let mut pairs = pool.map_reduce(
+            50,
+            Vec::new,
+            |acc: &mut Vec<(usize, usize)>, i| acc.push((i, i * 3)),
+            |total, acc| total.extend(acc),
+        );
+        pairs.sort_unstable();
+        let values: Vec<usize> = pairs.into_iter().map(|(_, v)| v).collect();
+        assert_eq!(values, (0..50).map(|i| i * 3).collect::<Vec<_>>());
     }
 
     #[test]

@@ -16,13 +16,15 @@
 //! * [`optim`] — L-BFGS with line search.
 //! * [`pgm`] — probabilistic graphical model toolkit (HMM, linear-chain CRF,
 //!   Gibbs/ICM inference).
-//! * [`runtime`] — deterministic scoped-thread worker pool backing the
-//!   batch annotation engine.
+//! * [`runtime`] — deterministic scoped-thread worker pool (item-ordered
+//!   `run` / `run_with`, commutative `map_reduce`) backing the batch
+//!   annotation and query engines.
 //! * [`c2mn`] — the paper's coupled conditional Markov network: feature
 //!   functions, alternate learning (Algorithm 1), joint decoding,
 //!   label-and-merge, and all structural variants.
 //! * [`baselines`] — SMoT, HMM+DC, SAPDV, SAPDA.
-//! * [`queries`] — TkPRQ / TkFRPQ top-k semantic queries.
+//! * [`queries`] — TkPRQ / TkFRPQ top-k semantic queries: flat sequential
+//!   reference plus the sharded, time-bucket-indexed parallel engine.
 //! * [`eval`] — RA/EA/CA/PA metrics, splits, cross-validation.
 //!
 //! ## Quickstart
@@ -86,6 +88,9 @@ pub mod prelude {
         Dataset, MobilityEvent, MobilitySemantics, PositioningConfig, PositioningRecord,
         SimulationConfig, Simulator,
     };
-    pub use ism_queries::{tk_frpq, tk_prq, SemanticsStore};
+    pub use ism_queries::{
+        shard_of, tk_frpq, tk_frpq_sharded, tk_prq, tk_prq_sharded, QuerySet, SemanticsStore,
+        ShardedSemanticsStore, ShardedStoreBuilder,
+    };
     pub use ism_runtime::WorkerPool;
 }

@@ -137,11 +137,21 @@ fn queries_on_ground_truth_are_self_consistent() {
     }
     // Region pairs are consistent with individual visit counts.
     let frpq = tk_frpq(&store, &shops, 5, qt);
-    for ((a, b), support) in frpq {
+    for ((a, b), support) in &frpq {
         assert!(a < b);
-        let va = prq.iter().find(|(r, _)| *r == a).map(|x| x.1);
+        let va = prq.iter().find(|(r, _)| r == a).map(|x| x.1);
         if let Some(va) = va {
-            assert!(support <= va, "pair support exceeds visit count");
+            assert!(*support <= va, "pair support exceeds visit count");
+        }
+    }
+    // The sharded parallel engine returns exactly what the flat scan did,
+    // for any shard/thread combination.
+    for shards in [1, 4] {
+        let sharded = ShardedSemanticsStore::from_store(&store, shards);
+        for threads in [1, 3] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(tk_prq_sharded(&sharded, &shops, 5, qt, &pool), prq);
+            assert_eq!(tk_frpq_sharded(&sharded, &shops, 5, qt, &pool), frpq);
         }
     }
 }
