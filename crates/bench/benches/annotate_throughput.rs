@@ -1,14 +1,20 @@
 //! Batch annotation throughput: sequences/second of [`BatchAnnotator`] at
-//! 1, 2 and 4 worker threads over a mall workload.
+//! 1, 2 and 4 worker threads over a mall workload, plus streaming-ingest
+//! throughput of the `ism-engine` [`IngestSession`] front-end against the
+//! offline `annotate_into_store` reference (both produce byte-identical
+//! stores — the measurement is pure overhead accounting).
 //!
 //! Besides the usual criterion console report, the bench writes
 //! `BENCH_annotate.json` at the repository root so CI can archive the perf
 //! trajectory across commits. In `--test` (smoke) mode each configuration
 //! runs once and the JSON carries coarse single-run estimates.
+//!
+//! [`IngestSession`]: ism_engine::IngestSession
 
 use criterion::Criterion;
 use ism_bench::positioning_batch;
 use ism_c2mn::{BatchAnnotator, C2mn};
+use ism_engine::EngineBuilder;
 use ism_indoor::BuildingGenerator;
 use ism_mobility::{Dataset, PositioningConfig, SimulationConfig};
 use rand::rngs::StdRng;
@@ -17,6 +23,8 @@ use std::hint::black_box;
 use std::time::Duration;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const SHARDS: usize = 8;
+const QUEUE_CAPACITY: usize = 8;
 const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_annotate.json");
 
 fn main() {
@@ -42,6 +50,7 @@ fn main() {
     let config = ism_c2mn::C2mnConfig::quick_test();
     let model = C2mn::train(&space, &dataset.sequences, &config, &mut rng).unwrap();
     let sequences = positioning_batch(&dataset.sequences);
+    let object_ids: Vec<u64> = dataset.sequences.iter().map(|s| s.object_id).collect();
     let num_records: usize = sequences.iter().map(|s| s.len()).sum();
 
     let mut throughputs: Vec<(usize, f64)> = Vec::new();
@@ -55,12 +64,63 @@ fn main() {
         }
     }
 
-    write_report(&throughputs, sequences.len(), num_records);
+    // Streaming ingest (session push + incremental seal into the live
+    // store) vs the offline annotate-into-store reference, per thread
+    // count. Each iteration builds a fresh engine so the store always
+    // starts empty; the model clone is parameters-only and cheap. Both
+    // sides clone the batch inside the timed region — the session consumes
+    // owned sequences, so the offline side clones too to keep the ratio a
+    // comparison of engine machinery rather than harness allocation.
+    let mut ingest: Vec<(usize, Option<f64>, Option<f64>)> = Vec::new();
+    for threads in THREAD_COUNTS {
+        let annotator = BatchAnnotator::new(&model, threads, 7);
+        c.bench_function(&format!("ingest/offline_store_{threads}_threads"), |b| {
+            b.iter(|| {
+                let batch = sequences.clone();
+                annotator.annotate_into_store(black_box(&batch), &object_ids, SHARDS)
+            })
+        });
+        let offline = c
+            .last_estimate_ns()
+            .map(|ns| sequences.len() as f64 / (ns / 1e9));
+        c.bench_function(&format!("ingest/streaming_{threads}_threads"), |b| {
+            b.iter(|| {
+                let mut engine = EngineBuilder::new()
+                    .threads(threads)
+                    .shards(SHARDS)
+                    .base_seed(7)
+                    .queue_capacity(QUEUE_CAPACITY)
+                    .build(model.clone())
+                    .unwrap();
+                let mut session = engine.ingest();
+                for (id, seq) in object_ids.iter().zip(&sequences) {
+                    session.push(*id, seq.clone());
+                }
+                session.seal();
+                black_box(engine.num_objects())
+            })
+        });
+        let streaming = c
+            .last_estimate_ns()
+            .map(|ns| sequences.len() as f64 / (ns / 1e9));
+        ingest.push((threads, streaming, offline));
+    }
+
+    write_report(&throughputs, &ingest, sequences.len(), num_records);
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or("null".to_string(), |x| format!("{x:.3}"))
 }
 
 /// Emits `BENCH_annotate.json` (hand-rolled JSON: the vendored serde does
 /// not serialize).
-fn write_report(throughputs: &[(usize, f64)], num_sequences: usize, num_records: usize) {
+fn write_report(
+    throughputs: &[(usize, f64)],
+    ingest: &[(usize, Option<f64>, Option<f64>)],
+    num_sequences: usize,
+    num_records: usize,
+) {
     // Speedups are relative to the measured 1-thread run; when a CLI
     // filter skipped it, report `null` rather than a made-up baseline.
     let baseline = throughputs
@@ -77,12 +137,32 @@ fn write_report(throughputs: &[(usize, f64)], num_sequences: usize, num_records:
             )
         })
         .collect();
+    let ingest_entries: Vec<String> = ingest
+        .iter()
+        .map(|&(threads, streaming, offline)| {
+            let ratio = match (streaming, offline) {
+                (Some(s), Some(o)) if o > 0.0 => format!("{:.3}", s / o),
+                _ => "null".to_string(),
+            };
+            format!(
+                "    {{\"threads\": {threads}, \
+                 \"streaming_sequences_per_sec\": {}, \
+                 \"offline_sequences_per_sec\": {}, \
+                 \"streaming_vs_offline\": {ratio}}}",
+                fmt_opt(streaming),
+                fmt_opt(offline)
+            )
+        })
+        .collect();
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"annotate_throughput\",\n  \"workload\": \"mall\",\n  \
          \"num_sequences\": {num_sequences},\n  \"num_records\": {num_records},\n  \
-         \"host_parallelism\": {available},\n  \"results\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+         \"host_parallelism\": {available},\n  \"queue_capacity\": {QUEUE_CAPACITY},\n  \
+         \"shards\": {SHARDS},\n  \"results\": [\n{}\n  ],\n  \
+         \"ingest_results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+        ingest_entries.join(",\n")
     );
     match std::fs::write(OUT_PATH, &json) {
         Ok(()) => println!("wrote {OUT_PATH}"),

@@ -123,9 +123,27 @@ impl<'m, 'a> BatchAnnotator<'m, 'a> {
         &self,
         sequences: &[Vec<PositioningRecord>],
     ) -> Vec<Vec<MobilitySemantics>> {
+        self.annotate_batch_at(0, sequences)
+    }
+
+    /// Annotates `sequences` as the slice starting at global index
+    /// `first_index` of a larger logical batch: sequence `i` of the slice
+    /// is decoded with the seed of global sequence `first_index + i`.
+    ///
+    /// This is the streaming-session decode hook (`ism-engine`): a session
+    /// drains its submission queue in chunks, and because each chunk is
+    /// decoded at its global offset, the concatenated output is
+    /// byte-identical to one [`BatchAnnotator::annotate_batch`] over the
+    /// whole stream — for any chunking and any thread count.
+    pub fn annotate_batch_at(
+        &self,
+        first_index: u64,
+        sequences: &[Vec<PositioningRecord>],
+    ) -> Vec<Vec<MobilitySemantics>> {
         self.pool
             .run_with(sequences.len(), DecodeScratch::new, |scratch, i| {
-                let mut rng = StdRng::seed_from_u64(sequence_seed(self.base_seed, i));
+                let seed = sequence_seed(self.base_seed, first_index as usize + i);
+                let mut rng = StdRng::seed_from_u64(seed);
                 self.model.annotate_with(&sequences[i], &mut rng, scratch)
             })
     }
@@ -159,7 +177,11 @@ impl<'m, 'a> BatchAnnotator<'m, 'a> {
                 let semantics = self.model.annotate_with(&sequences[i], &mut rng, scratch);
                 builder.insert_at(i as u64, object_ids[i], semantics);
             },
-            |(_, total), (_, partial)| total.merge(partial),
+            |(_, total), (_, partial)| {
+                total
+                    .merge(partial)
+                    .expect("partial builders share the target shard count");
+            },
         );
         builder.build_with(&self.pool)
     }
@@ -256,6 +278,28 @@ mod tests {
                     .map(|(id, sem)| (id, sem.to_vec()))
                     .collect();
                 assert_eq!(got, want, "shard {s} diverged at threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_decode_at_offsets_matches_whole_batch() {
+        // Decoding a batch in chunks via `annotate_batch_at` — each chunk
+        // at its global offset — must concatenate to the whole-batch
+        // output, for any chunking and thread count.
+        let (space, sequences) = setup();
+        let model = C2mn::from_weights(&space, C2mnConfig::quick_test(), Weights::uniform(1.0));
+        let reference = BatchAnnotator::new(&model, 1, 13).annotate_batch(&sequences);
+        for threads in [1, 3] {
+            for chunk in [1, 2, sequences.len()] {
+                let engine = BatchAnnotator::new(&model, threads, 13);
+                let mut out = Vec::new();
+                let mut first = 0u64;
+                for slice in sequences.chunks(chunk) {
+                    out.extend(engine.annotate_batch_at(first, slice));
+                    first += slice.len() as u64;
+                }
+                assert_eq!(out, reference, "threads = {threads}, chunk = {chunk}");
             }
         }
     }

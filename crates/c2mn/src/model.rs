@@ -52,7 +52,12 @@ impl fmt::Display for C2mnError {
 impl std::error::Error for C2mnError {}
 
 /// A trained coupled conditional Markov network bound to a venue.
-#[derive(Debug)]
+///
+/// `Clone` duplicates the learned parameters (weights, region frequencies,
+/// training report) while sharing the borrowed venue — cheap relative to
+/// training, and what lets an owning engine (`ism-engine`) take the model
+/// while the caller keeps a copy.
+#[derive(Debug, Clone)]
 pub struct C2mn<'a> {
     space: &'a IndoorSpace,
     config: C2mnConfig,

@@ -1,0 +1,62 @@
+//! The unified error type of the engine API.
+
+use ism_c2mn::C2mnError;
+use ism_queries::StoreError;
+use std::fmt;
+
+/// Any failure of the [`SemanticsEngine`](crate::SemanticsEngine) API —
+/// the single error surface replacing the panicking paths of the
+/// hand-wired pipeline (training failures, store shard-count mismatches).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Model training failed (e.g. an empty training set).
+    Train(C2mnError),
+    /// A storage-layer invariant was violated (e.g. an initial store whose
+    /// shard count contradicts the builder's configuration).
+    Store(StoreError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Train(e) => write!(f, "training failed: {e}"),
+            EngineError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Train(e) => Some(e),
+            EngineError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<C2mnError> for EngineError {
+    fn from(e: C2mnError) -> Self {
+        EngineError::Train(e)
+    }
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_the_cause() {
+        let train: EngineError = C2mnError::EmptyTrainingSet.into();
+        assert!(train.to_string().contains("training failed"));
+        let store: EngineError = StoreError::ShardCountMismatch { left: 2, right: 5 }.into();
+        assert!(store.to_string().contains("2-shard"));
+        use std::error::Error;
+        assert!(train.source().is_some() && store.source().is_some());
+    }
+}

@@ -1,0 +1,614 @@
+//! Unified streaming engine over annotation, storage, and semantic
+//! queries.
+//!
+//! The paper's pipeline — decode p-sequences into m-semantics, accumulate
+//! them per object, serve TkPRQ/TkFRPQ — used to be exposed as
+//! disconnected pieces the caller wired by hand (`C2mn::train` →
+//! `BatchAnnotator` → `ShardedStoreBuilder` → free query functions, each
+//! taking its own `WorkerPool`), and ingestion was strictly offline. This
+//! crate redesigns that surface around one owning type:
+//!
+//! * [`SemanticsEngine`] — owns the trained model, the worker pool, and a
+//!   **live** [`ShardedSemanticsStore`]; queries are methods
+//!   ([`tk_prq`](SemanticsEngine::tk_prq) /
+//!   [`tk_frpq`](SemanticsEngine::tk_frpq)) over everything sealed so far.
+//! * [`EngineBuilder`] — threads, shards, base seed, submission-queue
+//!   capacity, optional warm-start store; [`build`](EngineBuilder::build)
+//!   from a trained model or [`train`](EngineBuilder::train) in one step.
+//! * [`IngestSession`] — the streaming front-end: p-sequences go in
+//!   incrementally (bounded queue feeding the pool), sealed m-semantics
+//!   come out the other end, **byte-identical** to the offline
+//!   `BatchAnnotator` reference for any thread count and any push
+//!   chunking.
+//! * [`EngineError`] — the unified error surface replacing the panicking
+//!   paths of the hand-wired pipeline.
+//!
+//! ```
+//! use ism_engine::EngineBuilder;
+//! use ism_c2mn::{C2mn, C2mnConfig, Weights};
+//! use ism_indoor::BuildingGenerator;
+//! use ism_mobility::{Dataset, PositioningConfig, SimulationConfig, TimePeriod};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let venue = BuildingGenerator::small_office().generate(&mut rng).unwrap();
+//! let dataset = Dataset::generate(
+//!     "demo", &venue, SimulationConfig::quick(),
+//!     PositioningConfig::synthetic(8.0, 1.5), None, 4, &mut rng);
+//! let model = C2mn::from_weights(&venue, C2mnConfig::quick_test(), Weights::uniform(1.0));
+//!
+//! let mut engine = EngineBuilder::new()
+//!     .threads(2)
+//!     .shards(4)
+//!     .base_seed(42)
+//!     .build(model)
+//!     .unwrap();
+//!
+//! // Stream p-sequences in as they "arrive"; seal to publish.
+//! let mut session = engine.ingest();
+//! for seq in &dataset.sequences {
+//!     session.push(seq.object_id, seq.positioning().collect());
+//! }
+//! let ingested = session.seal();
+//! assert_eq!(ingested, dataset.sequences.len() as u64);
+//!
+//! // Queries are methods over everything sealed so far.
+//! let regions: Vec<_> = venue.regions().iter().map(|r| r.id).collect();
+//! let top = engine.tk_prq(&regions, 3, TimePeriod::new(0.0, 1e6));
+//! assert!(top.len() <= 3);
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+mod session;
+
+pub use error::EngineError;
+pub use session::IngestSession;
+
+use ism_c2mn::{BatchAnnotator, C2mn, C2mnConfig};
+use ism_indoor::{IndoorSpace, RegionId};
+use ism_mobility::{
+    LabeledSequence, MobilityEvent, MobilitySemantics, PositioningRecord, TimePeriod,
+};
+use ism_queries::{tk_frpq_sharded, tk_prq_sharded, ShardedSemanticsStore, DEFAULT_SHARDS};
+use ism_runtime::WorkerPool;
+use rand::Rng;
+
+/// Default capacity of an ingest session's submission queue: how many
+/// submitted-but-undecoded p-sequences buffer before a chunk fans out.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
+
+/// Configures and constructs a [`SemanticsEngine`].
+///
+/// Every knob has a sensible default: threads = available parallelism,
+/// shards = [`DEFAULT_SHARDS`], base seed = 0, queue capacity =
+/// [`DEFAULT_QUEUE_CAPACITY`], no warm-start store.
+#[derive(Debug, Clone, Default)]
+#[must_use = "an EngineBuilder does nothing until `build` or `train`"]
+pub struct EngineBuilder {
+    threads: Option<usize>,
+    shards: Option<usize>,
+    base_seed: u64,
+    queue_capacity: Option<usize>,
+    first_sequence_index: u64,
+    initial: Option<ShardedSemanticsStore>,
+}
+
+impl EngineBuilder {
+    /// Creates a builder with every knob at its default.
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// Worker threads for decoding, sealing, and query fan-out (clamped to
+    /// ≥ 1). Never changes any result — see the determinism contract.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Shard count of the live store. Never changes query results.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Base seed of the per-sequence RNG derivation
+    /// (`sequence_seed(base_seed, global_sequence_index)`).
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Capacity of each ingest session's submission queue (clamped to
+    /// ≥ 1): the most submitted-but-undecoded sequences ever buffered.
+    /// Never changes any result, only memory/latency.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Global index of the first sequence the engine will ingest — set it
+    /// when resuming a numbered stream so seeds continue rather than
+    /// restart (defaults to 0).
+    pub fn first_sequence_index(mut self, index: u64) -> Self {
+        self.first_sequence_index = index;
+        self
+    }
+
+    /// Warm-starts the engine with previously annotated data. The store's
+    /// shard count must agree with [`shards`](EngineBuilder::shards) if
+    /// both are given; otherwise the store's count wins.
+    pub fn initial_store(mut self, store: ShardedSemanticsStore) -> Self {
+        self.initial = Some(store);
+        self
+    }
+
+    /// Builds an engine around an already-trained model.
+    pub fn build<'a>(self, model: C2mn<'a>) -> Result<SemanticsEngine<'a>, EngineError> {
+        let pool = match self.threads {
+            Some(threads) => WorkerPool::new(threads),
+            None => WorkerPool::with_available_parallelism(),
+        };
+        let store = match self.initial {
+            Some(mut store) => {
+                if let Some(shards) = self.shards {
+                    if store.num_shards() != shards {
+                        return Err(ism_queries::StoreError::ShardCountMismatch {
+                            left: shards,
+                            right: store.num_shards(),
+                        }
+                        .into());
+                    }
+                }
+                // A handed-over store may carry unsealed appends.
+                store.seal_with(&pool);
+                store
+            }
+            None => ShardedSemanticsStore::new(self.shards.unwrap_or(DEFAULT_SHARDS)),
+        };
+        Ok(SemanticsEngine {
+            model,
+            pool,
+            base_seed: self.base_seed,
+            queue_capacity: self.queue_capacity.unwrap_or(DEFAULT_QUEUE_CAPACITY).max(1),
+            store,
+            next_index: self.first_sequence_index,
+        })
+    }
+
+    /// Trains a C2MN on `train` (Algorithm 1) and builds an engine around
+    /// it in one step.
+    pub fn train<'a, R: Rng + ?Sized>(
+        self,
+        space: &'a IndoorSpace,
+        train: &[LabeledSequence],
+        config: &C2mnConfig,
+        rng: &mut R,
+    ) -> Result<SemanticsEngine<'a>, EngineError> {
+        let model = C2mn::train(space, train, config, rng)?;
+        self.build(model)
+    }
+}
+
+/// The unified annotation/storage/query engine.
+///
+/// Owns the trained [`C2mn`], the [`WorkerPool`], and a live
+/// [`ShardedSemanticsStore`]. Data enters through streaming
+/// [`ingest`](SemanticsEngine::ingest) sessions (or the offline
+/// [`annotate_batch`](SemanticsEngine::annotate_batch) /
+/// [`label_batch`](SemanticsEngine::label_batch) helpers) and is served by
+/// the query methods.
+///
+/// ## Determinism contract
+///
+/// The engine inherits — and composes — the contracts of its layers:
+/// global sequence `i` decodes with `sequence_seed(base_seed, i)`
+/// regardless of worker, session chunking, or queue capacity; objects hash
+/// whole into shards; per-shard query partials merge commutatively. The
+/// sealed store and every query answer are therefore **byte-identical for
+/// any thread count, shard count, and push chunking**, equal to the
+/// offline single-threaded reference.
+#[derive(Debug)]
+pub struct SemanticsEngine<'a> {
+    model: C2mn<'a>,
+    pool: WorkerPool,
+    base_seed: u64,
+    queue_capacity: usize,
+    store: ShardedSemanticsStore,
+    next_index: u64,
+}
+
+impl<'a> SemanticsEngine<'a> {
+    /// A fresh [`EngineBuilder`].
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The owned trained model.
+    pub fn model(&self) -> &C2mn<'a> {
+        &self.model
+    }
+
+    /// The worker pool shared by decoding, sealing, and queries.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The base seed of the per-sequence RNG derivation.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// The submission-queue capacity of ingest sessions.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Shard count of the live store.
+    pub fn num_shards(&self) -> usize {
+        self.store.num_shards()
+    }
+
+    /// Sequences ingested over the engine's lifetime (the global index of
+    /// the next pushed sequence).
+    pub fn sequences_ingested(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Distinct objects with sealed m-semantics.
+    pub fn num_objects(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Read access to the live store (sealed data).
+    pub fn store(&self) -> &ShardedSemanticsStore {
+        &self.store
+    }
+
+    /// Hands the live store over to the caller, consuming the engine
+    /// (pass it to [`EngineBuilder::initial_store`] to resume later).
+    pub fn into_store(self) -> ShardedSemanticsStore {
+        self.store
+    }
+
+    /// The sealed m-semantics of `object_id`, if any.
+    pub fn semantics_of(&self, object_id: u64) -> Option<&[MobilitySemantics]> {
+        self.store.get(object_id)
+    }
+
+    /// Opens a streaming ingest session. The session borrows the engine
+    /// exclusively; sealing (or dropping) it publishes everything pushed.
+    pub fn ingest(&mut self) -> IngestSession<'_, 'a> {
+        IngestSession::new(self)
+    }
+
+    /// Offline convenience: labels a batch of p-sequences with per-record
+    /// `(region, event)` pairs on the engine's pool. Does not touch the
+    /// store or the global sequence counter.
+    pub fn label_batch(
+        &self,
+        sequences: &[Vec<PositioningRecord>],
+    ) -> Vec<Vec<(RegionId, MobilityEvent)>> {
+        self.annotator().label_batch(sequences)
+    }
+
+    /// Offline convenience: annotates a batch into merged m-semantics on
+    /// the engine's pool. Does not touch the store or the global sequence
+    /// counter.
+    pub fn annotate_batch(
+        &self,
+        sequences: &[Vec<PositioningRecord>],
+    ) -> Vec<Vec<MobilitySemantics>> {
+        self.annotator().annotate_batch(sequences)
+    }
+
+    /// Top-k popular regions among `query` within `qt`, over all sealed
+    /// data, evaluated on the engine's pool.
+    pub fn tk_prq(&self, query: &[RegionId], k: usize, qt: TimePeriod) -> Vec<(RegionId, usize)> {
+        tk_prq_sharded(&self.store, query, k, qt, &self.pool)
+    }
+
+    /// Top-k frequently co-visited region pairs among `query` within `qt`,
+    /// over all sealed data, evaluated on the engine's pool.
+    pub fn tk_frpq(
+        &self,
+        query: &[RegionId],
+        k: usize,
+        qt: TimePeriod,
+    ) -> Vec<((RegionId, RegionId), usize)> {
+        tk_frpq_sharded(&self.store, query, k, qt, &self.pool)
+    }
+
+    fn annotator(&self) -> BatchAnnotator<'_, 'a> {
+        BatchAnnotator::new(&self.model, self.pool.threads(), self.base_seed)
+    }
+
+    /// Decodes one drained submission batch (`(global index, (object id,
+    /// records))` in index order) and appends the m-semantics to the
+    /// store's pending segments.
+    pub(crate) fn decode_chunk(&mut self, batch: Vec<(u64, (u64, Vec<PositioningRecord>))>) {
+        let Some(&(first, _)) = batch.first() else {
+            return;
+        };
+        let mut object_ids = Vec::with_capacity(batch.len());
+        let mut sequences = Vec::with_capacity(batch.len());
+        for (index, (object_id, records)) in batch {
+            debug_assert_eq!(index, first + object_ids.len() as u64);
+            object_ids.push(object_id);
+            sequences.push(records);
+        }
+        let annotated = self.annotator().annotate_batch_at(first, &sequences);
+        for (object_id, semantics) in object_ids.iter().zip(annotated) {
+            self.store.append(*object_id, semantics);
+        }
+        self.next_index = first + object_ids.len() as u64;
+    }
+
+    /// Seals the store's pending segments on the engine's pool.
+    pub(crate) fn seal_store(&mut self) {
+        self.store.seal_with(&self.pool);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ism_c2mn::Weights;
+    use ism_indoor::BuildingGenerator;
+    use ism_mobility::{Dataset, PositioningConfig, SimulationConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ism_indoor::IndoorSpace, Dataset) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let space = BuildingGenerator::small_office()
+            .generate(&mut rng)
+            .unwrap();
+        let dataset = Dataset::generate(
+            "e",
+            &space,
+            SimulationConfig::quick(),
+            PositioningConfig::synthetic(8.0, 1.5),
+            None,
+            6,
+            &mut rng,
+        );
+        (space, dataset)
+    }
+
+    fn model(space: &ism_indoor::IndoorSpace) -> C2mn<'_> {
+        C2mn::from_weights(space, C2mnConfig::quick_test(), Weights::uniform(1.0))
+    }
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let (space, _) = setup();
+        let engine = EngineBuilder::new().build(model(&space)).unwrap();
+        assert!(engine.threads() >= 1);
+        assert_eq!(engine.num_shards(), DEFAULT_SHARDS);
+        assert_eq!(engine.base_seed(), 0);
+        assert_eq!(engine.queue_capacity(), DEFAULT_QUEUE_CAPACITY);
+        assert_eq!(engine.sequences_ingested(), 0);
+        assert_eq!(engine.num_objects(), 0);
+        // Queue capacity clamps to ≥ 1.
+        let engine = EngineBuilder::new()
+            .queue_capacity(0)
+            .build(model(&space))
+            .unwrap();
+        assert_eq!(engine.queue_capacity(), 1);
+    }
+
+    #[test]
+    fn initial_store_shard_mismatch_is_an_error() {
+        let (space, _) = setup();
+        let err = EngineBuilder::new()
+            .shards(4)
+            .initial_store(ShardedSemanticsStore::new(3))
+            .build(model(&space))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::Store(ism_queries::StoreError::ShardCountMismatch { left: 4, right: 3 })
+        );
+        // Without an explicit shard count the store's count wins.
+        let engine = EngineBuilder::new()
+            .initial_store(ShardedSemanticsStore::new(3))
+            .build(model(&space))
+            .unwrap();
+        assert_eq!(engine.num_shards(), 3);
+    }
+
+    #[test]
+    fn sessions_accumulate_and_seeds_continue() {
+        let (space, dataset) = setup();
+        let sequences: Vec<Vec<PositioningRecord>> = dataset
+            .sequences
+            .iter()
+            .map(|s| s.positioning().collect())
+            .collect();
+        let ids: Vec<u64> = dataset.sequences.iter().map(|s| s.object_id).collect();
+        let split = sequences.len() / 2;
+
+        // Offline reference over the whole stream in one go.
+        let reference =
+            BatchAnnotator::new(&model(&space), 1, 9).annotate_into_store(&sequences, &ids, 4);
+
+        // Two sessions, second continuing the first's numbering.
+        let mut engine = EngineBuilder::new()
+            .threads(2)
+            .shards(4)
+            .base_seed(9)
+            .queue_capacity(2)
+            .build(model(&space))
+            .unwrap();
+        let mut s1 = engine.ingest();
+        s1.push_batch(
+            ids[..split]
+                .iter()
+                .copied()
+                .zip(sequences[..split].iter().cloned()),
+        );
+        assert_eq!(s1.seal(), split as u64);
+        assert_eq!(engine.sequences_ingested(), split as u64);
+        let mut s2 = engine.ingest();
+        s2.push_batch(
+            ids[split..]
+                .iter()
+                .copied()
+                .zip(sequences[split..].iter().cloned()),
+        );
+        drop(s2); // drop seals too
+        assert_eq!(engine.sequences_ingested(), sequences.len() as u64);
+
+        for s in 0..4 {
+            let want: Vec<_> = reference
+                .iter_shard(s)
+                .map(|(id, sem)| (id, sem.to_vec()))
+                .collect();
+            let got: Vec<_> = engine
+                .store()
+                .iter_shard(s)
+                .map(|(id, sem)| (id, sem.to_vec()))
+                .collect();
+            assert_eq!(got, want, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn engine_queries_match_free_functions() {
+        let (space, dataset) = setup();
+        let sequences: Vec<Vec<PositioningRecord>> = dataset
+            .sequences
+            .iter()
+            .map(|s| s.positioning().collect())
+            .collect();
+        let ids: Vec<u64> = dataset.sequences.iter().map(|s| s.object_id).collect();
+        let mut engine = EngineBuilder::new()
+            .threads(2)
+            .shards(3)
+            .base_seed(5)
+            .build(model(&space))
+            .unwrap();
+        let mut session = engine.ingest();
+        session.push_batch(ids.iter().copied().zip(sequences.iter().cloned()));
+        session.seal();
+
+        let regions: Vec<RegionId> = space.regions().iter().map(|r| r.id).collect();
+        let qt = TimePeriod::new(0.0, 1e9);
+        let pool = WorkerPool::new(1);
+        assert_eq!(
+            engine.tk_prq(&regions, 5, qt),
+            tk_prq_sharded(engine.store(), &regions, 5, qt, &pool)
+        );
+        assert_eq!(
+            engine.tk_frpq(&regions, 5, qt),
+            tk_frpq_sharded(engine.store(), &regions, 5, qt, &pool)
+        );
+        // Per-object lookup agrees with the store.
+        for &id in &ids {
+            assert_eq!(engine.semantics_of(id), engine.store().get(id));
+        }
+    }
+
+    #[test]
+    fn into_store_round_trips_through_initial_store() {
+        let (space, dataset) = setup();
+        let sequences: Vec<Vec<PositioningRecord>> = dataset
+            .sequences
+            .iter()
+            .map(|s| s.positioning().collect())
+            .collect();
+        let ids: Vec<u64> = dataset.sequences.iter().map(|s| s.object_id).collect();
+        let split = 2.min(sequences.len());
+
+        // One engine ingesting everything...
+        let mut whole = EngineBuilder::new()
+            .threads(1)
+            .shards(3)
+            .base_seed(21)
+            .build(model(&space))
+            .unwrap();
+        let mut s = whole.ingest();
+        s.push_batch(ids.iter().copied().zip(sequences.iter().cloned()));
+        s.seal();
+
+        // ...equals an engine resumed from a handed-over store.
+        let mut first = EngineBuilder::new()
+            .threads(1)
+            .shards(3)
+            .base_seed(21)
+            .build(model(&space))
+            .unwrap();
+        let mut s = first.ingest();
+        s.push_batch(
+            ids[..split]
+                .iter()
+                .copied()
+                .zip(sequences[..split].iter().cloned()),
+        );
+        s.seal();
+        let ingested = first.sequences_ingested();
+        let mut resumed = EngineBuilder::new()
+            .threads(2)
+            .base_seed(21)
+            .first_sequence_index(ingested)
+            .initial_store(first.into_store())
+            .build(model(&space))
+            .unwrap();
+        let mut s = resumed.ingest();
+        s.push_batch(
+            ids[split..]
+                .iter()
+                .copied()
+                .zip(sequences[split..].iter().cloned()),
+        );
+        s.seal();
+
+        for shard in 0..3 {
+            let want: Vec<_> = whole
+                .store()
+                .iter_shard(shard)
+                .map(|(id, sem)| (id, sem.to_vec()))
+                .collect();
+            let got: Vec<_> = resumed
+                .store()
+                .iter_shard(shard)
+                .map(|(id, sem)| (id, sem.to_vec()))
+                .collect();
+            assert_eq!(got, want, "shard {shard}");
+        }
+    }
+
+    #[test]
+    fn offline_helpers_do_not_touch_the_counter() {
+        let (space, dataset) = setup();
+        let sequences: Vec<Vec<PositioningRecord>> = dataset
+            .sequences
+            .iter()
+            .map(|s| s.positioning().collect())
+            .collect();
+        let engine = EngineBuilder::new()
+            .threads(2)
+            .base_seed(7)
+            .build(model(&space))
+            .unwrap();
+        let labels = engine.label_batch(&sequences);
+        let semantics = engine.annotate_batch(&sequences);
+        assert_eq!(labels.len(), sequences.len());
+        assert_eq!(semantics.len(), sequences.len());
+        assert_eq!(engine.sequences_ingested(), 0);
+        assert_eq!(engine.num_objects(), 0);
+        // They equal the BatchAnnotator reference directly.
+        let reference = BatchAnnotator::new(engine.model(), 1, 7);
+        assert_eq!(labels, reference.label_batch(&sequences));
+        assert_eq!(semantics, reference.annotate_batch(&sequences));
+    }
+}

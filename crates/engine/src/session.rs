@@ -1,0 +1,112 @@
+//! Streaming ingest sessions.
+
+use crate::SemanticsEngine;
+use ism_mobility::PositioningRecord;
+use ism_runtime::SubmissionQueue;
+
+/// A streaming annotation session: p-sequences go in one at a time,
+/// annotated m-semantics come out the other end already sharded into the
+/// engine's live store.
+///
+/// Pushed sequences buffer in a bounded [`SubmissionQueue`]; whenever it
+/// fills, the buffered chunk fans out over the engine's worker pool and
+/// its m-semantics land in the store's pending segments. Dropping or
+/// [`seal`](IngestSession::seal)ing the session flushes the remainder and
+/// seals the store, making everything ingested visible to queries.
+///
+/// ## Determinism contract
+///
+/// Sequence number `i` of the engine's lifetime (counted across sessions)
+/// is decoded with the seed `sequence_seed(base_seed, i)` — a function of
+/// the global sequence index only. Push chunking, queue capacity, and
+/// thread count are therefore unobservable: the sealed store is
+/// byte-identical to annotating the whole stream offline with
+/// [`BatchAnnotator::annotate_into_store`], which the
+/// `streaming_oracle` property suite pins.
+///
+/// [`BatchAnnotator::annotate_into_store`]: ism_c2mn::BatchAnnotator::annotate_into_store
+#[derive(Debug)]
+pub struct IngestSession<'e, 'a> {
+    engine: &'e mut SemanticsEngine<'a>,
+    queue: SubmissionQueue<(u64, Vec<PositioningRecord>)>,
+    first_index: u64,
+    sealed: bool,
+}
+
+impl<'e, 'a> IngestSession<'e, 'a> {
+    pub(crate) fn new(engine: &'e mut SemanticsEngine<'a>) -> Self {
+        let first_index = engine.sequences_ingested();
+        let queue = SubmissionQueue::starting_at(engine.queue_capacity(), first_index);
+        IngestSession {
+            engine,
+            queue,
+            first_index,
+            sealed: false,
+        }
+    }
+
+    /// Submits one object's p-sequence for annotation.
+    ///
+    /// Returns immediately unless the submission fills the queue, in which
+    /// case the buffered chunk is decoded on the engine's pool before the
+    /// call returns (the bound is the memory contract: at most
+    /// `queue_capacity` undecoded sequences are ever held).
+    pub fn push(&mut self, object_id: u64, records: Vec<PositioningRecord>) {
+        if let Some(batch) = self.queue.push((object_id, records)) {
+            self.engine.decode_chunk(batch);
+        }
+    }
+
+    /// Submits a batch of `(object_id, p-sequence)` pairs in order.
+    pub fn push_batch<I>(&mut self, entries: I)
+    where
+        I: IntoIterator<Item = (u64, Vec<PositioningRecord>)>,
+    {
+        for (object_id, records) in entries {
+            self.push(object_id, records);
+        }
+    }
+
+    /// Decodes everything currently buffered without sealing the store.
+    /// Queries still don't see the results until the session ends.
+    pub fn flush(&mut self) {
+        let batch = self.queue.drain();
+        self.engine.decode_chunk(batch);
+    }
+
+    /// Sequences pushed into this session so far.
+    pub fn pushed(&self) -> u64 {
+        self.queue.next_index() - self.first_index
+    }
+
+    /// Sequences buffered but not yet decoded.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Ends the session: flushes the queue, seals the engine's store (the
+    /// incremental per-shard merge), and returns how many sequences this
+    /// session ingested. Dropping the session without calling `seal` does
+    /// the same — no pushed sequence is ever lost.
+    pub fn seal(mut self) -> u64 {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> u64 {
+        self.sealed = true;
+        self.flush();
+        self.engine.seal_store();
+        self.pushed()
+    }
+}
+
+impl Drop for IngestSession<'_, '_> {
+    fn drop(&mut self) {
+        // Skip the flush-and-seal during panic unwinding: decoding the
+        // remaining queue would likely re-panic (same model, same pool)
+        // and turn a clean panic into a double-panic abort.
+        if !self.sealed && !std::thread::panicking() {
+            self.finish();
+        }
+    }
+}

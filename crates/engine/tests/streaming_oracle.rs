@@ -1,0 +1,176 @@
+//! Streaming-determinism oracle: an [`IngestSession`]'s sealed store is
+//! byte-identical to the offline `BatchAnnotator::annotate_into_store`
+//! reference for any thread count {1, 2, 4} and any push chunking
+//! (one-by-one, uneven chunks, all-at-once), at several queue capacities.
+
+use ism_c2mn::{BatchAnnotator, C2mn, C2mnConfig, Weights};
+use ism_engine::EngineBuilder;
+use ism_indoor::{BuildingGenerator, IndoorSpace};
+use ism_mobility::{Dataset, PositioningConfig, PositioningRecord, SimulationConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One shared workload: a small venue and eight p-sequences with duplicate
+/// object ids (chunked sub-sequences of one object arriving separately).
+fn workload() -> (IndoorSpace, Vec<u64>, Vec<Vec<PositioningRecord>>) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let space = BuildingGenerator::small_office()
+        .generate(&mut rng)
+        .unwrap();
+    let dataset = Dataset::generate(
+        "stream",
+        &space,
+        SimulationConfig::quick(),
+        PositioningConfig::synthetic(8.0, 1.5),
+        None,
+        8,
+        &mut rng,
+    );
+    let sequences: Vec<Vec<PositioningRecord>> = dataset
+        .sequences
+        .iter()
+        .map(|s| s.positioning().collect())
+        .collect();
+    // Fold the ids onto a smaller range so several sequences share one.
+    let ids: Vec<u64> = (0..sequences.len() as u64).map(|i| i % 3).collect();
+    (space, ids, sequences)
+}
+
+fn model(space: &IndoorSpace) -> C2mn<'_> {
+    C2mn::from_weights(space, C2mnConfig::quick_test(), Weights::uniform(1.0))
+}
+
+/// Splits `n` items into chunk lengths drawn from `pattern` (cycled).
+fn chunk_lengths(n: usize, pattern: &[usize]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut left = n;
+    let mut i = 0;
+    while left > 0 {
+        let len = pattern[i % pattern.len()].clamp(1, left);
+        out.push(len);
+        left -= len;
+        i += 1;
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Case {
+    base_seed: u64,
+    shards: usize,
+    queue_capacity: usize,
+    pattern_id: usize,
+}
+
+const PATTERNS: [&[usize]; 4] = [
+    &[1],          // one by one
+    &[3, 1, 2],    // uneven chunks
+    &[usize::MAX], // all at once (clamped to the stream length)
+    &[2],          // even pairs
+];
+
+prop_compose! {
+    fn arb_case()(
+        base_seed in 0u64..1000,
+        shards in 1usize..9,
+        queue_capacity in 1usize..12,
+        pattern_id in 0usize..PATTERNS.len(),
+    ) -> Case {
+        Case { base_seed, shards, queue_capacity, pattern_id }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Streaming == offline for random (seed, shards, capacity, chunking).
+    #[test]
+    fn streaming_equals_offline_reference(case in arb_case()) {
+        let (space, ids, sequences) = workload();
+        let reference = BatchAnnotator::new(&model(&space), 1, case.base_seed)
+            .annotate_into_store(&sequences, &ids, case.shards);
+        for threads in THREAD_COUNTS {
+            let mut engine = EngineBuilder::new()
+                .threads(threads)
+                .shards(case.shards)
+                .base_seed(case.base_seed)
+                .queue_capacity(case.queue_capacity)
+                .build(model(&space))
+                .unwrap();
+            let mut session = engine.ingest();
+            let mut next = 0;
+            for len in chunk_lengths(sequences.len(), PATTERNS[case.pattern_id]) {
+                session.push_batch(
+                    ids[next..next + len]
+                        .iter()
+                        .copied()
+                        .zip(sequences[next..next + len].iter().cloned()),
+                );
+                next += len;
+            }
+            let ingested = session.seal();
+            prop_assert_eq!(ingested, sequences.len() as u64);
+            prop_assert_eq!(engine.store().num_postings(), reference.num_postings());
+            for s in 0..case.shards {
+                let want: Vec<_> = reference
+                    .iter_shard(s)
+                    .map(|(id, sem)| (id, sem.to_vec()))
+                    .collect();
+                let got: Vec<_> = engine
+                    .store()
+                    .iter_shard(s)
+                    .map(|(id, sem)| (id, sem.to_vec()))
+                    .collect();
+                prop_assert_eq!(
+                    got, want,
+                    "shard {} diverged at threads={} capacity={} pattern={}",
+                    s, threads, case.queue_capacity, case.pattern_id
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic pinned sweep (no proptest shrinkage in the way): every
+/// thread count × canonical push pattern equals the offline reference.
+#[test]
+fn pinned_thread_and_chunking_sweep() {
+    let (space, ids, sequences) = workload();
+    let reference =
+        BatchAnnotator::new(&model(&space), 1, 42).annotate_into_store(&sequences, &ids, 3);
+    for threads in THREAD_COUNTS {
+        for pattern in PATTERNS {
+            let mut engine = EngineBuilder::new()
+                .threads(threads)
+                .shards(3)
+                .base_seed(42)
+                .queue_capacity(4)
+                .build(model(&space))
+                .unwrap();
+            let mut session = engine.ingest();
+            let mut next = 0;
+            for len in chunk_lengths(sequences.len(), pattern) {
+                for i in next..next + len {
+                    session.push(ids[i], sequences[i].clone());
+                }
+                next += len;
+            }
+            session.seal();
+            for s in 0..3 {
+                let want: Vec<_> = reference
+                    .iter_shard(s)
+                    .map(|(id, sem)| (id, sem.to_vec()))
+                    .collect();
+                let got: Vec<_> = engine
+                    .store()
+                    .iter_shard(s)
+                    .map(|(id, sem)| (id, sem.to_vec()))
+                    .collect();
+                assert_eq!(got, want, "threads={threads} shard={s}");
+            }
+        }
+    }
+}

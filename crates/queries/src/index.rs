@@ -126,6 +126,14 @@ impl RegionPostings {
         &self.postings[self.offsets[lo]..self.offsets[hi + 1]]
     }
 
+    /// Consumes the list back into its raw postings (sorted order), the
+    /// hook for amortised per-region rebuilds: appended postings join the
+    /// existing ones and [`RegionPostings::build`] re-sorts and re-buckets
+    /// just this region.
+    fn into_postings(self) -> Vec<Posting> {
+        self.postings
+    }
+
     /// Number of visits overlapping `qt`.
     pub fn count_overlapping(&self, qt: &TimePeriod) -> usize {
         self.candidates(qt)
@@ -156,25 +164,40 @@ impl ShardIndex {
     /// Inverts a shard's `(object, m-semantics)` entries into per-region
     /// posting lists.
     pub fn build(objects: &[(u64, Vec<MobilitySemantics>)]) -> Self {
-        let mut raw: HashMap<RegionId, Vec<Posting>> = HashMap::new();
-        let mut num_postings = 0;
+        let mut index = ShardIndex::default();
+        index.append(objects);
+        index
+    }
+
+    /// Merges the stays of additional `(object, m-semantics)` entries into
+    /// the index without touching regions that receive no new posting.
+    ///
+    /// Regions that do receive postings are rebuilt from their combined
+    /// old + new posting lists ([`RegionPostings::build`] re-sorts and
+    /// re-buckets), so an index grown by any sequence of `append` calls is
+    /// identical to one [`build`](ShardIndex::build)ed from scratch over
+    /// the concatenated entries — the incremental-maintenance contract the
+    /// `incremental_oracle` property suite pins.
+    pub fn append(&mut self, objects: &[(u64, Vec<MobilitySemantics>)]) {
+        let mut fresh: HashMap<RegionId, Vec<Posting>> = HashMap::new();
         for (object, semantics) in objects {
             for ms in semantics {
                 if ms.event == MobilityEvent::Stay {
-                    raw.entry(ms.region).or_default().push(Posting {
+                    fresh.entry(ms.region).or_default().push(Posting {
                         object: *object,
                         period: ms.period,
                     });
-                    num_postings += 1;
+                    self.num_postings += 1;
                 }
             }
         }
-        ShardIndex {
-            regions: raw
-                .into_iter()
-                .map(|(region, postings)| (region, RegionPostings::build(postings)))
-                .collect(),
-            num_postings,
+        for (region, mut postings) in fresh {
+            if let Some(existing) = self.regions.remove(&region) {
+                let mut merged = existing.into_postings();
+                merged.append(&mut postings);
+                postings = merged;
+            }
+            self.regions.insert(region, RegionPostings::build(postings));
         }
     }
 
@@ -296,6 +319,50 @@ mod tests {
             let qt = TimePeriod::new(qs, qe);
             let want = postings.iter().filter(|p| p.period.overlaps(&qt)).count();
             assert_eq!(index.count_overlapping(&qt), want, "qt=[{qs},{qe}]");
+        }
+    }
+
+    #[test]
+    fn append_matches_from_scratch_build() {
+        // Entries split across three appends must index exactly like one
+        // build over the concatenation: same counts for every probe window,
+        // same posting total, untouched regions included.
+        let entry = |object: u64, region: u32, start: f64, stay: bool| {
+            (
+                object,
+                vec![MobilitySemantics {
+                    region: RegionId(region),
+                    period: TimePeriod::new(start, start + 5.0),
+                    event: if stay {
+                        MobilityEvent::Stay
+                    } else {
+                        MobilityEvent::Pass
+                    },
+                }],
+            )
+        };
+        let all: Vec<(u64, Vec<MobilitySemantics>)> = (0..60)
+            .map(|i| entry(i, (i % 4) as u32, (i as f64 * 11.0) % 300.0, i % 5 != 0))
+            .collect();
+        let reference = ShardIndex::build(&all);
+        let mut grown = ShardIndex::build(&all[..20]);
+        grown.append(&all[20..35]);
+        grown.append(&all[35..35]); // empty append is a no-op
+        grown.append(&all[35..]);
+        assert_eq!(grown.num_postings(), reference.num_postings());
+        let query = QuerySet::new(&(0..4).map(RegionId).collect::<Vec<_>>());
+        for (qs, qe) in [(0.0, 300.0), (50.0, 60.0), (295.0, 400.0), (-10.0, 0.0)] {
+            let qt = TimePeriod::new(qs, qe);
+            let mut want = reference.prq_counts(&query, &qt);
+            let mut got = grown.prq_counts(&query, &qt);
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, want, "prq qt=[{qs},{qe}]");
+            let mut want = reference.frpq_counts(&query, &qt);
+            let mut got = grown.frpq_counts(&query, &qt);
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, want, "frpq qt=[{qs},{qe}]");
         }
     }
 

@@ -18,6 +18,14 @@
 //! * **TkFRPQ** — the `k` region pairs most frequently visited by the same
 //!   object.
 //!
+//! The sharded store is **live**: streaming producers
+//! [`append`](ShardedSemanticsStore::append) entries into per-shard
+//! pending segments and [`seal`](ShardedSemanticsStore::seal) them into
+//! the posting indexes incrementally (only touched shards/regions rebuild,
+//! never the whole store) — the storage layer behind the `ism-engine`
+//! streaming ingestion API. `tests/incremental_oracle.rs` pins incremental
+//! growth equal to a from-scratch build.
+//!
 //! ## Determinism contract
 //!
 //! Ties are broken by region id, per-shard partials merge through a
@@ -33,7 +41,10 @@ mod index;
 mod store;
 mod topk;
 
-pub use store::{shard_of, SemanticsStore, ShardedSemanticsStore, ShardedStoreBuilder};
+pub use store::{
+    shard_of, SemanticsStore, ShardedSemanticsStore, ShardedStoreBuilder, StoreError,
+    DEFAULT_SHARDS,
+};
 pub use topk::{tk_frpq, tk_frpq_sharded, tk_prq, tk_prq_sharded, QuerySet};
 
 #[cfg(test)]

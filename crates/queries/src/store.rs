@@ -5,9 +5,40 @@ use ism_indoor::RegionId;
 use ism_mobility::{MobilitySemantics, TimePeriod};
 use ism_runtime::WorkerPool;
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::index::ShardIndex;
 use crate::topk::QuerySet;
+
+/// Default shard count for stores built without an explicit choice —
+/// matches the experiment harness default (`REPRO_SHARDS`).
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Errors of store construction and maintenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// Two sharded builders/stores with different shard counts were
+    /// combined; objects would hash to different shards on each side.
+    ShardCountMismatch {
+        /// Shard count of the receiving side.
+        left: usize,
+        /// Shard count of the absorbed side.
+        right: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::ShardCountMismatch { left, right } => write!(
+                f,
+                "shard count mismatch: cannot combine {left}-shard and {right}-shard stores"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// M-semantics of a set of objects, the input to the semantic queries.
 ///
@@ -46,9 +77,18 @@ impl SemanticsStore {
         self.objects.is_empty()
     }
 
-    /// Iterates over `(object, m-semantics)` entries.
-    pub fn iter(&self) -> impl Iterator<Item = &(u64, Vec<MobilitySemantics>)> {
-        self.objects.iter()
+    /// Iterates over `(object, m-semantics)` entries — the same shape as
+    /// [`ShardedSemanticsStore::iter_shard`], so code written against one
+    /// store works against the other.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[MobilitySemantics])> {
+        self.objects.iter().map(|(id, sem)| (*id, sem.as_slice()))
+    }
+
+    /// The m-semantics of `object_id`, if present.
+    pub fn get(&self, object_id: u64) -> Option<&[MobilitySemantics]> {
+        self.by_id
+            .get(&object_id)
+            .map(|&i| self.objects[i].1.as_slice())
     }
 }
 
@@ -66,17 +106,48 @@ pub fn shard_of(object_id: u64, num_shards: usize) -> usize {
     (z % num_shards.max(1) as u64) as usize
 }
 
-/// One shard: its objects plus the region→visit posting index.
+/// One shard: its sealed objects, the region→visit posting index over
+/// them, and a pending segment of appended-but-unsealed entries.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Shard {
     objects: Vec<(u64, Vec<MobilitySemantics>)>,
+    by_id: HashMap<u64, usize>,
     index: ShardIndex,
+    pending: Vec<(u64, Vec<MobilitySemantics>)>,
 }
 
 impl Shard {
     fn build(objects: Vec<(u64, Vec<MobilitySemantics>)>) -> Self {
         let index = ShardIndex::build(&objects);
-        Shard { objects, index }
+        let by_id = objects
+            .iter()
+            .enumerate()
+            .map(|(i, (id, _))| (*id, i))
+            .collect();
+        Shard {
+            objects,
+            by_id,
+            index,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Merges the pending segment into the sealed objects and posting
+    /// index. Only this shard is touched: the index absorbs the new
+    /// postings region by region ([`ShardIndex::append`]), and shards
+    /// without pending entries skip the call entirely. Returns how many
+    /// pending entries were merged.
+    fn seal(&mut self) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        self.index.append(&pending);
+        let n = pending.len();
+        for (object_id, semantics) in pending {
+            extend_or_push(&mut self.objects, &mut self.by_id, object_id, semantics);
+        }
+        n
     }
 
     pub fn index(&self) -> &ShardIndex {
@@ -94,20 +165,102 @@ impl Shard {
 /// [`tk_frpq_sharded`](crate::tk_frpq_sharded); results are byte-identical
 /// for any shard count and any thread count, and equal to the flat
 /// sequential reference.
+///
+/// The store is **live**: [`append`](ShardedSemanticsStore::append) stages
+/// new entries in per-shard pending segments and
+/// [`seal`](ShardedSemanticsStore::seal) /
+/// [`seal_with`](ShardedSemanticsStore::seal_with) merges them into the
+/// posting indexes incrementally — only the shards (and, within a shard,
+/// only the posting regions) that received entries are touched, never the
+/// full store. The `incremental_oracle` property suite pins a store grown
+/// by appends equal to one rebuilt from scratch.
 #[derive(Debug, Clone)]
 pub struct ShardedSemanticsStore {
     shards: Vec<Shard>,
 }
 
 impl ShardedSemanticsStore {
+    /// Creates an empty store with `num_shards` shards (clamped to ≥ 1),
+    /// ready for incremental [`append`](ShardedSemanticsStore::append) +
+    /// [`seal`](ShardedSemanticsStore::seal) ingestion.
+    pub fn new(num_shards: usize) -> Self {
+        ShardedSemanticsStore {
+            shards: (0..num_shards.max(1)).map(|_| Shard::default()).collect(),
+        }
+    }
+
     /// Shards a flat store. Object order within each shard follows the flat
     /// store's insertion order.
     pub fn from_store(store: &SemanticsStore, num_shards: usize) -> Self {
         let mut builder = ShardedStoreBuilder::new(num_shards);
         for (object_id, semantics) in store.iter() {
-            builder.insert(*object_id, semantics.clone());
+            builder.insert(object_id, semantics.to_vec());
         }
         builder.build()
+    }
+
+    /// Appends one object's m-semantics to its shard's **pending segment**.
+    ///
+    /// Pending entries are invisible to queries and accessors until the
+    /// next [`seal`](ShardedSemanticsStore::seal) /
+    /// [`seal_with`](ShardedSemanticsStore::seal_with) merges them into the
+    /// sealed objects and posting index. Appending an `object_id` that is
+    /// already sealed extends that object's entry at seal time — the same
+    /// duplicate folding as [`SemanticsStore::insert`] — so a store grown
+    /// by any sequence of appends and seals equals one built from scratch
+    /// over the same entries in the same order.
+    pub fn append(&mut self, object_id: u64, semantics: Vec<MobilitySemantics>) {
+        let shard = shard_of(object_id, self.shards.len());
+        self.shards[shard].pending.push((object_id, semantics));
+    }
+
+    /// Entries appended but not yet sealed, across all shards.
+    pub fn num_pending(&self) -> usize {
+        self.shards.iter().map(|s| s.pending.len()).sum()
+    }
+
+    /// Merges every shard's pending segment into its sealed objects and
+    /// posting index, sequentially. Only shards with pending entries do any
+    /// work, and each rebuilds only the posting regions that received new
+    /// visits — never the whole store. Returns the number of entries
+    /// merged.
+    pub fn seal(&mut self) -> usize {
+        self.shards.iter_mut().map(Shard::seal).sum()
+    }
+
+    /// [`seal`](ShardedSemanticsStore::seal) with the per-shard merges
+    /// fanned out over `pool`. Output is identical to the sequential seal.
+    pub fn seal_with(&mut self, pool: &WorkerPool) -> usize {
+        // Nothing pending: skip the fan-out (thread spawns + per-shard
+        // moves) that sequential seal's per-shard early exit avoids.
+        if self.num_pending() == 0 {
+            return 0;
+        }
+        // `run` hands workers shared references, so each shard travels to
+        // its worker through a take-once mutex slot (same pattern as
+        // [`ShardedStoreBuilder::build_with`]).
+        let slots: Vec<std::sync::Mutex<Option<Shard>>> = std::mem::take(&mut self.shards)
+            .into_iter()
+            .map(|s| std::sync::Mutex::new(Some(s)))
+            .collect();
+        let sealed = pool.run(slots.len(), |s| {
+            let mut shard = slots[s]
+                .lock()
+                .expect("shard slot lock")
+                .take()
+                .expect("each shard taken once");
+            let merged = shard.seal();
+            (shard, merged)
+        });
+        let mut total = 0;
+        self.shards = sealed
+            .into_iter()
+            .map(|(shard, merged)| {
+                total += merged;
+                shard
+            })
+            .collect();
+        total
     }
 
     /// Number of shards.
@@ -115,14 +268,28 @@ impl ShardedSemanticsStore {
         self.shards.len()
     }
 
-    /// Total number of objects across all shards.
+    /// Total number of sealed objects across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.objects.len()).sum()
     }
 
-    /// Whether the store holds no objects.
+    /// Whether the store holds no sealed objects.
     pub fn is_empty(&self) -> bool {
         self.shards.iter().all(|s| s.objects.is_empty())
+    }
+
+    /// The sealed m-semantics of `object_id`, if present.
+    pub fn get(&self, object_id: u64) -> Option<&[MobilitySemantics]> {
+        let shard = &self.shards[shard_of(object_id, self.shards.len())];
+        shard
+            .by_id
+            .get(&object_id)
+            .map(|&i| shard.objects[i].1.as_slice())
+    }
+
+    /// Iterates every sealed `(object, m-semantics)` entry, shard by shard.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[MobilitySemantics])> {
+        (0..self.shards.len()).flat_map(|s| self.iter_shard(s))
     }
 
     /// Total number of indexed visit postings (stay events).
@@ -227,9 +394,17 @@ fn merge_counts<K: std::hash::Hash + Eq>(total: &mut HashMap<K, usize>, other: H
 /// [`merge`]: ShardedStoreBuilder::merge
 /// [`build`]: ShardedStoreBuilder::build
 #[derive(Debug, Clone)]
+#[must_use = "a builder does nothing until `build`/`build_with` finalises it"]
 pub struct ShardedStoreBuilder {
     parts: Vec<Vec<TaggedEntry>>,
     next_order: u64,
+}
+
+impl Default for ShardedStoreBuilder {
+    /// A builder targeting [`DEFAULT_SHARDS`] shards.
+    fn default() -> Self {
+        ShardedStoreBuilder::new(DEFAULT_SHARDS)
+    }
 }
 
 /// One builder entry: `(order tag, object, semantics)`.
@@ -265,21 +440,29 @@ impl ShardedStoreBuilder {
         self.next_order = self.next_order.max(order + 1);
     }
 
-    /// Absorbs another builder's entries. Both must target the same shard
-    /// count.
-    pub fn merge(&mut self, other: ShardedStoreBuilder) {
-        assert_eq!(
-            self.parts.len(),
-            other.parts.len(),
-            "cannot merge builders with different shard counts"
-        );
+    /// Absorbs another builder's entries.
+    ///
+    /// Both builders must target the same shard count — objects hash to
+    /// shards by [`shard_of`]`(id, num_shards)`, so entries binned under a
+    /// different count would land in the wrong shard. A mismatch returns
+    /// [`StoreError::ShardCountMismatch`] and leaves `self` unchanged
+    /// (`other` is consumed either way).
+    pub fn merge(&mut self, other: ShardedStoreBuilder) -> Result<(), StoreError> {
+        if self.parts.len() != other.parts.len() {
+            return Err(StoreError::ShardCountMismatch {
+                left: self.parts.len(),
+                right: other.parts.len(),
+            });
+        }
         for (into, from) in self.parts.iter_mut().zip(other.parts) {
             into.extend(from);
         }
         self.next_order = self.next_order.max(other.next_order);
+        Ok(())
     }
 
     /// Finalises into a sharded store, building shard indexes sequentially.
+    #[must_use = "build returns the finished store; the builder is consumed"]
     pub fn build(self) -> ShardedSemanticsStore {
         let shards = self
             .parts
@@ -291,6 +474,7 @@ impl ShardedStoreBuilder {
 
     /// Finalises into a sharded store, fanning the per-shard index builds
     /// out over `pool`. Output is identical to [`ShardedStoreBuilder::build`].
+    #[must_use = "build_with returns the finished store; the builder is consumed"]
     pub fn build_with(self, pool: &WorkerPool) -> ShardedSemanticsStore {
         // `run` hands workers shared references, so each part travels to
         // its worker through a take-once mutex slot.
@@ -403,7 +587,7 @@ mod tests {
             let target = if i % 3 == 0 { &mut a } else { &mut b };
             target.insert_at(i, object(i), semantics(i));
         }
-        b.merge(a); // reversed merge order on purpose
+        b.merge(a).unwrap(); // reversed merge order on purpose
         let merged = b.build();
         for s in 0..3 {
             let want: Vec<_> = sequential
@@ -416,6 +600,123 @@ mod tests {
                 .collect();
             assert_eq!(got, want, "shard {s}");
         }
+    }
+
+    #[test]
+    fn merge_with_mismatched_shard_counts_is_a_typed_error() {
+        let mut a = ShardedStoreBuilder::new(3);
+        a.insert(1, vec![ms(0, 0.0, 5.0)]);
+        let mut b = ShardedStoreBuilder::new(4);
+        b.insert(2, vec![ms(1, 0.0, 5.0)]);
+        let err = a.merge(b).unwrap_err();
+        assert_eq!(err, StoreError::ShardCountMismatch { left: 3, right: 4 });
+        assert!(err.to_string().contains("3-shard"));
+        // The receiving builder is unchanged by the failed merge.
+        assert_eq!(a.build().len(), 1);
+    }
+
+    #[test]
+    fn default_builder_targets_default_shards() {
+        assert_eq!(ShardedStoreBuilder::default().num_shards(), DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn append_seal_matches_builder_build() {
+        // A store grown incrementally — appends in three slices, sealed
+        // after each — must equal the from-scratch builder build, duplicate
+        // ids included.
+        let semantics = |i: u64| vec![ms(i as u32 % 5, i as f64 * 3.0, i as f64 * 3.0 + 2.0)];
+        let object = |i: u64| i % 7;
+        let reference = {
+            let mut b = ShardedStoreBuilder::new(4);
+            for i in 0..30u64 {
+                b.insert(object(i), semantics(i));
+            }
+            b.build()
+        };
+        let mut live = ShardedSemanticsStore::new(4);
+        for (lo, hi) in [(0, 11), (11, 12), (12, 30)] {
+            for i in lo..hi {
+                live.append(object(i), semantics(i));
+            }
+            live.seal();
+        }
+        assert_eq!(live.num_pending(), 0);
+        assert_eq!(live.len(), reference.len());
+        assert_eq!(live.num_postings(), reference.num_postings());
+        for s in 0..4 {
+            let want: Vec<_> = reference
+                .iter_shard(s)
+                .map(|(id, sem)| (id, sem.to_vec()))
+                .collect();
+            let got: Vec<_> = live
+                .iter_shard(s)
+                .map(|(id, sem)| (id, sem.to_vec()))
+                .collect();
+            assert_eq!(got, want, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn seal_with_matches_sequential_seal() {
+        let build_unsealed = || {
+            let mut live = ShardedSemanticsStore::new(5);
+            for i in 0..40u64 {
+                live.append(i % 9, vec![ms(i as u32 % 3, i as f64, i as f64 + 1.0)]);
+            }
+            live
+        };
+        let mut sequential = build_unsealed();
+        assert_eq!(sequential.seal(), 40);
+        let mut parallel = build_unsealed();
+        assert_eq!(parallel.seal_with(&WorkerPool::new(4)), 40);
+        for s in 0..5 {
+            let want: Vec<_> = sequential
+                .iter_shard(s)
+                .map(|(id, sem)| (id, sem.to_vec()))
+                .collect();
+            let got: Vec<_> = parallel
+                .iter_shard(s)
+                .map(|(id, sem)| (id, sem.to_vec()))
+                .collect();
+            assert_eq!(got, want, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn pending_entries_are_invisible_until_seal() {
+        let mut live = ShardedSemanticsStore::new(3);
+        live.append(5, vec![ms(1, 0.0, 10.0)]);
+        assert_eq!(live.num_pending(), 1);
+        assert!(live.is_empty());
+        assert_eq!(live.num_postings(), 0);
+        assert_eq!(live.get(5), None);
+        assert_eq!(live.seal(), 1);
+        assert_eq!(live.num_pending(), 0);
+        assert_eq!(live.len(), 1);
+        assert_eq!(live.num_postings(), 1);
+        assert_eq!(live.get(5).unwrap().len(), 1);
+        // A second seal with nothing pending is a no-op.
+        assert_eq!(live.seal(), 0);
+    }
+
+    #[test]
+    fn get_and_iter_cover_sealed_objects() {
+        let mut live = ShardedSemanticsStore::new(4);
+        for i in 0..20u64 {
+            live.append(i, vec![ms(i as u32 % 3, i as f64, i as f64 + 1.0)]);
+        }
+        live.seal();
+        assert_eq!(live.get(7).unwrap()[0].region, RegionId(1));
+        assert_eq!(live.get(99), None);
+        let mut ids: Vec<u64> = live.iter().map(|(id, _)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+        // Appending to an existing object extends its entry at seal time.
+        live.append(7, vec![ms(2, 100.0, 110.0)]);
+        live.seal();
+        assert_eq!(live.get(7).unwrap().len(), 2);
+        assert_eq!(live.len(), 20);
     }
 
     #[test]

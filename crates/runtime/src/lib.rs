@@ -17,6 +17,10 @@
 
 #![deny(missing_docs)]
 
+mod queue;
+
+pub use queue::SubmissionQueue;
+
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;

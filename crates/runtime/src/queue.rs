@@ -1,0 +1,139 @@
+//! Bounded submission queue for streaming workloads.
+//!
+//! Streaming producers (the `ism-engine` ingest sessions) accept items one
+//! at a time but execute them in chunks on a [`WorkerPool`]: items buffer
+//! in a [`SubmissionQueue`] until it fills, at which point the queue hands
+//! the caller a *drained batch* to fan out. The bound is the memory
+//! contract — at most `capacity` submitted-but-unexecuted items are ever
+//! materialised.
+//!
+//! Every item is stamped with a monotonically increasing **global index**
+//! at submission time. Deterministic pipelines derive per-item RNG seeds
+//! from that index (see `ism_c2mn::sequence_seed`), so how items are
+//! grouped into batches — one by one, uneven chunks, everything at once —
+//! is unobservable in the output.
+//!
+//! [`WorkerPool`]: crate::WorkerPool
+
+/// A bounded FIFO buffer stamping each item with a global index.
+///
+/// Not a concurrent queue: one producer owns it and drains it into a
+/// worker pool. The bound caps buffered items, not total throughput.
+#[derive(Debug, Clone)]
+pub struct SubmissionQueue<T> {
+    items: Vec<(u64, T)>,
+    capacity: usize,
+    next_index: u64,
+}
+
+impl<T> SubmissionQueue<T> {
+    /// Creates a queue holding at most `capacity` items (clamped to ≥ 1),
+    /// stamping the first item with index 0.
+    pub fn new(capacity: usize) -> Self {
+        SubmissionQueue::starting_at(capacity, 0)
+    }
+
+    /// Creates a queue whose first item is stamped `first_index` —
+    /// continuing the global numbering of an earlier queue or session.
+    pub fn starting_at(capacity: usize, first_index: u64) -> Self {
+        let capacity = capacity.max(1);
+        SubmissionQueue {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            next_index: first_index,
+        }
+    }
+
+    /// The maximum number of buffered items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently buffered (submitted but not yet drained).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The index the next submitted item will be stamped with.
+    pub fn next_index(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Submits one item, stamping it with the next global index.
+    ///
+    /// Returns `Some(batch)` when the submission fills the queue: the
+    /// caller must execute the drained `(index, item)` batch (in index
+    /// order) before the queue accepts further memory. Returns `None`
+    /// while the queue still has room.
+    #[must_use = "a full queue hands back a batch that must be executed"]
+    pub fn push(&mut self, item: T) -> Option<Vec<(u64, T)>> {
+        let index = self.next_index;
+        self.next_index += 1;
+        self.items.push((index, item));
+        if self.items.len() >= self.capacity {
+            Some(self.drain())
+        } else {
+            None
+        }
+    }
+
+    /// Drains every buffered item as an `(index, item)` batch in index
+    /// order (empty when nothing is buffered).
+    pub fn drain(&mut self) -> Vec<(u64, T)> {
+        std::mem::take(&mut self.items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SubmissionQueue;
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let mut q = SubmissionQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        // Capacity 1 drains on every push.
+        assert_eq!(q.push('a'), Some(vec![(0, 'a')]));
+        assert_eq!(q.push('b'), Some(vec![(1, 'b')]));
+    }
+
+    #[test]
+    fn indices_are_contiguous_across_batches() {
+        let mut q = SubmissionQueue::new(3);
+        let mut seen = Vec::new();
+        for i in 0..8 {
+            if let Some(batch) = q.push(i) {
+                assert_eq!(batch.len(), 3);
+                seen.extend(batch);
+            }
+        }
+        seen.extend(q.drain());
+        let indices: Vec<u64> = seen.iter().map(|&(idx, _)| idx).collect();
+        assert_eq!(indices, (0..8).collect::<Vec<_>>());
+        assert!(seen.iter().all(|&(idx, item)| idx == item as u64));
+        assert!(q.is_empty());
+        assert_eq!(q.next_index(), 8);
+    }
+
+    #[test]
+    fn starting_at_continues_numbering() {
+        let mut q = SubmissionQueue::starting_at(2, 40);
+        assert_eq!(q.next_index(), 40);
+        assert!(q.push("x").is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.push("y"), Some(vec![(40, "x"), (41, "y")]));
+        assert!(q.is_empty());
+        assert_eq!(q.next_index(), 42);
+    }
+
+    #[test]
+    fn drain_of_empty_queue_is_empty() {
+        let mut q: SubmissionQueue<u8> = SubmissionQueue::new(4);
+        assert!(q.drain().is_empty());
+    }
+}

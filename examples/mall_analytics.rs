@@ -3,7 +3,9 @@
 //! A mall operator wants (a) the most popular shops (TkPRQ), (b) shop
 //! pairs frequently visited together (TkFRPQ), and (c) a shop's
 //! *conversion rate* — among everyone who entered, how many stayed (the
-//! stay/pass distinction that motivates m-semantics).
+//! stay/pass distinction that motivates m-semantics). Visitor streams
+//! arrive through a `SemanticsEngine` ingest session, the way a live
+//! positioning feed would.
 //!
 //! Run with: `cargo run --release --example mall_analytics`
 
@@ -35,15 +37,24 @@ fn main() {
         dataset.stats().num_records
     );
 
-    // Train on a subset, annotate everyone.
+    // Train on a subset, then stream everyone through the engine.
     let (train, _) = dataset.split(0.5, &mut rng);
-    let model = C2mn::train(&venue, &train, &C2mnConfig::quick_test(), &mut rng).unwrap();
-
-    let mut store = SemanticsStore::new();
+    let mut engine = EngineBuilder::new()
+        .shards(8)
+        .base_seed(11)
+        .queue_capacity(16)
+        .train(&venue, &train, &C2mnConfig::quick_test(), &mut rng)
+        .unwrap();
+    let mut session = engine.ingest();
     for seq in &dataset.sequences {
-        let records: Vec<_> = seq.positioning().collect();
-        store.insert(seq.object_id, model.annotate(&records, &mut rng));
+        session.push(seq.object_id, seq.positioning().collect());
     }
+    let ingested = session.seal();
+    println!(
+        "ingested {ingested} visitor sequences into {} objects across {} shards",
+        engine.num_objects(),
+        engine.num_shards()
+    );
 
     // (a) Top-5 popular shops over the whole window.
     let shops: Vec<_> = venue
@@ -54,13 +65,13 @@ fn main() {
         .collect();
     let qt = TimePeriod::new(0.0, SimulationConfig::quick().duration);
     println!("\nTop-5 popular shops (TkPRQ):");
-    for (region, visits) in tk_prq(&store, &shops, 5, qt) {
+    for (region, visits) in engine.tk_prq(&shops, 5, qt) {
         println!("  {:<14} {visits} visits", venue.region(region).name);
     }
 
     // (b) Top-5 co-visited shop pairs.
     println!("\nTop-5 co-visited shop pairs (TkFRPQ):");
-    for ((a, b), objects) in tk_frpq(&store, &shops, 5, qt) {
+    for ((a, b), objects) in engine.tk_frpq(&shops, 5, qt) {
         println!(
             "  {:<14} + {:<14} {objects} shared visitors",
             venue.region(a).name,
@@ -70,10 +81,10 @@ fn main() {
 
     // (c) Conversion rate of the most popular shop: staying visitors vs
     // everyone whose annotated m-semantics touch the shop.
-    if let Some((shop, _)) = tk_prq(&store, &shops, 1, qt).first().copied() {
+    if let Some((shop, _)) = engine.tk_prq(&shops, 1, qt).first().copied() {
         let mut stayed = 0usize;
         let mut entered = 0usize;
-        for (_, semantics) in store.iter() {
+        for (_, semantics) in engine.store().iter() {
             let touched = semantics.iter().any(|ms| ms.region == shop);
             let converted = semantics
                 .iter()

@@ -1,5 +1,7 @@
 //! Side-by-side comparison of all annotation methods on one dataset —
-//! a miniature of the paper's Table IV.
+//! a miniature of the paper's Table IV. The C2MN family decodes through
+//! `SemanticsEngine::label_batch` (deterministic parallel batch decoding);
+//! the baselines label sequentially.
 //!
 //! Run with: `cargo run --release --example method_comparison`
 
@@ -24,29 +26,37 @@ fn main() {
         &mut rng,
     );
     let (train, test) = dataset.split(0.7, &mut rng);
+    let sequences: Vec<Vec<PositioningRecord>> =
+        test.iter().map(|s| s.positioning().collect()).collect();
 
     let smot = Smot::new(&venue, SmotConfig::default());
     let hmm_dc = HmmDc::train(&venue, &train, HmmDcConfig::default());
     let sapdv = SapDv::new(&venue, SapConfig::default());
     let sapda = SapDa::new(&venue, SapConfig::default());
-    let cmn = C2mn::train(
-        &venue,
-        &train,
-        &C2mnConfig::quick_test().with_structure(ModelStructure::cmn()),
-        &mut rng,
-    )
-    .unwrap();
-    let c2mn = C2mn::train(&venue, &train, &C2mnConfig::quick_test(), &mut rng).unwrap();
+    // Both C2MN variants run inside engines: same seed, same pool sizing,
+    // deterministic decode regardless of thread count.
+    let cmn = EngineBuilder::new()
+        .base_seed(4)
+        .train(
+            &venue,
+            &train,
+            &C2mnConfig::quick_test().with_structure(ModelStructure::cmn()),
+            &mut rng,
+        )
+        .unwrap();
+    let c2mn = EngineBuilder::new()
+        .base_seed(4)
+        .train(&venue, &train, &C2mnConfig::quick_test(), &mut rng)
+        .unwrap();
 
     println!(
         "{:<8} {:>6} {:>6} {:>6} {:>6}",
         "method", "RA", "EA", "CA", "PA"
     );
-    let eval = |name: &str, label: &mut dyn FnMut(&[_]) -> Vec<(_, _)>| {
+    let report = |name: &str, all_labels: &[Vec<(RegionId, MobilityEvent)>]| {
         let mut acc = AccuracyAccumulator::new();
-        for seq in &test {
-            let records: Vec<_> = seq.positioning().collect();
-            acc.add(&label(&records), seq.truth_labels());
+        for (labels, seq) in all_labels.iter().zip(&test) {
+            acc.add(labels, seq.truth_labels());
         }
         let m = acc.finish();
         println!(
@@ -58,12 +68,14 @@ fn main() {
             m.perfect
         );
     };
-    eval("SMoT", &mut |r| smot.label(r));
-    eval("HMM+DC", &mut |r| hmm_dc.label(r));
-    eval("SAPDV", &mut |r| sapdv.label(r));
-    eval("SAPDA", &mut |r| sapda.label(r));
-    let mut rng2 = StdRng::seed_from_u64(4);
-    eval("CMN", &mut |r| cmn.label(r, &mut rng2));
-    let mut rng3 = StdRng::seed_from_u64(4);
-    eval("C2MN", &mut |r| c2mn.label(r, &mut rng3));
+    type Labels = Vec<(RegionId, MobilityEvent)>;
+    let per_sequence = |label: &dyn Fn(&[PositioningRecord]) -> Labels| {
+        sequences.iter().map(|r| label(r)).collect::<Vec<_>>()
+    };
+    report("SMoT", &per_sequence(&|r| smot.label(r)));
+    report("HMM+DC", &per_sequence(&|r| hmm_dc.label(r)));
+    report("SAPDV", &per_sequence(&|r| sapdv.label(r)));
+    report("SAPDA", &per_sequence(&|r| sapda.label(r)));
+    report("CMN", &cmn.label_batch(&sequences));
+    report("C2MN", &c2mn.label_batch(&sequences));
 }

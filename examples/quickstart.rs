@@ -1,5 +1,6 @@
 //! Quickstart: generate a venue, simulate labelled mobility data, train a
-//! C2MN, and annotate a test sequence with m-semantics.
+//! C2MN wrapped in a `SemanticsEngine`, stream a test sequence in, and
+//! read its m-semantics back out.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -39,23 +40,38 @@ fn main() {
         dataset.stats().num_records
     );
 
-    // 3. Train the coupled conditional Markov network (Algorithm 1).
-    let config = C2mnConfig::quick_test();
-    let model = C2mn::train(&venue, &train, &config, &mut rng).unwrap();
+    // 3. Train the coupled conditional Markov network (Algorithm 1) and
+    //    build the engine owning it in one step.
+    let mut engine = EngineBuilder::new()
+        .shards(4)
+        .base_seed(7)
+        .train(&venue, &train, &C2mnConfig::quick_test(), &mut rng)
+        .unwrap();
     println!(
-        "trained in {:.2}s over {} iterations (converged: {})",
-        model.report().train_seconds,
-        model.report().iterations,
-        model.report().converged
+        "trained in {:.2}s over {} iterations (converged: {}), engine on {} threads",
+        engine.model().report().train_seconds,
+        engine.model().report().iterations,
+        engine.model().report().converged,
+        engine.threads()
     );
-    println!("weights: {:?}", model.weights().0);
+    println!("weights: {:?}", engine.model().weights().0);
 
-    // 4. Annotate a test sequence and measure accuracy.
+    // 4. Stream the test sequences in; sealing publishes them.
+    let mut session = engine.ingest();
+    for seq in &test {
+        session.push(seq.object_id, seq.positioning().collect());
+    }
+    let ingested = session.seal();
+    println!(
+        "\ningested {ingested} sequences into {} objects",
+        engine.num_objects()
+    );
+
+    // 5. Read one object's m-semantics back from the live store.
     let seq = &test[0];
-    let records: Vec<_> = seq.positioning().collect();
-    let semantics = model.annotate(&records, &mut rng);
-    println!("\nm-semantics of object {}:", seq.object_id);
-    for ms in &semantics {
+    let semantics = engine.semantics_of(seq.object_id).unwrap();
+    println!("m-semantics of object {}:", seq.object_id);
+    for ms in semantics {
         let name = &venue.region(ms.region).name;
         println!(
             "  {:>7.0}s – {:>7.0}s  {:<14} {:?}",
@@ -63,7 +79,9 @@ fn main() {
         );
     }
 
-    let labels = model.label(&records, &mut rng);
+    // 6. Measure labeling accuracy on that sequence (offline helper).
+    let records: Vec<_> = seq.positioning().collect();
+    let labels = engine.label_batch(&[records]).remove(0);
     let mut acc = indoor_semantics::eval::AccuracyAccumulator::new();
     acc.add(&labels, seq.truth_labels());
     let m = acc.finish();

@@ -1,8 +1,10 @@
 //! The paper's Figure 1 scenario: a tourist wandering a station-like venue.
 //!
 //! We follow a single object, print its raw positioning records, and show
-//! how C2MN turns them into when-where-what m-semantics, including the
-//! stay/pass distinction at the same region.
+//! how the streaming engine turns them into when-where-what m-semantics —
+//! the tourist's sequence is pushed through an ingest session the way a
+//! live feed would deliver it — including the stay/pass distinction at the
+//! same region.
 //!
 //! Run with: `cargo run --release --example station_tour`
 
@@ -27,13 +29,16 @@ fn main() {
         10,
         &mut rng,
     );
-    let model = C2mn::train(
-        &venue,
-        &dataset.sequences,
-        &C2mnConfig::quick_test(),
-        &mut rng,
-    )
-    .unwrap();
+    let mut engine = EngineBuilder::new()
+        .shards(2)
+        .base_seed(42)
+        .train(
+            &venue,
+            &dataset.sequences,
+            &C2mnConfig::quick_test(),
+            &mut rng,
+        )
+        .unwrap();
 
     // One fresh "tourist" trajectory.
     let sim = Simulator::new(&venue, SimulationConfig::quick());
@@ -50,9 +55,13 @@ fn main() {
         );
     }
 
-    let semantics = model.annotate(&records, &mut rng);
+    // Stream the tourist in and read the annotation back from the store.
+    let mut session = engine.ingest();
+    session.push(99, records.clone());
+    session.seal();
+    let semantics = engine.semantics_of(99).expect("tourist was ingested");
     println!("\nannotated m-semantics (what the analyst sees):");
-    for ms in &semantics {
+    for ms in semantics {
         println!(
             "  ({:<14} {:>6.0}s – {:>6.0}s, {:?})",
             venue.region(ms.region).name,

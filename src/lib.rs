@@ -25,9 +25,15 @@
 //! * [`baselines`] — SMoT, HMM+DC, SAPDV, SAPDA.
 //! * [`queries`] — TkPRQ / TkFRPQ top-k semantic queries: flat sequential
 //!   reference plus the sharded, time-bucket-indexed parallel engine.
+//! * [`engine`] — the unified streaming front-end: `SemanticsEngine` owns
+//!   model, worker pool, and a live sharded store; `IngestSession` streams
+//!   p-sequences in with deterministic output; queries are methods.
 //! * [`eval`] — RA/EA/CA/PA metrics, splits, cross-validation.
 //!
 //! ## Quickstart
+//!
+//! The engine path: train once, stream p-sequences in as they arrive,
+//! query everything sealed so far.
 //!
 //! ```
 //! use indoor_semantics::prelude::*;
@@ -46,27 +52,40 @@
 //!     &mut rng,
 //! );
 //!
-//! // 2. Train the coupled model on ground-truth labels.
-//! let config = C2mnConfig::quick_test();
-//! let model = C2mn::train(&venue, &dataset.sequences, &config, &mut rng).unwrap();
+//! // 2. Train the coupled model and build the engine around it.
+//! let mut engine = EngineBuilder::new()
+//!     .threads(2)
+//!     .shards(4)
+//!     .base_seed(7)
+//!     .train(&venue, &dataset.sequences, &C2mnConfig::quick_test(), &mut rng)
+//!     .unwrap();
 //!
-//! // 3. Annotate a sequence into m-semantics.
-//! let records: Vec<PositioningRecord> = dataset.sequences[0].positioning().collect();
-//! let annotated = model.annotate(&records, &mut rng);
-//! for ms in &annotated {
-//!     println!(
-//!         "{:?} during [{}, {}] at region {}",
-//!         ms.event, ms.period.start, ms.period.end, ms.region.0
-//!     );
+//! // 3. Stream p-sequences in; sealing publishes them to the queries.
+//! let mut session = engine.ingest();
+//! for seq in &dataset.sequences {
+//!     session.push(seq.object_id, seq.positioning().collect());
 //! }
-//! assert!(!annotated.is_empty());
+//! session.seal();
+//!
+//! // 4. Ask semantic questions over everything annotated so far.
+//! let regions: Vec<RegionId> = venue.regions().iter().map(|r| r.id).collect();
+//! let qt = indoor_semantics::mobility::TimePeriod::new(0.0, 1e6);
+//! let popular = engine.tk_prq(&regions, 3, qt);
+//! assert!(popular.len() <= 3);
+//! let first_object = dataset.sequences[0].object_id;
+//! assert!(engine.semantics_of(first_object).is_some());
 //! ```
+//!
+//! The pieces remain available individually (`C2mn::annotate`,
+//! `BatchAnnotator`, `ShardedStoreBuilder`, `tk_prq_sharded`, …) for
+//! callers that want to wire them by hand.
 
 #![deny(missing_docs)]
 
 pub use ism_baselines as baselines;
 pub use ism_c2mn as c2mn;
 pub use ism_cluster as cluster;
+pub use ism_engine as engine;
 pub use ism_eval as eval;
 pub use ism_geometry as geometry;
 pub use ism_indoor as indoor;
@@ -81,6 +100,7 @@ pub mod prelude {
     pub use ism_baselines::{HmmDc, SapDa, SapDv, Smot};
     pub use ism_c2mn::{sequence_seed, BatchAnnotator, C2mn, C2mnConfig, ModelStructure};
     pub use ism_cluster::{DensityClass, StDbscan, StDbscanParams};
+    pub use ism_engine::{EngineBuilder, EngineError, IngestSession, SemanticsEngine};
     pub use ism_eval::{combined_accuracy, perfect_accuracy, LabelAccuracy};
     pub use ism_geometry::{Circle, Point2, Rect};
     pub use ism_indoor::{BuildingGenerator, IndoorSpace, PartitionId, RegionId};
@@ -90,7 +110,7 @@ pub mod prelude {
     };
     pub use ism_queries::{
         shard_of, tk_frpq, tk_frpq_sharded, tk_prq, tk_prq_sharded, QuerySet, SemanticsStore,
-        ShardedSemanticsStore, ShardedStoreBuilder,
+        ShardedSemanticsStore, ShardedStoreBuilder, StoreError,
     };
-    pub use ism_runtime::WorkerPool;
+    pub use ism_runtime::{SubmissionQueue, WorkerPool};
 }
