@@ -2,7 +2,10 @@
 //! 1, 2 and 4 worker threads over a mall workload, plus streaming-ingest
 //! throughput of the `ism-engine` [`IngestSession`] front-end against the
 //! offline `annotate_into_store` reference (both produce byte-identical
-//! stores — the measurement is pure overhead accounting).
+//! stores — the measurement is pure overhead accounting), plus training
+//! throughput of the pool-parallel [`Trainer`] at the same thread counts
+//! (all thread counts learn byte-identical weights — again pure speedup
+//! accounting).
 //!
 //! Besides the usual criterion console report, the bench writes
 //! `BENCH_annotate.json` at the repository root so CI can archive the perf
@@ -13,10 +16,11 @@
 
 use criterion::Criterion;
 use ism_bench::positioning_batch;
-use ism_c2mn::{BatchAnnotator, C2mn};
+use ism_c2mn::{BatchAnnotator, C2mn, Trainer};
 use ism_engine::EngineBuilder;
 use ism_indoor::BuildingGenerator;
 use ism_mobility::{Dataset, PositioningConfig, SimulationConfig};
+use ism_runtime::WorkerPool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -106,7 +110,31 @@ fn main() {
         ingest.push((threads, streaming, offline));
     }
 
-    write_report(&throughputs, &ingest, sequences.len(), num_records);
+    // Pool-parallel training (per-sequence MCMC sampling fanned out over
+    // the worker pool): training sequences/sec per thread count. Weights
+    // are byte-identical at every thread count, so this measures pure
+    // parallel speedup of Algorithm 1's sampling stage.
+    let train_seqs = &dataset.sequences;
+    let mut train: Vec<(usize, Option<f64>)> = Vec::new();
+    for threads in THREAD_COUNTS {
+        let pool = WorkerPool::new(threads);
+        c.bench_function(&format!("train/mall_{threads}_threads"), |b| {
+            b.iter(|| {
+                Trainer::new(&space, config.clone())
+                    .seed(7)
+                    .pool(&pool)
+                    .run(black_box(train_seqs))
+                    .unwrap()
+                    .model
+            })
+        });
+        let tp = c
+            .last_estimate_ns()
+            .map(|ns| train_seqs.len() as f64 / (ns / 1e9));
+        train.push((threads, tp));
+    }
+
+    write_report(&throughputs, &ingest, &train, sequences.len(), num_records);
 }
 
 fn fmt_opt(v: Option<f64>) -> String {
@@ -118,6 +146,7 @@ fn fmt_opt(v: Option<f64>) -> String {
 fn write_report(
     throughputs: &[(usize, f64)],
     ingest: &[(usize, Option<f64>, Option<f64>)],
+    train: &[(usize, Option<f64>)],
     num_sequences: usize,
     num_records: usize,
 ) {
@@ -154,15 +183,38 @@ fn write_report(
             )
         })
         .collect();
+    // Speedups relative to the measured 1-thread training run; `null`
+    // when a CLI filter skipped it.
+    let train_baseline = train
+        .iter()
+        .find(|&&(threads, _)| threads == 1)
+        .and_then(|&(_, tp)| tp);
+    let train_entries: Vec<String> = train
+        .iter()
+        .map(|&(threads, tp)| {
+            let speedup = match (tp, train_baseline) {
+                (Some(tp), Some(base)) if base > 0.0 => format!("{:.3}", tp / base),
+                _ => "null".to_string(),
+            };
+            format!(
+                "    {{\"threads\": {threads}, \
+                 \"train_sequences_per_sec\": {}, \
+                 \"speedup_vs_1_thread\": {speedup}}}",
+                fmt_opt(tp)
+            )
+        })
+        .collect();
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"annotate_throughput\",\n  \"workload\": \"mall\",\n  \
          \"num_sequences\": {num_sequences},\n  \"num_records\": {num_records},\n  \
          \"host_parallelism\": {available},\n  \"queue_capacity\": {QUEUE_CAPACITY},\n  \
          \"shards\": {SHARDS},\n  \"results\": [\n{}\n  ],\n  \
-         \"ingest_results\": [\n{}\n  ]\n}}\n",
+         \"ingest_results\": [\n{}\n  ],\n  \
+         \"train_results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"),
-        ingest_entries.join(",\n")
+        ingest_entries.join(",\n"),
+        train_entries.join(",\n")
     );
     match std::fs::write(OUT_PATH, &json) {
         Ok(()) => println!("wrote {OUT_PATH}"),

@@ -3,7 +3,7 @@
 //! multipliers on fst / fsc.
 
 use ism_bench::{evaluate_accuracy, f3, mall_dataset, print_table, Method, Scale};
-use ism_c2mn::{C2mn, C2mnConfig};
+use ism_c2mn::{C2mnConfig, Trainer};
 use ism_eval::PAPER_LAMBDA;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,10 +47,15 @@ fn main() {
             },
         ),
     ];
+    let pool = scale.pool();
     let mut rows = Vec::new();
     for (name, config) in &configs {
-        let mut rng = StdRng::seed_from_u64(3);
-        let model = C2mn::train(&space, &train, config, &mut rng).unwrap();
+        let model = Trainer::new(&space, config.clone())
+            .seed(3)
+            .pool(&pool)
+            .run(&train)
+            .unwrap()
+            .model;
         let method = Method::batched("x", &model, scale.threads);
         let acc = evaluate_accuracy(&method, &test, 4);
         rows.push(vec![

@@ -13,7 +13,7 @@ fn main() {
         let (train, _) = dataset.split(frac, &mut rng);
         let mut config = scale.c2mn_config();
         config.delta = 0.0;
-        let family = train_c2mn_family(&space, &train, &config, &C2MN_VARIANTS, 3);
+        let family = train_c2mn_family(&space, &train, &config, &C2MN_VARIANTS, 3, &scale.pool());
         let mut row = vec![format!("{:.0}%", frac * 100.0)];
         for (_, model) in &family {
             row.push(f3(model.report().train_seconds));

@@ -3,7 +3,7 @@
 //! nearest-neighbour matching).
 
 use ism_bench::{at_r_config, f3, mall_dataset, print_table, Scale};
-use ism_c2mn::C2mn;
+use ism_c2mn::Trainer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -12,24 +12,34 @@ fn main() {
     let (space, dataset) = mall_dataset(&scale, 1);
     let mut rng = StdRng::seed_from_u64(2);
     let (train, _) = dataset.split(0.7, &mut rng);
+    let pool = scale.pool();
     let base = scale.max_iter.max(2);
     let mut rows = Vec::new();
     for iters in [base / 2, base, (base * 3) / 2, base * 2] {
         let mut config = scale.c2mn_config();
         config.max_iter = iters.max(1);
         config.delta = 0.0;
-        let mut rng_a = StdRng::seed_from_u64(3);
-        let c2mn = C2mn::train(&space, &train, &config, &mut rng_a).unwrap();
-        let mut rng_b = StdRng::seed_from_u64(3);
-        let at_r = C2mn::train(&space, &train, &at_r_config(&config), &mut rng_b).unwrap();
+        let c2mn = Trainer::new(&space, config.clone())
+            .seed(3)
+            .pool(&pool)
+            .run(&train)
+            .unwrap();
+        let at_r = Trainer::new(&space, at_r_config(&config))
+            .seed(3)
+            .pool(&pool)
+            .run(&train)
+            .unwrap();
         rows.push(vec![
             format!("{iters}"),
-            f3(c2mn.report().train_seconds),
-            f3(at_r.report().train_seconds),
+            f3(c2mn.report.train_seconds),
+            f3(at_r.report.train_seconds),
         ]);
     }
     print_table(
-        "Figure 11 — training time (s): first-configured variable",
+        &format!(
+            "Figure 11 — training time (s) on {} workers: first-configured variable",
+            pool.threads()
+        ),
         &["max_iter", "C2MN", "C2MN@R"],
         &rows,
     );

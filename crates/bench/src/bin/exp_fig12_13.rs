@@ -14,7 +14,14 @@ fn main() {
     let (space, dataset) = mall_dataset(&scale, 1);
     let mut rng = StdRng::seed_from_u64(2);
     let (train, test) = dataset.split(0.7, &mut rng);
-    let family = train_c2mn_family(&space, &train, &scale.c2mn_config(), &C2MN_VARIANTS, 3);
+    let family = train_c2mn_family(
+        &space,
+        &train,
+        &scale.c2mn_config(),
+        &C2MN_VARIANTS,
+        3,
+        &scale.pool(),
+    );
     let methods = all_methods(&space, &train, &family, scale.threads);
     let truth = truth_store(&test, scale.shards);
 

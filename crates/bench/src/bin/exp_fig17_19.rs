@@ -27,7 +27,7 @@ fn main() {
             sigma_sq: 0.2,
             ..scale.c2mn_config()
         };
-        let family = train_c2mn_family(&space, &train, &config, &variants, 3);
+        let family = train_c2mn_family(&space, &train, &config, &variants, 3, &scale.pool());
         let methods = all_methods(&space, &train, &family, scale.threads);
         let truth = truth_store(&test, scale.shards);
         for (mi, m) in methods.iter().enumerate() {

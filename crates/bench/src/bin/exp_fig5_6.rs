@@ -17,7 +17,14 @@ fn main() {
     for frac in [0.4, 0.5, 0.6, 0.7, 0.8] {
         let mut rng = StdRng::seed_from_u64(2);
         let (train, test) = dataset.split(frac, &mut rng);
-        let family = train_c2mn_family(&space, &train, &scale.c2mn_config(), &C2MN_VARIANTS, 3);
+        let family = train_c2mn_family(
+            &space,
+            &train,
+            &scale.c2mn_config(),
+            &C2MN_VARIANTS,
+            3,
+            &scale.pool(),
+        );
         let mut ca_row = vec![format!("{:.0}%", frac * 100.0)];
         let mut pa_row = vec![format!("{:.0}%", frac * 100.0)];
         for (name, model) in &family {

@@ -21,7 +21,7 @@ fn main() {
     for m in sweep {
         let mut config = scale.c2mn_config();
         config.mcmc_m = m.max(2);
-        let family = train_c2mn_family(&space, &train, &config, &C2MN_VARIANTS, 3);
+        let family = train_c2mn_family(&space, &train, &config, &C2MN_VARIANTS, 3, &scale.pool());
         let mut ra_row = vec![format!("{m}")];
         let mut ea_row = vec![format!("{m}")];
         for (name, model) in &family {

@@ -17,7 +17,7 @@ fn main() {
         let mut config = scale.c2mn_config();
         config.max_iter = iters.max(1);
         config.delta = 0.0; // force running all iterations, as in the sweep
-        let family = train_c2mn_family(&space, &train, &config, &C2MN_VARIANTS, 3);
+        let family = train_c2mn_family(&space, &train, &config, &C2MN_VARIANTS, 3, &scale.pool());
         let mut row = vec![format!("{iters}")];
         for (_, model) in &family {
             row.push(f3(model.report().train_seconds));

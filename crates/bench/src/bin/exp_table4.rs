@@ -19,7 +19,14 @@ fn main() {
         train.len(),
         test.len()
     );
-    let family = train_c2mn_family(&space, &train, &scale.c2mn_config(), &C2MN_VARIANTS, 3);
+    let family = train_c2mn_family(
+        &space,
+        &train,
+        &scale.c2mn_config(),
+        &C2MN_VARIANTS,
+        3,
+        &scale.pool(),
+    );
     let methods = all_methods(&space, &train, &family, scale.threads);
     let mut rows = Vec::new();
     for m in &methods {

@@ -17,7 +17,9 @@
 #![deny(missing_docs)]
 
 use ism_baselines::{HmmDc, HmmDcConfig, SapConfig, SapDa, SapDv, Smot, SmotConfig};
-use ism_c2mn::{sequence_seed, BatchAnnotator, C2mn, C2mnConfig, FirstConfigured, ModelStructure};
+use ism_c2mn::{
+    sequence_seed, BatchAnnotator, C2mn, C2mnConfig, FirstConfigured, ModelStructure, Trainer,
+};
 use ism_eval::{top_k_precision, AccuracyAccumulator, LabelAccuracy};
 use ism_indoor::{BuildingGenerator, IndoorSpace, RegionId, RegionKind};
 use ism_mobility::{
@@ -252,20 +254,30 @@ pub const C2MN_VARIANTS: [(&str, ModelStructure); 6] = [
 ];
 
 /// Trains the C2MN family on `train`, returning `(name, model)` pairs.
+///
+/// Each variant trains through a [`Trainer`] keyed by `seed` with its
+/// per-sequence MCMC sampling fanned out over `pool` — thread count never
+/// changes the learned weights (the trainer's determinism contract), so
+/// `REPRO_THREADS` scales training wall-clock without moving any reported
+/// number.
 pub fn train_c2mn_family<'a>(
     space: &'a IndoorSpace,
     train: &[LabeledSequence],
     base: &C2mnConfig,
     variants: &[(&'static str, ModelStructure)],
     seed: u64,
+    pool: &WorkerPool,
 ) -> Vec<(&'static str, C2mn<'a>)> {
     variants
         .iter()
         .map(|(name, structure)| {
-            let mut rng = StdRng::seed_from_u64(seed);
             let config = base.clone().with_structure(*structure);
-            let model = C2mn::train(space, train, &config, &mut rng).expect("training data");
-            (*name, model)
+            let outcome = Trainer::new(space, config)
+                .seed(seed)
+                .pool(pool)
+                .run(train)
+                .expect("training data");
+            (*name, outcome.model)
         })
         .collect()
 }

@@ -38,10 +38,7 @@ use rand::SeedableRng;
 /// part of the public determinism contract so sequential callers can
 /// reproduce batch output exactly.
 pub fn sequence_seed(base_seed: u64, index: usize) -> u64 {
-    let mut z = base_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    crate::sample::splitmix64(base_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// Decodes batches of p-sequences in parallel with deterministic output.

@@ -1,0 +1,101 @@
+//! Typed errors of model training.
+
+use std::fmt;
+
+/// Any failure of C2MN training — returned by [`Trainer::run`] and the
+/// [`C2mn::train`] convenience wrapper instead of panicking mid-run.
+///
+/// [`Trainer::run`]: crate::Trainer::run
+/// [`C2mn::train`]: crate::C2mn::train
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// The training set contains no usable (≥ 2 records) sequence.
+    EmptyTrainingSet,
+    /// A labelled sequence's ground-truth region is missing from the
+    /// candidate set of one of its sites. Training contexts force-include
+    /// the truth region, so this indicates a malformed labelled sequence
+    /// (e.g. a region id pointing outside the venue) rather than pruning.
+    TruthNotInCandidates {
+        /// Index of the offending sequence within the training set passed
+        /// to the trainer (skipped < 2-record sequences keep their slot,
+        /// so this indexes the caller's slice directly).
+        sequence: usize,
+        /// Record index within that sequence.
+        site: usize,
+    },
+    /// A [`TrainCheckpoint`](crate::TrainCheckpoint) was resumed against a
+    /// training set of a different shape than the one it was captured from.
+    CheckpointMismatch {
+        /// The usable sequence whose record count diverged, or `None`
+        /// when the usable-sequence count itself diverged.
+        sequence: Option<usize>,
+        /// What the checkpoint was captured from.
+        expected: usize,
+        /// What the resumed training set provides.
+        found: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::EmptyTrainingSet => {
+                write!(f, "training set contains no usable (>= 2 records) sequence")
+            }
+            TrainError::TruthNotInCandidates { sequence, site } => write!(
+                f,
+                "ground-truth region of sequence {sequence}, site {site} is \
+                 not in the candidate set (malformed labelled sequence)"
+            ),
+            TrainError::CheckpointMismatch {
+                sequence: None,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint was captured from {expected} usable training \
+                 sequences, resumed against {found}"
+            ),
+            TrainError::CheckpointMismatch {
+                sequence: Some(sequence),
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint recorded {expected} records for usable training \
+                 sequence {sequence}, resumed against {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_failure() {
+        assert!(TrainError::EmptyTrainingSet.to_string().contains("usable"));
+        let e = TrainError::TruthNotInCandidates {
+            sequence: 3,
+            site: 7,
+        };
+        assert!(e.to_string().contains("sequence 3"));
+        assert!(e.to_string().contains("site 7"));
+        let e = TrainError::CheckpointMismatch {
+            sequence: None,
+            expected: 5,
+            found: 2,
+        };
+        assert!(e.to_string().contains('5') && e.to_string().contains('2'));
+        let e = TrainError::CheckpointMismatch {
+            sequence: Some(7),
+            expected: 120,
+            found: 121,
+        };
+        assert!(e.to_string().contains("sequence 7"));
+        assert!(e.to_string().contains("120") && e.to_string().contains("121"));
+    }
+}

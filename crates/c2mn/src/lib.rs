@@ -15,9 +15,15 @@
 //! * [`SequenceContext`] / [`CoupledNetwork`] — the unrolled network over
 //!   one p-sequence with cached features and exact Markov-blanket local
 //!   potentials;
-//! * [`C2mn::train`] — the alternate learning algorithm (Algorithm 1):
-//!   pseudo-likelihood with MCMC (Gibbs) sampling and L-BFGS steps,
-//!   alternating which target chain is configured;
+//! * [`Trainer`] — the training session API for the alternate learning
+//!   algorithm (Algorithm 1): pseudo-likelihood with MCMC (Gibbs) sampling
+//!   and L-BFGS steps, alternating which target chain is configured. The
+//!   per-sequence sampling fans out over a worker pool with seeds derived
+//!   from [`train_seed`]`(base_seed, iteration, sequence)`, so the learned
+//!   weights are byte-identical for any thread count; an observer hook
+//!   reports per-iteration progress and can stop early, and
+//!   [`TrainCheckpoint`]s resume interrupted runs exactly.
+//!   [`C2mn::train`] remains as a thin sequential convenience wrapper;
 //! * [`C2mn::annotate`] — joint decoding (annealed Gibbs + ICM) followed by
 //!   label-and-merge into m-semantics;
 //! * [`BatchAnnotator`] — the parallel batch engine: shards a batch of
@@ -31,16 +37,24 @@
 mod batch;
 mod config;
 mod context;
+mod error;
 mod features;
-mod learn;
 mod model;
 mod network;
+mod prep;
+mod sample;
+mod step;
 mod structure;
+mod trainer;
 
 pub use batch::{sequence_seed, BatchAnnotator};
 pub use config::{C2mnConfig, FirstConfigured};
 pub use context::SequenceContext;
-pub use learn::TrainReport;
-pub use model::{C2mn, C2mnError, DecodeScratch};
+pub use error::TrainError;
+pub use model::{C2mn, DecodeScratch};
 pub use network::{CoupledNetwork, EventSites, RegionSites};
+pub use sample::train_seed;
 pub use structure::{ModelStructure, Weights, NUM_FEATURES};
+pub use trainer::{
+    SampledChain, TrainCheckpoint, TrainControl, TrainOutcome, TrainProgress, TrainReport, Trainer,
+};

@@ -1,14 +1,15 @@
 //! The public C2MN model: training, labeling, annotation.
 
-use crate::learn::{alternate_learning, TrainReport};
-use crate::{C2mnConfig, CoupledNetwork, EventSites, RegionSites, SequenceContext, Weights};
+use crate::{
+    C2mnConfig, CoupledNetwork, EventSites, RegionSites, SequenceContext, TrainError, TrainReport,
+    Trainer, Weights,
+};
 use ism_indoor::{IndoorSpace, RegionId};
 use ism_mobility::{
     merge_labels, LabeledSequence, MobilityEvent, MobilitySemantics, PositioningRecord,
 };
 use ism_pgm::{gibbs_sweep_with, icm_sweep, AnnealSchedule, SweepScratch};
 use rand::Rng;
-use std::fmt;
 
 /// Reusable decode buffers: the per-sequence state vectors plus the
 /// per-sweep log-weight buffer of the Gibbs sampler.
@@ -34,23 +35,6 @@ impl DecodeScratch {
     }
 }
 
-/// Errors of model training.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum C2mnError {
-    /// The training set contains no usable sequence.
-    EmptyTrainingSet,
-}
-
-impl fmt::Display for C2mnError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            C2mnError::EmptyTrainingSet => write!(f, "training set contains no sequences"),
-        }
-    }
-}
-
-impl std::error::Error for C2mnError {}
-
 /// A trained coupled conditional Markov network bound to a venue.
 ///
 /// `Clone` duplicates the learned parameters (weights, region frequencies,
@@ -69,43 +53,38 @@ pub struct C2mn<'a> {
 impl<'a> C2mn<'a> {
     /// Trains a model on fully-labelled sequences using the alternate
     /// learning algorithm (Algorithm 1).
+    ///
+    /// A thin convenience wrapper over [`Trainer`]: the base seed is drawn
+    /// from `rng` and the sampling runs sequentially. Use a [`Trainer`]
+    /// directly for pool-parallel sampling, explicit seeds, warm starts,
+    /// per-iteration observation, or checkpoint/resume.
     pub fn train<R: Rng + ?Sized>(
         space: &'a IndoorSpace,
         train: &[LabeledSequence],
         config: &C2mnConfig,
         rng: &mut R,
-    ) -> Result<Self, C2mnError> {
-        let usable: Vec<LabeledSequence> = train
-            .iter()
-            .filter(|s| s.records.len() >= 2)
-            .cloned()
-            .collect();
-        if usable.is_empty() {
-            return Err(C2mnError::EmptyTrainingSet);
-        }
-        // Historical region frequencies (optional fsm prior; always
-        // computed so the extension can be toggled without retraining).
-        let mut region_freq = vec![0.0f64; space.regions().len()];
-        let mut total = 0.0f64;
-        for s in &usable {
-            for r in &s.records {
-                region_freq[r.region.index()] += 1.0;
-                total += 1.0;
-            }
-        }
-        if total > 0.0 {
-            for f in &mut region_freq {
-                *f /= total;
-            }
-        }
-        let out = alternate_learning(space, &usable, config, &region_freq, rng);
-        Ok(C2mn {
+    ) -> Result<Self, TrainError> {
+        Trainer::new(space, config.clone())
+            .seed(rng.random::<u64>())
+            .run(train)
+            .map(|outcome| outcome.model)
+    }
+
+    /// Assembles a trained model from its parts (the [`Trainer`] output).
+    pub(crate) fn from_parts(
+        space: &'a IndoorSpace,
+        config: C2mnConfig,
+        weights: Weights,
+        region_freq: Vec<f64>,
+        report: TrainReport,
+    ) -> Self {
+        C2mn {
             space,
-            config: config.clone(),
-            weights: out.weights,
+            config,
+            weights,
             region_freq,
-            report: out.report,
-        })
+            report,
+        }
     }
 
     /// Builds a model from explicit weights (tests, ablations, and loading
@@ -360,7 +339,7 @@ mod tests {
         let config = C2mnConfig::quick_test();
         assert_eq!(
             C2mn::train(&space, &[], &config, &mut rng).unwrap_err(),
-            C2mnError::EmptyTrainingSet
+            TrainError::EmptyTrainingSet
         );
         let model = C2mn::train(&space, &dataset.sequences, &config, &mut rng).unwrap();
         assert!(model.label(&[], &mut rng).is_empty());

@@ -1,0 +1,232 @@
+//! Training preprocessing: usable-sequence filtering, per-sequence
+//! contexts, truth indices, historical region frequencies, and the initial
+//! configured chains of Algorithm 1 (line 1 / footnote 6).
+//!
+//! Everything here is computed once per [`Trainer::run`](crate::Trainer::run)
+//! call, before the first outer iteration; the sampling kernel
+//! ([`crate::sample`]) and the optimizer step ([`crate::step`]) only read
+//! the prepared data.
+
+use crate::{C2mnConfig, SequenceContext, TrainError};
+use ism_indoor::{IndoorSpace, RegionId};
+use ism_mobility::{LabeledSequence, MobilityEvent};
+
+/// One usable training sequence with everything sampling needs: the
+/// decode/training context plus the empirical (ground-truth) labels and
+/// their candidate indices.
+pub(crate) struct PreparedSequence<'a> {
+    /// Training context (truth regions force-included in candidates).
+    pub ctx: SequenceContext<'a>,
+    /// Ground-truth region per record.
+    pub truth_regions: Vec<RegionId>,
+    /// Ground-truth event per record.
+    pub truth_events: Vec<MobilityEvent>,
+    /// Candidate index of the truth region per record.
+    pub truth_r_idx: Vec<usize>,
+}
+
+/// The fully preprocessed training set.
+pub(crate) struct TrainingData<'a> {
+    /// Usable (≥ 2 records) sequences in input order.
+    pub seqs: Vec<PreparedSequence<'a>>,
+    /// Normalised historical region visit frequencies (optional `fsm`
+    /// prior; always computed so the extension can toggle without
+    /// retraining).
+    pub region_freq: Vec<f64>,
+    /// Training sequences dropped for having fewer than 2 records.
+    pub skipped_sequences: usize,
+}
+
+/// Maps each record's ground-truth region to its candidate index,
+/// reporting a typed error (instead of aborting the process) when a
+/// malformed labelled sequence leaves the truth outside the candidates.
+pub(crate) fn truth_indices(
+    ctx: &SequenceContext<'_>,
+    truth_regions: &[RegionId],
+    sequence: usize,
+) -> Result<Vec<usize>, TrainError> {
+    (0..ctx.len())
+        .map(|site| {
+            ctx.candidate_index(site, truth_regions[site])
+                .ok_or(TrainError::TruthNotInCandidates { sequence, site })
+        })
+        .collect()
+}
+
+/// Preprocesses `train` into [`TrainingData`]: filters out sequences with
+/// fewer than 2 records (counting them), computes the historical region
+/// frequencies over the usable records, and builds one training context
+/// plus truth indices per usable sequence.
+pub(crate) fn prepare<'a>(
+    space: &'a IndoorSpace,
+    config: &'a C2mnConfig,
+    train: &[LabeledSequence],
+) -> Result<TrainingData<'a>, TrainError> {
+    // Usable sequences keep their input index, so diagnostics point at
+    // the right element of the slice the caller passed in.
+    let usable: Vec<(usize, &LabeledSequence)> = train
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.records.len() >= 2)
+        .collect();
+    let skipped_sequences = train.len() - usable.len();
+    if usable.is_empty() {
+        return Err(TrainError::EmptyTrainingSet);
+    }
+
+    let mut region_freq = vec![0.0f64; space.regions().len()];
+    let mut total = 0.0f64;
+    for (_, s) in &usable {
+        for r in &s.records {
+            region_freq[r.region.index()] += 1.0;
+            total += 1.0;
+        }
+    }
+    if total > 0.0 {
+        for f in &mut region_freq {
+            *f /= total;
+        }
+    }
+
+    let mut seqs = Vec::with_capacity(usable.len());
+    for &(sequence, s) in &usable {
+        let truth_regions: Vec<RegionId> = s.records.iter().map(|r| r.region).collect();
+        let truth_events: Vec<MobilityEvent> = s.records.iter().map(|r| r.event).collect();
+        let records: Vec<_> = s.positioning().collect();
+        let ctx = SequenceContext::build_for_training(
+            space,
+            config,
+            &records,
+            &region_freq,
+            &truth_regions,
+        );
+        let truth_r_idx = truth_indices(&ctx, &truth_regions, sequence)?;
+        seqs.push(PreparedSequence {
+            ctx,
+            truth_regions,
+            truth_events,
+            truth_r_idx,
+        });
+    }
+
+    Ok(TrainingData {
+        seqs,
+        region_freq,
+        skipped_sequences,
+    })
+}
+
+impl PreparedSequence<'_> {
+    /// The initial configured event chain: ST-DBSCAN classes (clustered →
+    /// stay, noise → pass).
+    pub fn initial_events(&self) -> Vec<MobilityEvent> {
+        self.ctx.dbscan_events.clone()
+    }
+
+    /// The initial configured region chain: nearest-neighbour matching.
+    pub fn initial_regions(&self) -> Vec<RegionId> {
+        (0..self.ctx.len())
+            .map(|i| self.ctx.candidates[i][self.ctx.nearest_idx[i]])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ism_indoor::BuildingGenerator;
+    use ism_mobility::{Dataset, PositioningConfig, SimulationConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ism_indoor::IndoorSpace, Vec<LabeledSequence>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let space = BuildingGenerator::small_office()
+            .generate(&mut rng)
+            .unwrap();
+        let dataset = Dataset::generate(
+            "p",
+            &space,
+            SimulationConfig::quick(),
+            PositioningConfig::synthetic(8.0, 2.0),
+            None,
+            4,
+            &mut rng,
+        );
+        (space, dataset.sequences)
+    }
+
+    #[test]
+    fn prepare_counts_skipped_short_sequences() {
+        let (space, mut seqs) = setup();
+        let n_usable = seqs.len();
+        // Add two degenerate sequences: empty and single-record.
+        let mut short = seqs[0].clone();
+        short.records.truncate(1);
+        let mut empty = seqs[0].clone();
+        empty.records.clear();
+        seqs.push(short);
+        seqs.push(empty);
+        let config = C2mnConfig::quick_test();
+        let data = prepare(&space, &config, &seqs).unwrap();
+        assert_eq!(data.seqs.len(), n_usable);
+        assert_eq!(data.skipped_sequences, 2);
+        // Frequencies are a distribution over the usable records.
+        let sum: f64 = data.region_freq.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prepare_rejects_all_short_sets() {
+        let (space, seqs) = setup();
+        let mut short = seqs[0].clone();
+        short.records.truncate(1);
+        let config = C2mnConfig::quick_test();
+        assert_eq!(
+            prepare(&space, &config, &[short]).err(),
+            Some(TrainError::EmptyTrainingSet)
+        );
+        assert_eq!(
+            prepare(&space, &config, &[]).err(),
+            Some(TrainError::EmptyTrainingSet)
+        );
+    }
+
+    #[test]
+    fn truth_outside_candidates_is_a_typed_error() {
+        let (space, seqs) = setup();
+        let config = C2mnConfig::quick_test();
+        let records: Vec<_> = seqs[0].positioning().collect();
+        // A *decode* context does not force-include the truth, so a far
+        // region reproduces the malformed-sequence condition.
+        let ctx = SequenceContext::build(&space, &config, &records, &[]);
+        let far = space.regions().last().unwrap().id;
+        let missing = (0..ctx.len()).find(|&i| ctx.candidate_index(i, far).is_none());
+        if let Some(site) = missing {
+            let truth = vec![far; ctx.len()];
+            let err = truth_indices(&ctx, &truth, 5).unwrap_err();
+            match err {
+                TrainError::TruthNotInCandidates { sequence, site: s } => {
+                    assert_eq!(sequence, 5);
+                    assert_eq!(s, site);
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn initial_chains_match_context() {
+        let (space, seqs) = setup();
+        let config = C2mnConfig::quick_test();
+        let data = prepare(&space, &config, &seqs).unwrap();
+        for seq in &data.seqs {
+            assert_eq!(seq.initial_events(), seq.ctx.dbscan_events);
+            let regions = seq.initial_regions();
+            assert_eq!(regions.len(), seq.ctx.len());
+            for (i, r) in regions.iter().enumerate() {
+                assert_eq!(*r, seq.ctx.candidates[i][seq.ctx.nearest_idx[i]]);
+            }
+        }
+    }
+}

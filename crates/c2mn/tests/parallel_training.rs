@@ -1,0 +1,209 @@
+//! Determinism + resume property suite for the [`Trainer`] session API.
+//!
+//! Pins the training determinism contract:
+//!
+//! * pool-parallel training at thread counts {1, 2, 4} learns weights
+//!   **byte-identical** to the single-threaded sequential reference, for
+//!   random datasets, seeds, and model structures;
+//! * an interrupted run (observer early-stop) resumed from its
+//!   [`TrainCheckpoint`] equals the uninterrupted run byte-exactly;
+//! * [`Trainer::initial_weights`] is a pure warm start: explicitly passing
+//!   the default initialisation changes nothing, and two warm-started runs
+//!   from the same checkpointed weights agree run-to-run.
+
+use ism_c2mn::{
+    C2mnConfig, FirstConfigured, ModelStructure, TrainControl, TrainOutcome, Trainer, Weights,
+};
+use ism_indoor::{BuildingGenerator, IndoorSpace};
+use ism_mobility::{Dataset, LabeledSequence, PositioningConfig, SimulationConfig};
+use ism_runtime::WorkerPool;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Parameters of one random training case.
+#[derive(Debug, Clone, Copy)]
+struct Case {
+    data_seed: u64,
+    train_seed: u64,
+    objects: usize,
+    structure: u8,
+    first_configured: u8,
+    max_iter: usize,
+}
+
+fn structure_of(case: &Case) -> ModelStructure {
+    match case.structure % 4 {
+        0 => ModelStructure::full(),
+        1 => ModelStructure::cmn(),
+        2 => ModelStructure::no_transitions(),
+        _ => ModelStructure::no_space_segmentation(),
+    }
+}
+
+fn config_of(case: &Case) -> C2mnConfig {
+    let mut config = C2mnConfig::quick_test().with_structure(structure_of(case));
+    config.max_iter = case.max_iter;
+    config.first_configured = if case.first_configured == 0 {
+        FirstConfigured::Events
+    } else {
+        FirstConfigured::Regions
+    };
+    config
+}
+
+fn training_data(case: &Case) -> (IndoorSpace, Vec<LabeledSequence>) {
+    let mut rng = StdRng::seed_from_u64(case.data_seed);
+    let space = BuildingGenerator::small_office()
+        .generate(&mut rng)
+        .unwrap();
+    let dataset = Dataset::generate(
+        "pt",
+        &space,
+        SimulationConfig::quick(),
+        PositioningConfig::synthetic(8.0, 2.0),
+        None,
+        case.objects,
+        &mut rng,
+    );
+    (space, dataset.sequences)
+}
+
+fn weight_bits(outcome: &TrainOutcome<'_>) -> [u64; 12] {
+    outcome.model.weights().0.map(f64::to_bits)
+}
+
+prop_compose! {
+    fn arb_case()(
+        data_seed in 0u64..1_000,
+        train_seed in 0u64..u64::MAX / 2,
+        objects in 2usize..6,
+        structure in 0u8..8,
+        first_configured in 0u8..2,
+        max_iter in 2usize..6,
+    ) -> Case {
+        Case { data_seed, train_seed, objects, structure, first_configured, max_iter }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Pool-parallel training equals the single-threaded sequential
+    /// reference byte-exactly at every thread count.
+    #[test]
+    fn parallel_weights_equal_sequential_reference(case in arb_case()) {
+        let (space, seqs) = training_data(&case);
+        let config = config_of(&case);
+        let reference = Trainer::new(&space, config.clone())
+            .seed(case.train_seed)
+            .run(&seqs)
+            .unwrap();
+        for threads in THREAD_COUNTS {
+            let pool = WorkerPool::new(threads);
+            let got = Trainer::new(&space, config.clone())
+                .seed(case.train_seed)
+                .pool(&pool)
+                .run(&seqs)
+                .unwrap();
+            prop_assert_eq!(
+                weight_bits(&got),
+                weight_bits(&reference),
+                "weights diverged at threads = {}",
+                threads
+            );
+            prop_assert_eq!(got.report.iterations, reference.report.iterations);
+            prop_assert_eq!(got.report.converged, reference.report.converged);
+        }
+    }
+
+    /// An observer-interrupted run resumed from its checkpoint produces
+    /// the uninterrupted run's weights byte-exactly — at any thread count.
+    #[test]
+    fn checkpoint_resume_equals_uninterrupted_run(case in arb_case()) {
+        let (space, seqs) = training_data(&case);
+        let config = config_of(&case);
+        let whole = Trainer::new(&space, config.clone())
+            .seed(case.train_seed)
+            .run(&seqs)
+            .unwrap();
+        // Stop somewhere strictly inside the run (if it lasted > 1 iter).
+        let stop_after = (whole.report.iterations / 2).max(1);
+        let interrupted = Trainer::new(&space, config.clone())
+            .seed(case.train_seed)
+            .observer(|p| {
+                if p.iteration >= stop_after {
+                    TrainControl::Stop
+                } else {
+                    TrainControl::Continue
+                }
+            })
+            .run(&seqs)
+            .unwrap();
+        prop_assert!(interrupted.report.iterations <= whole.report.iterations);
+        for threads in THREAD_COUNTS {
+            let pool = WorkerPool::new(threads);
+            let resumed = Trainer::new(&space, config.clone())
+                .seed(case.train_seed)
+                .pool(&pool)
+                .checkpoint(interrupted.checkpoint.clone())
+                .run(&seqs)
+                .unwrap();
+            prop_assert_eq!(
+                weight_bits(&resumed),
+                weight_bits(&whole),
+                "resume diverged at threads = {}",
+                threads
+            );
+            // The resumed run continues the global iteration numbering.
+            prop_assert_eq!(resumed.report.iterations, whole.report.iterations);
+            prop_assert_eq!(resumed.report.converged, whole.report.converged);
+        }
+    }
+
+    /// `initial_weights` is a pure warm start: explicitly passing the
+    /// default uniform initialisation is a no-op, and warm-started runs
+    /// are themselves deterministic.
+    #[test]
+    fn initial_weights_warm_start_is_deterministic(case in arb_case()) {
+        let (space, seqs) = training_data(&case);
+        let config = config_of(&case);
+        let default_run = Trainer::new(&space, config.clone())
+            .seed(case.train_seed)
+            .run(&seqs)
+            .unwrap();
+        let explicit = Trainer::new(&space, config.clone())
+            .seed(case.train_seed)
+            .initial_weights(Weights::uniform(0.5))
+            .run(&seqs)
+            .unwrap();
+        prop_assert_eq!(weight_bits(&explicit), weight_bits(&default_run));
+
+        // Warm-starting from checkpointed weights (e.g. the previous
+        // deployment's parameters) is reproducible across runs and thread
+        // counts.
+        let warm = default_run.checkpoint.weights().clone();
+        let reference = Trainer::new(&space, config.clone())
+            .seed(case.train_seed ^ 0xD1CE)
+            .initial_weights(warm.clone())
+            .run(&seqs)
+            .unwrap();
+        for threads in THREAD_COUNTS {
+            let pool = WorkerPool::new(threads);
+            let again = Trainer::new(&space, config.clone())
+                .seed(case.train_seed ^ 0xD1CE)
+                .pool(&pool)
+                .initial_weights(warm.clone())
+                .run(&seqs)
+                .unwrap();
+            prop_assert_eq!(
+                weight_bits(&again),
+                weight_bits(&reference),
+                "warm start diverged at threads = {}",
+                threads
+            );
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! The unified error type of the engine API.
 
-use ism_c2mn::C2mnError;
+use ism_c2mn::TrainError;
 use ism_queries::StoreError;
 use std::fmt;
 
@@ -9,8 +9,9 @@ use std::fmt;
 /// hand-wired pipeline (training failures, store shard-count mismatches).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
-    /// Model training failed (e.g. an empty training set).
-    Train(C2mnError),
+    /// Model training failed (e.g. an empty training set or a malformed
+    /// labelled sequence).
+    Train(TrainError),
     /// A storage-layer invariant was violated (e.g. an initial store whose
     /// shard count contradicts the builder's configuration).
     Store(StoreError),
@@ -34,8 +35,8 @@ impl std::error::Error for EngineError {
     }
 }
 
-impl From<C2mnError> for EngineError {
-    fn from(e: C2mnError) -> Self {
+impl From<TrainError> for EngineError {
+    fn from(e: TrainError) -> Self {
         EngineError::Train(e)
     }
 }
@@ -52,8 +53,14 @@ mod tests {
 
     #[test]
     fn displays_carry_the_cause() {
-        let train: EngineError = C2mnError::EmptyTrainingSet.into();
+        let train: EngineError = TrainError::EmptyTrainingSet.into();
         assert!(train.to_string().contains("training failed"));
+        let truth: EngineError = TrainError::TruthNotInCandidates {
+            sequence: 1,
+            site: 2,
+        }
+        .into();
+        assert!(truth.to_string().contains("sequence 1"));
         let store: EngineError = StoreError::ShardCountMismatch { left: 2, right: 5 }.into();
         assert!(store.to_string().contains("2-shard"));
         use std::error::Error;

@@ -67,7 +67,7 @@ mod session;
 pub use error::EngineError;
 pub use session::IngestSession;
 
-use ism_c2mn::{BatchAnnotator, C2mn, C2mnConfig};
+use ism_c2mn::{BatchAnnotator, C2mn, C2mnConfig, Trainer};
 use ism_indoor::{IndoorSpace, RegionId};
 use ism_mobility::{
     LabeledSequence, MobilityEvent, MobilitySemantics, PositioningRecord, TimePeriod,
@@ -148,10 +148,23 @@ impl EngineBuilder {
 
     /// Builds an engine around an already-trained model.
     pub fn build<'a>(self, model: C2mn<'a>) -> Result<SemanticsEngine<'a>, EngineError> {
-        let pool = match self.threads {
+        let pool = self.pool();
+        self.build_with_pool(model, pool)
+    }
+
+    /// The worker pool this builder's engine will own.
+    fn pool(&self) -> WorkerPool {
+        match self.threads {
             Some(threads) => WorkerPool::new(threads),
             None => WorkerPool::with_available_parallelism(),
-        };
+        }
+    }
+
+    fn build_with_pool<'a>(
+        self,
+        model: C2mn<'a>,
+        pool: WorkerPool,
+    ) -> Result<SemanticsEngine<'a>, EngineError> {
         let store = match self.initial {
             Some(mut store) => {
                 if let Some(shards) = self.shards {
@@ -181,6 +194,12 @@ impl EngineBuilder {
 
     /// Trains a C2MN on `train` (Algorithm 1) and builds an engine around
     /// it in one step.
+    ///
+    /// Training runs on the engine's own [`WorkerPool`] — the per-sequence
+    /// MCMC sampling fans out over the same workers that will later serve
+    /// decoding and queries, with the base seed drawn from `rng`. Thread
+    /// count never changes the learned weights (the [`Trainer`]
+    /// determinism contract), so this is purely a wall-clock knob.
     pub fn train<'a, R: Rng + ?Sized>(
         self,
         space: &'a IndoorSpace,
@@ -188,8 +207,12 @@ impl EngineBuilder {
         config: &C2mnConfig,
         rng: &mut R,
     ) -> Result<SemanticsEngine<'a>, EngineError> {
-        let model = C2mn::train(space, train, config, rng)?;
-        self.build(model)
+        let pool = self.pool();
+        let outcome = Trainer::new(space, config.clone())
+            .seed(rng.random::<u64>())
+            .pool(&pool)
+            .run(train)?;
+        self.build_with_pool(outcome.model, pool)
     }
 }
 
@@ -404,6 +427,42 @@ mod tests {
             .build(model(&space))
             .unwrap();
         assert_eq!(engine.queue_capacity(), 1);
+    }
+
+    #[test]
+    fn builder_trains_on_the_engine_pool_with_thread_invariant_weights() {
+        let (space, dataset) = setup();
+        let config = C2mnConfig::quick_test();
+        // Sequential reference: `C2mn::train` draws the same base seed
+        // from an identically-seeded rng and samples on one thread.
+        let mut rng = StdRng::seed_from_u64(77);
+        let reference = C2mn::train(&space, &dataset.sequences, &config, &mut rng).unwrap();
+        for threads in [1, 2, 4] {
+            let mut rng = StdRng::seed_from_u64(77);
+            let engine = EngineBuilder::new()
+                .threads(threads)
+                .train(&space, &dataset.sequences, &config, &mut rng)
+                .unwrap();
+            assert_eq!(engine.threads(), threads);
+            assert_eq!(
+                engine.model().weights().0.map(f64::to_bits),
+                reference.weights().0.map(f64::to_bits),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_failures_surface_as_engine_errors() {
+        let (space, _) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = EngineBuilder::new()
+            .train(&space, &[], &C2mnConfig::quick_test(), &mut rng)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::Train(ism_c2mn::TrainError::EmptyTrainingSet)
+        );
     }
 
     #[test]

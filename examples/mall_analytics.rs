@@ -37,13 +37,36 @@ fn main() {
         dataset.stats().num_records
     );
 
-    // Train on a subset, then stream everyone through the engine.
+    // Train on a subset with the observable Trainer session API: the
+    // per-sequence MCMC sampling fans out over a worker pool (weights are
+    // byte-identical for any thread count), and the observer hook watches
+    // every outer iteration of Algorithm 1.
     let (train, _) = dataset.split(0.5, &mut rng);
+    let pool = WorkerPool::with_available_parallelism();
+    let outcome = Trainer::new(&venue, C2mnConfig::quick_test())
+        .seed(11)
+        .pool(&pool)
+        .observer(|p| {
+            println!(
+                "  iter {:>2}/{} [{:?}] objective {:>9.3}  step {:.4}  ({:.2}s)",
+                p.iteration, p.max_iter, p.chain, p.objective, p.step, p.iteration_seconds
+            );
+            TrainControl::Continue
+        })
+        .run(&train)
+        .unwrap();
+    println!(
+        "trained on {} workers in {:.2}s ({} iterations, converged: {})",
+        pool.threads(),
+        outcome.report.train_seconds,
+        outcome.report.iterations,
+        outcome.report.converged
+    );
     let mut engine = EngineBuilder::new()
         .shards(8)
         .base_seed(11)
         .queue_capacity(16)
-        .train(&venue, &train, &C2mnConfig::quick_test(), &mut rng)
+        .build(outcome.model)
         .unwrap();
     let mut session = engine.ingest();
     for seq in &dataset.sequences {

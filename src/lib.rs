@@ -20,8 +20,10 @@
 //!   `run` / `run_with`, commutative `map_reduce`) backing the batch
 //!   annotation and query engines.
 //! * [`c2mn`] — the paper's coupled conditional Markov network: feature
-//!   functions, alternate learning (Algorithm 1), joint decoding,
-//!   label-and-merge, and all structural variants.
+//!   functions, the `Trainer` session API for alternate learning
+//!   (Algorithm 1, pool-parallel and resumable with per-iteration
+//!   observation), joint decoding, label-and-merge, and all structural
+//!   variants.
 //! * [`baselines`] — SMoT, HMM+DC, SAPDV, SAPDA.
 //! * [`queries`] — TkPRQ / TkFRPQ top-k semantic queries: flat sequential
 //!   reference plus the sharded, time-bucket-indexed parallel engine.
@@ -98,7 +100,11 @@ pub use ism_runtime as runtime;
 /// Convenience prelude importing the most frequently used types.
 pub mod prelude {
     pub use ism_baselines::{HmmDc, SapDa, SapDv, Smot};
-    pub use ism_c2mn::{sequence_seed, BatchAnnotator, C2mn, C2mnConfig, ModelStructure};
+    pub use ism_c2mn::{
+        sequence_seed, train_seed, BatchAnnotator, C2mn, C2mnConfig, ModelStructure, SampledChain,
+        TrainCheckpoint, TrainControl, TrainError, TrainOutcome, TrainProgress, TrainReport,
+        Trainer,
+    };
     pub use ism_cluster::{DensityClass, StDbscan, StDbscanParams};
     pub use ism_engine::{EngineBuilder, EngineError, IngestSession, SemanticsEngine};
     pub use ism_eval::{combined_accuracy, perfect_accuracy, LabelAccuracy};
