@@ -1,34 +1,47 @@
 //! Semantic query throughput: queries/second of the sharded TkPRQ / TkFRPQ
-//! engine at 1, 2 and 4 worker threads, plus the flat full-scan reference.
+//! engine at 1, 2 and 4 worker threads — query-at-a-time and batched
+//! ([`QueryBatch`]) — plus the flat full-scan reference and per-query
+//! latency percentiles, over a millions-of-postings synthetic workload.
 //!
 //! Besides the usual criterion console report, the bench writes
 //! `BENCH_queries.json` at the repository root so CI can archive the perf
 //! trajectory across commits (the query-side companion of
-//! `BENCH_annotate.json`). In `--test` (smoke) mode each configuration runs
-//! once and the JSON carries coarse single-run estimates.
+//! `BENCH_annotate.json`). The JSON carries the original fields
+//! (`results`, `flat_full_scan_queries_per_sec`, …) plus `batched_results`
+//! (the shared-dispatch fan-out this store was sized to exercise),
+//! `latency_us` (p50/p99 per query kind), and the compressed-index
+//! footprint. In `--test` (smoke) mode each configuration runs once and
+//! the JSON carries coarse single-run estimates.
 
 use criterion::Criterion;
 use ism_indoor::RegionId;
 use ism_mobility::{MobilityEvent, MobilitySemantics, TimePeriod};
 use ism_queries::{
-    tk_frpq, tk_frpq_sharded, tk_prq, tk_prq_sharded, SemanticsStore, ShardedSemanticsStore,
+    tk_frpq, tk_frpq_sharded, tk_prq, tk_prq_sharded, QueryBatch, SemanticsStore,
+    ShardedSemanticsStore, DEFAULT_SHARDS,
 };
 use ism_runtime::WorkerPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
-const NUM_OBJECTS: u64 = 1500;
+const NUM_OBJECTS: u64 = 50_000;
 const NUM_REGIONS: u32 = 120;
-const SHARDS: usize = 16;
 const K: usize = 20;
+/// Queries per [`QueryBatch`] in the batched benchmarks (one dashboard
+/// refresh: 8 TkPRQ + 8 TkFRPQ over varied region sets and windows).
+const BATCH_SIZE: usize = 16;
+/// Single-query runs sampled for the latency percentiles.
+const LATENCY_SAMPLES: usize = 200;
 const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_queries.json");
 
 /// A synthetic store standing in for a day of annotated mall traffic:
 /// `NUM_OBJECTS` timelines of stays/passes over `NUM_REGIONS` regions
-/// spanning [0, 86400].
+/// spanning [0, 86400] — roughly two million visit postings, enough that
+/// a single query's candidate scan is real work and the fan-out heuristics
+/// actually engage.
 fn workload_store() -> SemanticsStore {
     let mut rng = StdRng::seed_from_u64(0xBE7C);
     let mut store = SemanticsStore::new();
@@ -60,6 +73,44 @@ fn run_pair(store: &ShardedSemanticsStore, query: &[RegionId], qt: TimePeriod, p
     black_box(tk_frpq_sharded(store, query, K, qt, pool));
 }
 
+/// A dashboard-refresh batch: `BATCH_SIZE` queries over staggered windows
+/// and rotating region sets, all sharing one fan-out.
+fn dashboard_batch() -> QueryBatch {
+    let mut batch = QueryBatch::new();
+    for i in 0..BATCH_SIZE as u32 / 2 {
+        let query: Vec<RegionId> = (0..NUM_REGIONS / 2)
+            .map(|r| RegionId((r + i * 7) % NUM_REGIONS))
+            .collect();
+        let qt = TimePeriod::new(28_800.0 + i as f64 * 1800.0, 36_000.0 + i as f64 * 1800.0);
+        batch.tk_prq(&query, K, qt);
+        batch.tk_frpq(&query, K, qt);
+    }
+    batch
+}
+
+/// `(p50, p99)` of `samples` in microseconds.
+fn percentiles_us(mut samples: Vec<f64>) -> (f64, f64) {
+    samples.sort_unstable_by(f64::total_cmp);
+    let at = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize];
+    (at(0.50), at(0.99))
+}
+
+/// Seconds per run, as the fastest of `n` timed runs after one warm-up.
+/// The JSON throughput figures use this minimum rather than criterion's
+/// median: on a shared host, background interference only ever *adds*
+/// time, so the minimum is the stable estimator for comparing thread
+/// counts of the same workload.
+fn time_min<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
 fn main() {
     let mut c = Criterion::default()
         .sample_size(10)
@@ -68,50 +119,83 @@ fn main() {
         .configure_from_args();
 
     let flat = workload_store();
-    let sharded = ShardedSemanticsStore::from_store(&flat, SHARDS);
+    let sharded = ShardedSemanticsStore::from_store(&flat, DEFAULT_SHARDS);
     let query: Vec<RegionId> = (0..NUM_REGIONS / 2).map(RegionId).collect();
     let qt = TimePeriod::new(36_000.0, 43_200.0);
 
     // Flat full-scan reference (one TkPRQ + one TkFRPQ, single core).
-    let mut flat_qps = None;
     c.bench_function("queries/flat_full_scan_pair", |b| {
         b.iter(|| {
             black_box(tk_prq(black_box(&flat), &query, K, qt));
             black_box(tk_frpq(black_box(&flat), &query, K, qt));
         })
     });
-    if let Some(ns) = c.last_estimate_ns() {
-        flat_qps = Some(2.0 / (ns / 1e9));
-    }
+    let flat_qps = Some(
+        2.0 / time_min(6, || {
+            black_box(tk_prq(black_box(&flat), &query, K, qt));
+            black_box(tk_frpq(black_box(&flat), &query, K, qt));
+        }),
+    );
 
+    // Query-at-a-time dispatch (each call is a batch of one).
     let mut throughputs: Vec<(usize, f64)> = Vec::new();
     for threads in THREAD_COUNTS {
         let pool = WorkerPool::new(threads);
         c.bench_function(&format!("queries/sharded_pair_{threads}_threads"), |b| {
             b.iter(|| run_pair(black_box(&sharded), &query, qt, &pool))
         });
-        if let Some(ns) = c.last_estimate_ns() {
-            throughputs.push((threads, 2.0 / (ns / 1e9)));
-        }
+        let secs = time_min(16, || run_pair(black_box(&sharded), &query, qt, &pool));
+        throughputs.push((threads, 2.0 / secs));
     }
 
-    write_report(&sharded, flat_qps, &throughputs);
+    // Batched dispatch: BATCH_SIZE queries share one shard fan-out.
+    let batch = dashboard_batch();
+    let mut batched: Vec<(usize, f64)> = Vec::new();
+    for threads in THREAD_COUNTS {
+        let pool = WorkerPool::new(threads);
+        c.bench_function(
+            &format!("queries/batched_{BATCH_SIZE}_{threads}_threads"),
+            |b| b.iter(|| black_box(batch.run(black_box(&sharded), &pool))),
+        );
+        let secs = time_min(10, || {
+            black_box(batch.run(black_box(&sharded), &pool));
+        });
+        batched.push((threads, BATCH_SIZE as f64 / secs));
+    }
+
+    // Per-query latency percentiles at 2 threads (the configuration the
+    // old dispatch regressed at).
+    let pool = WorkerPool::new(2);
+    let mut prq_us = Vec::with_capacity(LATENCY_SAMPLES);
+    let mut frpq_us = Vec::with_capacity(LATENCY_SAMPLES);
+    for _ in 0..LATENCY_SAMPLES {
+        let t0 = Instant::now();
+        black_box(tk_prq_sharded(&sharded, &query, K, qt, &pool));
+        prq_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        let t0 = Instant::now();
+        black_box(tk_frpq_sharded(&sharded, &query, K, qt, &pool));
+        frpq_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+
+    write_report(
+        &sharded,
+        flat_qps,
+        &throughputs,
+        &batched,
+        percentiles_us(prq_us),
+        percentiles_us(frpq_us),
+    );
 }
 
-/// Emits `BENCH_queries.json` (hand-rolled JSON: the vendored serde does
-/// not serialize).
-fn write_report(
-    store: &ShardedSemanticsStore,
-    flat_qps: Option<f64>,
-    throughputs: &[(usize, f64)],
-) {
-    // Speedups are relative to the measured 1-thread sharded run; when a
-    // CLI filter skipped it, report `null` rather than a made-up baseline.
+/// `[{threads, queries_per_sec, speedup_vs_1_thread}, …]` JSON entries.
+fn result_entries(throughputs: &[(usize, f64)]) -> String {
+    // Speedups are relative to the measured 1-thread run; when a CLI
+    // filter skipped it, report `null` rather than a made-up baseline.
     let baseline = throughputs
         .iter()
         .find(|&&(threads, _)| threads == 1)
         .map(|&(_, qps)| qps);
-    let entries: Vec<String> = throughputs
+    throughputs
         .iter()
         .map(|&(threads, qps)| {
             let speedup = baseline.map_or("null".to_string(), |base| format!("{:.3}", qps / base));
@@ -120,18 +204,42 @@ fn write_report(
                  \"speedup_vs_1_thread\": {speedup}}}"
             )
         })
-        .collect();
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+/// Emits `BENCH_queries.json` (hand-rolled JSON: the vendored serde does
+/// not serialize).
+fn write_report(
+    store: &ShardedSemanticsStore,
+    flat_qps: Option<f64>,
+    throughputs: &[(usize, f64)],
+    batched: &[(usize, f64)],
+    prq_latency: (f64, f64),
+    frpq_latency: (f64, f64),
+) {
     let flat = flat_qps.map_or("null".to_string(), |qps| format!("{qps:.3}"));
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"query_throughput\",\n  \"workload\": \"synthetic_day\",\n  \
-         \"num_objects\": {},\n  \"num_postings\": {},\n  \"shards\": {},\n  \
-         \"k\": {K},\n  \"host_parallelism\": {available},\n  \
-         \"flat_full_scan_queries_per_sec\": {flat},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"num_objects\": {},\n  \"num_postings\": {},\n  \"index_bytes\": {},\n  \
+         \"shards\": {},\n  \"k\": {K},\n  \"host_parallelism\": {available},\n  \
+         \"flat_full_scan_queries_per_sec\": {flat},\n  \
+         \"latency_us\": {{\n    \
+         \"tk_prq\": {{\"p50\": {:.1}, \"p99\": {:.1}}},\n    \
+         \"tk_frpq\": {{\"p50\": {:.1}, \"p99\": {:.1}}}\n  }},\n  \
+         \"results\": [\n{}\n  ],\n  \"batch_size\": {BATCH_SIZE},\n  \
+         \"batched_results\": [\n{}\n  ]\n}}\n",
         store.len(),
         store.num_postings(),
+        store.index_bytes(),
         store.num_shards(),
-        entries.join(",\n")
+        prq_latency.0,
+        prq_latency.1,
+        frpq_latency.0,
+        frpq_latency.1,
+        result_entries(throughputs),
+        result_entries(batched),
     );
     match std::fs::write(OUT_PATH, &json) {
         Ok(()) => println!("wrote {OUT_PATH}"),

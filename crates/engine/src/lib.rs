@@ -61,20 +61,26 @@
 
 #![deny(missing_docs)]
 
+mod cache;
 mod error;
 mod session;
 
+pub use cache::CacheStats;
 pub use error::EngineError;
 pub use session::IngestSession;
 
+use cache::{CacheKey, QueryCache};
 use ism_c2mn::{BatchAnnotator, C2mn, C2mnConfig, Trainer};
 use ism_indoor::{IndoorSpace, RegionId};
 use ism_mobility::{
     LabeledSequence, MobilityEvent, MobilitySemantics, PositioningRecord, TimePeriod,
 };
-use ism_queries::{tk_frpq_sharded, tk_prq_sharded, ShardedSemanticsStore, DEFAULT_SHARDS};
+use ism_queries::{
+    QueryAnswer, QueryBatch, ShardedSemanticsStore, StandingTkFrpq, StandingTkPrq, DEFAULT_SHARDS,
+};
 use ism_runtime::WorkerPool;
 use rand::Rng;
+use std::sync::Mutex;
 
 /// Default capacity of an ingest session's submission queue: how many
 /// submitted-but-undecoded p-sequences buffer before a chunk fans out.
@@ -141,6 +147,12 @@ impl EngineBuilder {
     /// Warm-starts the engine with previously annotated data. The store's
     /// shard count must agree with [`shards`](EngineBuilder::shards) if
     /// both are given; otherwise the store's count wins.
+    ///
+    /// The engine's query surface only ever serves **sealed** data, so a
+    /// handed-over store carrying unsealed appends
+    /// ([`num_pending`](ShardedSemanticsStore::num_pending) > 0) is sealed
+    /// during `build` — the built engine starts with `num_pending() == 0`
+    /// and those entries already queryable.
     pub fn initial_store(mut self, store: ShardedSemanticsStore) -> Self {
         self.initial = Some(store);
         self
@@ -189,6 +201,8 @@ impl EngineBuilder {
             queue_capacity: self.queue_capacity.unwrap_or(DEFAULT_QUEUE_CAPACITY).max(1),
             store,
             next_index: self.first_sequence_index,
+            cache: Mutex::new(QueryCache::default()),
+            standing: Vec::new(),
         })
     }
 
@@ -242,7 +256,26 @@ pub struct SemanticsEngine<'a> {
     queue_capacity: usize,
     store: ShardedSemanticsStore,
     next_index: u64,
+    /// Hot-region result cache for the one-shot query methods; seals
+    /// evict exactly the entries whose regions they touch.
+    cache: Mutex<QueryCache>,
+    /// Registered standing queries, folded forward by every seal.
+    /// Cancelled slots stay as `None` so handles keep their index.
+    standing: Vec<Option<StandingState>>,
 }
+
+/// One registered standing query of either kind.
+#[derive(Debug, Clone)]
+enum StandingState {
+    Prq(StandingTkPrq),
+    Frpq(StandingTkFrpq),
+}
+
+/// Handle to a standing query registered with
+/// [`SemanticsEngine::standing_tk_prq`] /
+/// [`SemanticsEngine::standing_tk_frpq`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StandingQueryId(usize);
 
 impl<'a> SemanticsEngine<'a> {
     /// A fresh [`EngineBuilder`].
@@ -335,19 +368,124 @@ impl<'a> SemanticsEngine<'a> {
 
     /// Top-k popular regions among `query` within `qt`, over all sealed
     /// data, evaluated on the engine's pool.
+    ///
+    /// Answers are served from the engine's result cache when the same
+    /// (normalised) query was evaluated before and no seal since touched
+    /// any of its regions.
     pub fn tk_prq(&self, query: &[RegionId], k: usize, qt: TimePeriod) -> Vec<(RegionId, usize)> {
-        tk_prq_sharded(&self.store, query, k, qt, &self.pool)
+        let key = CacheKey::new(true, query, k, qt);
+        if let Some(hit) = self.cache.lock().expect("query cache lock").get(&key) {
+            return hit.into_prq().expect("a PRQ caches as PRQ");
+        }
+        let mut batch = QueryBatch::new();
+        batch.tk_prq(query, k, qt);
+        let answer = self.run_batch(&batch).pop().expect("one answer per query");
+        self.cache
+            .lock()
+            .expect("query cache lock")
+            .insert(key, answer.clone());
+        answer.into_prq().expect("a PRQ answers as PRQ")
     }
 
     /// Top-k frequently co-visited region pairs among `query` within `qt`,
     /// over all sealed data, evaluated on the engine's pool.
+    ///
+    /// Cached like [`tk_prq`](SemanticsEngine::tk_prq).
     pub fn tk_frpq(
         &self,
         query: &[RegionId],
         k: usize,
         qt: TimePeriod,
     ) -> Vec<((RegionId, RegionId), usize)> {
-        tk_frpq_sharded(&self.store, query, k, qt, &self.pool)
+        let key = CacheKey::new(false, query, k, qt);
+        if let Some(hit) = self.cache.lock().expect("query cache lock").get(&key) {
+            return hit.into_frpq().expect("an FRPQ caches as FRPQ");
+        }
+        let mut batch = QueryBatch::new();
+        batch.tk_frpq(query, k, qt);
+        let answer = self.run_batch(&batch).pop().expect("one answer per query");
+        self.cache
+            .lock()
+            .expect("query cache lock")
+            .insert(key, answer.clone());
+        answer.into_frpq().expect("an FRPQ answers as FRPQ")
+    }
+
+    /// Evaluates a prepared [`QueryBatch`] in one fan-out over the sealed
+    /// store on the engine's pool (answers in submission order). The batch
+    /// path bypasses the result cache — it is the bulk interface.
+    pub fn run_batch(&self, batch: &QueryBatch) -> Vec<QueryAnswer> {
+        batch.run(&self.store, &self.pool)
+    }
+
+    /// Cache counters of the one-shot query methods.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("query cache lock").stats()
+    }
+
+    /// Registers a standing TkPRQ over everything sealed so far; every
+    /// subsequent seal folds its new postings in incrementally, keeping
+    /// [`standing_prq_result`](SemanticsEngine::standing_prq_result)
+    /// byte-identical to re-running [`tk_prq`](SemanticsEngine::tk_prq).
+    pub fn standing_tk_prq(
+        &mut self,
+        query: &[RegionId],
+        k: usize,
+        qt: TimePeriod,
+    ) -> StandingQueryId {
+        let state = StandingTkPrq::new(query, k, qt, &self.store, &self.pool);
+        self.standing.push(Some(StandingState::Prq(state)));
+        StandingQueryId(self.standing.len() - 1)
+    }
+
+    /// Registers a standing TkFRPQ over everything sealed so far; every
+    /// subsequent seal folds its new postings in incrementally, keeping
+    /// [`standing_frpq_result`](SemanticsEngine::standing_frpq_result)
+    /// byte-identical to re-running [`tk_frpq`](SemanticsEngine::tk_frpq).
+    pub fn standing_tk_frpq(
+        &mut self,
+        query: &[RegionId],
+        k: usize,
+        qt: TimePeriod,
+    ) -> StandingQueryId {
+        let state = StandingTkFrpq::new(query, k, qt, &self.store, &self.pool);
+        self.standing.push(Some(StandingState::Frpq(state)));
+        StandingQueryId(self.standing.len() - 1)
+    }
+
+    /// The current ranking of a standing TkPRQ. `None` if the handle is
+    /// unknown, cancelled, or names a TkFRPQ.
+    pub fn standing_prq_result(&self, id: StandingQueryId) -> Option<Vec<(RegionId, usize)>> {
+        match self.standing.get(id.0)?.as_ref()? {
+            StandingState::Prq(state) => Some(state.result()),
+            StandingState::Frpq(_) => None,
+        }
+    }
+
+    /// The current ranking of a standing TkFRPQ. `None` if the handle is
+    /// unknown, cancelled, or names a TkPRQ.
+    pub fn standing_frpq_result(
+        &self,
+        id: StandingQueryId,
+    ) -> Option<Vec<((RegionId, RegionId), usize)>> {
+        match self.standing.get(id.0)?.as_ref()? {
+            StandingState::Frpq(state) => Some(state.result()),
+            StandingState::Prq(_) => None,
+        }
+    }
+
+    /// Cancels a standing query; returns whether the handle was live.
+    /// Other handles are unaffected.
+    pub fn cancel_standing(&mut self, id: StandingQueryId) -> bool {
+        match self.standing.get_mut(id.0) {
+            Some(slot) => slot.take().is_some(),
+            None => false,
+        }
+    }
+
+    /// Standing queries currently registered (cancelled ones excluded).
+    pub fn num_standing(&self) -> usize {
+        self.standing.iter().flatten().count()
     }
 
     fn annotator(&self) -> BatchAnnotator<'_, 'a> {
@@ -375,9 +513,24 @@ impl<'a> SemanticsEngine<'a> {
         self.next_index = first + object_ids.len() as u64;
     }
 
-    /// Seals the store's pending segments on the engine's pool.
+    /// Seals the store's pending segments on the engine's pool, then feeds
+    /// the seal's summary to the result cache (evicting entries whose
+    /// regions the seal touched) and to every registered standing query.
     pub(crate) fn seal_store(&mut self) {
-        self.store.seal_with(&self.pool);
+        let summary = self.store.seal_summarized_with(&self.pool);
+        if summary.new_stays.is_empty() {
+            return;
+        }
+        self.cache
+            .lock()
+            .expect("query cache lock")
+            .invalidate_touching(&summary.touched_regions);
+        for state in self.standing.iter_mut().flatten() {
+            match state {
+                StandingState::Prq(q) => q.observe_seal(&summary),
+                StandingState::Frpq(q) => q.observe_seal(&summary),
+            }
+        }
     }
 }
 
@@ -565,11 +718,11 @@ mod tests {
         let pool = WorkerPool::new(1);
         assert_eq!(
             engine.tk_prq(&regions, 5, qt),
-            tk_prq_sharded(engine.store(), &regions, 5, qt, &pool)
+            ism_queries::tk_prq_sharded(engine.store(), &regions, 5, qt, &pool)
         );
         assert_eq!(
             engine.tk_frpq(&regions, 5, qt),
-            tk_frpq_sharded(engine.store(), &regions, 5, qt, &pool)
+            ism_queries::tk_frpq_sharded(engine.store(), &regions, 5, qt, &pool)
         );
         // Per-object lookup agrees with the store.
         for &id in &ids {
@@ -669,5 +822,168 @@ mod tests {
         let reference = BatchAnnotator::new(engine.model(), 1, 7);
         assert_eq!(labels, reference.label_batch(&sequences));
         assert_eq!(semantics, reference.annotate_batch(&sequences));
+    }
+
+    /// Builds an engine with `n` sequences of the setup dataset sealed in.
+    fn ingested_engine<'s>(
+        space: &'s ism_indoor::IndoorSpace,
+        dataset: &Dataset,
+        n: usize,
+    ) -> SemanticsEngine<'s> {
+        let mut engine = EngineBuilder::new()
+            .threads(2)
+            .shards(3)
+            .base_seed(5)
+            .build(model(space))
+            .unwrap();
+        let mut session = engine.ingest();
+        session.push_batch(
+            dataset.sequences[..n]
+                .iter()
+                .map(|s| (s.object_id, s.positioning().collect())),
+        );
+        session.seal();
+        engine
+    }
+
+    #[test]
+    fn query_cache_hits_until_a_seal_touches_its_regions() {
+        let (space, dataset) = setup();
+        let mut engine = ingested_engine(&space, &dataset, 4);
+        let regions: Vec<RegionId> = space.regions().iter().map(|r| r.id).collect();
+        let qt = TimePeriod::new(0.0, 1e9);
+
+        let first = engine.tk_prq(&regions, 5, qt);
+        assert_eq!(
+            engine.cache_stats(),
+            CacheStats {
+                entries: 1,
+                hits: 0,
+                misses: 1
+            }
+        );
+        // Same query (even unsorted/duplicated) is a hit with the same
+        // answer; a different k is a distinct entry.
+        let mut shuffled = regions.clone();
+        shuffled.reverse();
+        shuffled.push(regions[0]);
+        assert_eq!(engine.tk_prq(&shuffled, 5, qt), first);
+        assert_eq!(engine.cache_stats().hits, 1);
+        let _ = engine.tk_frpq(&regions, 3, qt);
+        assert_eq!(
+            engine.cache_stats(),
+            CacheStats {
+                entries: 2,
+                hits: 1,
+                misses: 2
+            }
+        );
+
+        // Sealing new data that visits the cached regions evicts both
+        // entries; the re-run reflects the new data.
+        let mut session = engine.ingest();
+        session.push_batch(
+            dataset.sequences[4..]
+                .iter()
+                .map(|s| (s.object_id, s.positioning().collect())),
+        );
+        session.seal();
+        let after = engine.tk_prq(&regions, 5, qt);
+        assert_eq!(engine.cache_stats().misses, 3);
+        let pool = WorkerPool::new(1);
+        assert_eq!(
+            after,
+            ism_queries::tk_prq_sharded(engine.store(), &regions, 5, qt, &pool)
+        );
+    }
+
+    #[test]
+    fn standing_queries_track_full_reruns_across_seals() {
+        let (space, dataset) = setup();
+        let mut engine = ingested_engine(&space, &dataset, 2);
+        let regions: Vec<RegionId> = space.regions().iter().map(|r| r.id).collect();
+        let qt = TimePeriod::new(0.0, 1e9);
+        let prq = engine.standing_tk_prq(&regions, 4, qt);
+        let frpq = engine.standing_tk_frpq(&regions, 4, qt);
+        assert_eq!(engine.num_standing(), 2);
+        // Registration covers data sealed before it...
+        assert_eq!(
+            engine.standing_prq_result(prq).unwrap(),
+            engine.tk_prq(&regions, 4, qt)
+        );
+        // ...and each subsequent seal folds forward to the full re-run.
+        for chunk in dataset.sequences[2..].chunks(2) {
+            let mut session = engine.ingest();
+            session.push_batch(
+                chunk
+                    .iter()
+                    .map(|s| (s.object_id, s.positioning().collect())),
+            );
+            session.seal();
+            assert_eq!(
+                engine.standing_prq_result(prq).unwrap(),
+                engine.tk_prq(&regions, 4, qt)
+            );
+            assert_eq!(
+                engine.standing_frpq_result(frpq).unwrap(),
+                engine.tk_frpq(&regions, 4, qt)
+            );
+        }
+        // Kind-mismatched reads are None; cancellation frees the slot
+        // without disturbing the other handle.
+        assert!(engine.standing_frpq_result(prq).is_none());
+        assert!(engine.cancel_standing(prq));
+        assert!(!engine.cancel_standing(prq));
+        assert!(engine.standing_prq_result(prq).is_none());
+        assert_eq!(engine.num_standing(), 1);
+        assert!(engine.standing_frpq_result(frpq).is_some());
+    }
+
+    #[test]
+    fn initial_store_with_pending_entries_is_sealed_at_build() {
+        // Regression: the engine only queries sealed data, so a
+        // handed-over store with unsealed appends must be sealed by
+        // `build`, not silently hide those entries.
+        let (space, _) = setup();
+        let mut store = ShardedSemanticsStore::new(3);
+        store.append(
+            7,
+            vec![MobilitySemantics {
+                region: RegionId(0),
+                period: TimePeriod::new(0.0, 50.0),
+                event: MobilityEvent::Stay,
+            }],
+        );
+        assert_eq!(store.num_pending(), 1);
+        let engine = EngineBuilder::new()
+            .initial_store(store)
+            .build(model(&space))
+            .unwrap();
+        assert_eq!(engine.store().num_pending(), 0);
+        assert_eq!(engine.num_objects(), 1);
+        assert_eq!(
+            engine.tk_prq(&[RegionId(0)], 1, TimePeriod::new(0.0, 100.0)),
+            vec![(RegionId(0), 1)]
+        );
+    }
+
+    #[test]
+    fn engine_batch_matches_one_shot_queries() {
+        let (space, dataset) = setup();
+        let engine = ingested_engine(&space, &dataset, dataset.sequences.len());
+        let regions: Vec<RegionId> = space.regions().iter().map(|r| r.id).collect();
+        let qt = TimePeriod::new(0.0, 1e9);
+        let mut batch = QueryBatch::new();
+        batch.tk_prq(&regions, 3, qt);
+        batch.tk_frpq(&regions, 3, qt);
+        let answers = engine.run_batch(&batch);
+        assert_eq!(
+            answers[0].clone().into_prq().unwrap(),
+            engine.tk_prq(&regions, 3, qt)
+        );
+        assert_eq!(
+            answers[1].clone().into_frpq().unwrap(),
+            engine.tk_frpq(&regions, 3, qt)
+        );
     }
 }

@@ -24,7 +24,24 @@
 //! the posting indexes incrementally (only touched shards/regions rebuild,
 //! never the whole store) — the storage layer behind the `ism-engine`
 //! streaming ingestion API. `tests/incremental_oracle.rs` pins incremental
-//! growth equal to a from-scratch build.
+//! growth equal to a from-scratch build. Posting lists are delta+varint
+//! **compressed** (see [`index`](crate) internals): starts are mapped to
+//! order-preserving bits and delta-chained per time bucket, so candidate
+//! scans decode sequentially without ever materialising raw postings.
+//!
+//! Three read paths share the sharded evaluation core:
+//!
+//! * **One-shot** — [`tk_prq_sharded`] / [`tk_frpq_sharded`], each a
+//!   [`QueryBatch`] of one.
+//! * **Batched** — [`QueryBatch`]: N queries share a *single* worker-pool
+//!   fan-out over the shards, amortising dispatch overhead that made
+//!   query-at-a-time fan-out slower than one thread on small stores. The
+//!   batch also sizes the fan-out to the work
+//!   (postings × queries), evaluating small workloads on the calling
+//!   thread.
+//! * **Standing** — [`StandingTkPrq`] / [`StandingTkFrpq`]: registered
+//!   once, then folded forward incrementally from each seal's
+//!   [`SealSummary`], byte-identical at every seal to a full re-run.
 //!
 //! ## Determinism contract
 //!
@@ -37,12 +54,17 @@
 
 #![deny(missing_docs)]
 
+mod batch;
+mod codec;
 mod index;
+mod standing;
 mod store;
 mod topk;
 
+pub use batch::{QueryAnswer, QueryBatch};
+pub use standing::{StandingTkFrpq, StandingTkPrq};
 pub use store::{
-    shard_of, SemanticsStore, ShardedSemanticsStore, ShardedStoreBuilder, StoreError,
+    shard_of, SealSummary, SemanticsStore, ShardedSemanticsStore, ShardedStoreBuilder, StoreError,
     DEFAULT_SHARDS,
 };
 pub use topk::{tk_frpq, tk_frpq_sharded, tk_prq, tk_prq_sharded, QuerySet};

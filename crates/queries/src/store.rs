@@ -2,7 +2,7 @@
 //! store the parallel query engine runs on.
 
 use ism_indoor::RegionId;
-use ism_mobility::{MobilitySemantics, TimePeriod};
+use ism_mobility::{MobilityEvent, MobilitySemantics, TimePeriod};
 use ism_runtime::WorkerPool;
 use std::collections::HashMap;
 use std::fmt;
@@ -39,6 +39,43 @@ impl fmt::Display for StoreError {
 }
 
 impl std::error::Error for StoreError {}
+
+/// What one [`seal`](ShardedSemanticsStore::seal_summarized) published.
+///
+/// The summary is the seal hook consumers build on: `new_stays` is the
+/// exact posting feed a standing query folds in to stay byte-identical to
+/// a full re-evaluation, and `touched_regions` is the invalidation signal
+/// for result caches — a cached answer stays valid precisely when its
+/// query regions are disjoint from every touched region.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SealSummary {
+    /// Pending entries merged into the sealed objects.
+    pub merged: usize,
+    /// Every newly published visit posting `(object, region, stay
+    /// interval)`, in shard order (pending order within a shard).
+    pub new_stays: Vec<(u64, RegionId, TimePeriod)>,
+    /// The distinct regions that received at least one new posting,
+    /// ascending.
+    pub touched_regions: Vec<RegionId>,
+}
+
+/// One shard's seal contribution: `(merged count, new stay postings)`.
+type SealPart = (usize, Vec<(u64, RegionId, TimePeriod)>);
+
+impl SealSummary {
+    fn from_parts(parts: Vec<SealPart>) -> Self {
+        let mut summary = SealSummary::default();
+        for (merged, stays) in parts {
+            summary.merged += merged;
+            summary.new_stays.extend(stays);
+        }
+        let mut touched: Vec<RegionId> = summary.new_stays.iter().map(|&(_, r, _)| r).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        summary.touched_regions = touched;
+        summary
+    }
+}
 
 /// M-semantics of a set of objects, the input to the semantic queries.
 ///
@@ -136,18 +173,26 @@ impl Shard {
     /// index. Only this shard is touched: the index absorbs the new
     /// postings region by region ([`ShardIndex::append`]), and shards
     /// without pending entries skip the call entirely. Returns how many
-    /// pending entries were merged.
-    fn seal(&mut self) -> usize {
+    /// pending entries were merged and the visit postings they published.
+    fn seal(&mut self) -> (usize, Vec<(u64, RegionId, TimePeriod)>) {
         if self.pending.is_empty() {
-            return 0;
+            return (0, Vec::new());
         }
         let pending = std::mem::take(&mut self.pending);
+        let mut stays = Vec::new();
+        for (object, semantics) in &pending {
+            for ms in semantics {
+                if ms.event == MobilityEvent::Stay {
+                    stays.push((*object, ms.region, ms.period));
+                }
+            }
+        }
         self.index.append(&pending);
         let n = pending.len();
         for (object_id, semantics) in pending {
             extend_or_push(&mut self.objects, &mut self.by_id, object_id, semantics);
         }
-        n
+        (n, stays)
     }
 
     pub fn index(&self) -> &ShardIndex {
@@ -225,16 +270,31 @@ impl ShardedSemanticsStore {
     /// visits — never the whole store. Returns the number of entries
     /// merged.
     pub fn seal(&mut self) -> usize {
-        self.shards.iter_mut().map(Shard::seal).sum()
+        self.seal_summarized().merged
     }
 
     /// [`seal`](ShardedSemanticsStore::seal) with the per-shard merges
     /// fanned out over `pool`. Output is identical to the sequential seal.
     pub fn seal_with(&mut self, pool: &WorkerPool) -> usize {
+        self.seal_summarized_with(pool).merged
+    }
+
+    /// [`seal`](ShardedSemanticsStore::seal) reporting what it published:
+    /// the [`SealSummary`] carries every new visit posting and the
+    /// distinct touched regions, the feed for standing queries and
+    /// cache invalidation.
+    pub fn seal_summarized(&mut self) -> SealSummary {
+        SealSummary::from_parts(self.shards.iter_mut().map(Shard::seal).collect())
+    }
+
+    /// [`seal_summarized`](ShardedSemanticsStore::seal_summarized) with
+    /// the per-shard merges fanned out over `pool`. Output (store and
+    /// summary alike) is identical to the sequential seal.
+    pub fn seal_summarized_with(&mut self, pool: &WorkerPool) -> SealSummary {
         // Nothing pending: skip the fan-out (thread spawns + per-shard
         // moves) that sequential seal's per-shard early exit avoids.
         if self.num_pending() == 0 {
-            return 0;
+            return SealSummary::default();
         }
         // `run` hands workers shared references, so each shard travels to
         // its worker through a take-once mutex slot (same pattern as
@@ -249,18 +309,18 @@ impl ShardedSemanticsStore {
                 .expect("shard slot lock")
                 .take()
                 .expect("each shard taken once");
-            let merged = shard.seal();
-            (shard, merged)
+            let part = shard.seal();
+            (shard, part)
         });
-        let mut total = 0;
+        let mut parts = Vec::with_capacity(sealed.len());
         self.shards = sealed
             .into_iter()
-            .map(|(shard, merged)| {
-                total += merged;
+            .map(|(shard, part)| {
+                parts.push(part);
                 shard
             })
             .collect();
-        total
+        SealSummary::from_parts(parts)
     }
 
     /// Number of shards.
@@ -297,6 +357,20 @@ impl ShardedSemanticsStore {
         self.shards.iter().map(|s| s.index.num_postings()).sum()
     }
 
+    /// Total encoded bytes of the compressed posting lists (the raw
+    /// equivalent is 24 bytes per posting — compression diagnostics).
+    pub fn index_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.index.encoded_bytes()).sum()
+    }
+
+    /// Whether any region of `query` has at least one indexed posting in
+    /// any shard — the guard that lets unmatched queries skip the fan-out.
+    pub(crate) fn has_any_region(&self, query: &QuerySet) -> bool {
+        self.shards
+            .iter()
+            .any(|s| query.iter().any(|r| s.index.has_region(r)))
+    }
+
     /// Objects per shard, in shard order (diagnostics / balance checks).
     pub fn shard_sizes(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.objects.len()).collect()
@@ -328,26 +402,6 @@ impl ShardedSemanticsStore {
             |acc: &mut HashMap<RegionId, usize>, s| {
                 for (region, n) in self.shard(s).index().prq_counts(query, qt) {
                     *acc.entry(region).or_insert(0) += n;
-                }
-            },
-            merge_counts,
-        )
-    }
-
-    /// Per-shard partial TkFRPQ counts, evaluated on `pool` and merged by
-    /// key. Exposed through [`tk_frpq_sharded`](crate::tk_frpq_sharded).
-    pub(crate) fn frpq_partials(
-        &self,
-        query: &QuerySet,
-        qt: &TimePeriod,
-        pool: &WorkerPool,
-    ) -> HashMap<(RegionId, RegionId), usize> {
-        pool.map_reduce(
-            self.num_shards(),
-            HashMap::new,
-            |acc: &mut HashMap<(RegionId, RegionId), usize>, s| {
-                for (pair, n) in self.shard(s).index().frpq_counts(query, qt) {
-                    *acc.entry(pair).or_insert(0) += n;
                 }
             },
             merge_counts,

@@ -56,8 +56,12 @@ impl QuerySet {
 }
 
 /// Ranks counted keys by count descending then key ascending, truncated to
-/// `k` — the shared deterministic ranking of both queries and both engines.
-fn rank<K: Ord + Copy + std::hash::Hash>(counts: HashMap<K, usize>, k: usize) -> Vec<(K, usize)> {
+/// `k` — the shared deterministic ranking of both queries, both engines,
+/// the batch path and the standing-query path.
+pub(crate) fn rank<K: Ord + Copy + std::hash::Hash>(
+    counts: HashMap<K, usize>,
+    k: usize,
+) -> Vec<(K, usize)> {
     let mut ranked: Vec<(K, usize)> = counts.into_iter().collect();
     ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     ranked.truncate(k);
@@ -77,6 +81,10 @@ pub fn tk_prq(
     qt: TimePeriod,
 ) -> Vec<(RegionId, usize)> {
     let qs = QuerySet::new(query);
+    // An empty query set can match nothing; skip the scan.
+    if qs.is_empty() {
+        return Vec::new();
+    }
     let mut counts: HashMap<RegionId, usize> = HashMap::new();
     for (_, semantics) in store.iter() {
         for ms in semantics {
@@ -102,6 +110,10 @@ pub fn tk_frpq(
     qt: TimePeriod,
 ) -> Vec<((RegionId, RegionId), usize)> {
     let qs = QuerySet::new(query);
+    // Pairs need two distinct query regions; skip the scan otherwise.
+    if qs.len() < 2 {
+        return Vec::new();
+    }
     let mut counts: HashMap<(RegionId, RegionId), usize> = HashMap::new();
     let mut visited: Vec<RegionId> = Vec::new();
     for (_, semantics) in store.iter() {
@@ -124,9 +136,12 @@ pub fn tk_frpq(
     rank(counts, k)
 }
 
-/// [`tk_prq`] over a sharded store: every worker of `pool` evaluates shard
-/// partials off the posting index, partial counts merge by summation, and
-/// the merged counts rank exactly like the flat reference.
+/// [`tk_prq`] over a sharded store: a [`QueryBatch`](crate::QueryBatch) of
+/// one — workers evaluate shard partials off the posting index, partial
+/// counts merge by summation, and the merged counts rank exactly like the
+/// flat reference. Empty or unmatched query sets return without touching
+/// the shards, and small stores evaluate on the calling thread (the batch
+/// dispatch heuristics; neither changes any result).
 pub fn tk_prq_sharded(
     store: &ShardedSemanticsStore,
     query: &[RegionId],
@@ -134,13 +149,17 @@ pub fn tk_prq_sharded(
     qt: TimePeriod,
     pool: &WorkerPool,
 ) -> Vec<(RegionId, usize)> {
-    let qs = QuerySet::new(query);
-    rank(store.prq_partials(&qs, &qt, pool), k)
+    let mut batch = crate::QueryBatch::new();
+    batch.tk_prq(query, k, qt);
+    let answer = batch.run(store, pool).pop().expect("one answer per query");
+    answer.into_prq().expect("a PRQ answers as PRQ")
 }
 
-/// [`tk_frpq`] over a sharded store: per-shard pair partials (objects are
-/// hashed whole into one shard, so shard partials sum to the global
-/// answer), merged and ranked exactly like the flat reference.
+/// [`tk_frpq`] over a sharded store: a [`QueryBatch`](crate::QueryBatch)
+/// of one — per-shard pair partials (objects are hashed whole into one
+/// shard, so shard partials sum to the global answer) merged and ranked
+/// exactly like the flat reference, with the same batch dispatch
+/// heuristics as [`tk_prq_sharded`].
 pub fn tk_frpq_sharded(
     store: &ShardedSemanticsStore,
     query: &[RegionId],
@@ -148,8 +167,10 @@ pub fn tk_frpq_sharded(
     qt: TimePeriod,
     pool: &WorkerPool,
 ) -> Vec<((RegionId, RegionId), usize)> {
-    let qs = QuerySet::new(query);
-    rank(store.frpq_partials(&qs, &qt, pool), k)
+    let mut batch = crate::QueryBatch::new();
+    batch.tk_frpq(query, k, qt);
+    let answer = batch.run(store, pool).pop().expect("one answer per query");
+    answer.into_frpq().expect("an FRPQ answers as FRPQ")
 }
 
 #[cfg(test)]

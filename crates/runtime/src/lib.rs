@@ -56,6 +56,21 @@ impl WorkerPool {
         self.threads
     }
 
+    /// A view of this pool limited to at most `max_workers` workers
+    /// (clamped to ≥ 1).
+    ///
+    /// The dispatch heuristic behind batched query fan-out: callers that
+    /// can estimate how much work a call carries cap the worker count so
+    /// that small calls run sequentially (`capped(1)` skips thread spawns
+    /// entirely) instead of paying a fan-out that costs more than the work
+    /// it distributes. Capping never changes results — only which workers
+    /// run the items.
+    pub fn capped(&self, max_workers: usize) -> WorkerPool {
+        WorkerPool {
+            threads: self.threads.min(max_workers.max(1)),
+        }
+    }
+
     /// Runs `job(index)` for every `index in 0..num_items`, returning the
     /// outputs in item order.
     pub fn run<T, F>(&self, num_items: usize, job: F) -> Vec<T>
@@ -176,6 +191,17 @@ mod tests {
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(WorkerPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn capped_clamps_but_never_below_one() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.capped(2).threads(), 2);
+        assert_eq!(pool.capped(8).threads(), 4);
+        assert_eq!(pool.capped(0).threads(), 1);
+        // Capping never changes results.
+        let full = pool.run(17, |i| i * 31);
+        assert_eq!(pool.capped(1).run(17, |i| i * 31), full);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Standing dashboard: hold top-k queries open while visitors stream in.
+//!
+//! A mall dashboard shows "most popular shops" and "shops visited
+//! together" all day. Re-running both queries from scratch after every
+//! batch of arrivals re-pays the full index evaluation; a **standing
+//! query** is registered once and folded forward incrementally from each
+//! seal's summary — and stays byte-identical to the full re-run at every
+//! seal. The same dashboard refresh also shows the two other read paths:
+//! a [`QueryBatch`] evaluating several one-shot queries in a single shard
+//! fan-out, and the engine's result cache serving repeats between seals.
+//!
+//! Run with: `cargo run --release --example standing_dashboard`
+
+use indoor_semantics::mobility::TimePeriod;
+use indoor_semantics::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let venue = BuildingGenerator::mall().generate(&mut rng).unwrap();
+    let dataset = Dataset::generate(
+        "dashboard",
+        &venue,
+        SimulationConfig::quick(),
+        PositioningConfig::wifi_mall(),
+        None,
+        30,
+        &mut rng,
+    );
+    let model = C2mn::from_weights(&venue, C2mnConfig::quick_test(), Weights::uniform(1.0));
+    let mut engine = EngineBuilder::new()
+        .threads(2)
+        .base_seed(23)
+        .build(model)
+        .unwrap();
+
+    // The dashboard's two standing questions, open for the whole day.
+    let shops: Vec<RegionId> = venue.regions().iter().map(|r| r.id).collect();
+    let day = TimePeriod::new(0.0, 1e9);
+    let popular = engine.standing_tk_prq(&shops, 5, day);
+    let together = engine.standing_tk_frpq(&shops, 3, day);
+
+    // Visitors arrive in waves; each seal publishes a batch and updates
+    // both standing queries incrementally.
+    for (wave, chunk) in dataset.sequences.chunks(10).enumerate() {
+        let mut session = engine.ingest();
+        session.push_batch(
+            chunk
+                .iter()
+                .map(|s| (s.object_id, s.positioning().collect())),
+        );
+        session.seal();
+
+        let top = engine.standing_prq_result(popular).unwrap();
+        println!(
+            "wave {wave}: {} objects sealed, top shops:",
+            engine.num_objects()
+        );
+        for (region, visits) in &top {
+            println!("  {region:?}: {visits} visits");
+        }
+        // The standing ranking equals a full re-run at every seal — the
+        // determinism contract the standing_oracle suite pins.
+        assert_eq!(top, engine.tk_prq(&shops, 5, day));
+        assert_eq!(
+            engine.standing_frpq_result(together).unwrap(),
+            engine.tk_frpq(&shops, 3, day)
+        );
+    }
+
+    // One-shot queries for the side panels, batched into a single shard
+    // fan-out instead of one dispatch per query.
+    let morning = TimePeriod::new(0.0, 43_200.0);
+    let evening = TimePeriod::new(43_200.0, 1e9);
+    let mut refresh = QueryBatch::new();
+    refresh.tk_prq(&shops, 3, morning);
+    refresh.tk_prq(&shops, 3, evening);
+    refresh.tk_frpq(&shops, 3, morning);
+    let answers = engine.run_batch(&refresh);
+    println!(
+        "side panels: {} answers from one fan-out (morning top: {:?})",
+        answers.len(),
+        answers[0].clone().into_prq().unwrap().first()
+    );
+
+    // Repeats between seals are served from the result cache.
+    let before = engine.cache_stats();
+    let _ = engine.tk_prq(&shops, 5, day); // cached by the assert above
+    let after = engine.cache_stats();
+    assert_eq!(after.hits, before.hits + 1);
+    println!(
+        "cache: {} entries, {} hits / {} misses",
+        after.entries, after.hits, after.misses
+    );
+}

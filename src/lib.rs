@@ -26,10 +26,13 @@
 //!   variants.
 //! * [`baselines`] — SMoT, HMM+DC, SAPDV, SAPDA.
 //! * [`queries`] — TkPRQ / TkFRPQ top-k semantic queries: flat sequential
-//!   reference plus the sharded, time-bucket-indexed parallel engine.
+//!   reference plus the sharded engine with delta+varint-compressed
+//!   time-bucket indexes, batched fan-out (`QueryBatch`) and standing
+//!   queries folded forward from seal summaries.
 //! * [`engine`] — the unified streaming front-end: `SemanticsEngine` owns
 //!   model, worker pool, and a live sharded store; `IngestSession` streams
-//!   p-sequences in with deterministic output; queries are methods.
+//!   p-sequences in with deterministic output; queries are methods, with a
+//!   seal-invalidated result cache and standing-query registration.
 //! * [`eval`] — RA/EA/CA/PA metrics, splits, cross-validation.
 //!
 //! ## Quickstart
@@ -103,10 +106,12 @@ pub mod prelude {
     pub use ism_c2mn::{
         sequence_seed, train_seed, BatchAnnotator, C2mn, C2mnConfig, ModelStructure, SampledChain,
         TrainCheckpoint, TrainControl, TrainError, TrainOutcome, TrainProgress, TrainReport,
-        Trainer,
+        Trainer, Weights,
     };
     pub use ism_cluster::{DensityClass, StDbscan, StDbscanParams};
-    pub use ism_engine::{EngineBuilder, EngineError, IngestSession, SemanticsEngine};
+    pub use ism_engine::{
+        CacheStats, EngineBuilder, EngineError, IngestSession, SemanticsEngine, StandingQueryId,
+    };
     pub use ism_eval::{combined_accuracy, perfect_accuracy, LabelAccuracy};
     pub use ism_geometry::{Circle, Point2, Rect};
     pub use ism_indoor::{BuildingGenerator, IndoorSpace, PartitionId, RegionId};
@@ -115,8 +120,9 @@ pub mod prelude {
         SimulationConfig, Simulator,
     };
     pub use ism_queries::{
-        shard_of, tk_frpq, tk_frpq_sharded, tk_prq, tk_prq_sharded, QuerySet, SemanticsStore,
-        ShardedSemanticsStore, ShardedStoreBuilder, StoreError,
+        shard_of, tk_frpq, tk_frpq_sharded, tk_prq, tk_prq_sharded, QueryAnswer, QueryBatch,
+        QuerySet, SealSummary, SemanticsStore, ShardedSemanticsStore, ShardedStoreBuilder,
+        StandingTkFrpq, StandingTkPrq, StoreError,
     };
     pub use ism_runtime::{SubmissionQueue, WorkerPool};
 }
