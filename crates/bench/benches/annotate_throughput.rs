@@ -7,6 +7,15 @@
 //! (all thread counts learn byte-identical weights — again pure speedup
 //! accounting).
 //!
+//! A **serving** section measures latency-mode ingest: per-sequence
+//! annotation latency (push → commit to the live store) under Poisson
+//! arrivals at 1, 2 and 4 threads, with the arrival rate calibrated to
+//! ~60% of the measured single-thread decode rate. With ≥ 2 threads the
+//! persistent pool picks each arrival up on an idle worker immediately
+//! (pipelined ingest); at 1 thread arrivals queue until the bounded
+//! submission queue fills — the p50/p99 gap between the two is the
+//! latency win the serving path exists for.
+//!
 //! Besides the usual criterion console report, the bench writes
 //! `BENCH_annotate.json` at the repository root so CI can archive the perf
 //! trajectory across commits. In `--test` (smoke) mode each configuration
@@ -17,18 +26,22 @@
 use criterion::Criterion;
 use ism_bench::positioning_batch;
 use ism_c2mn::{BatchAnnotator, C2mn, Trainer};
-use ism_engine::EngineBuilder;
+use ism_engine::{EngineBuilder, SemanticsEngine};
 use ism_indoor::BuildingGenerator;
-use ism_mobility::{Dataset, PositioningConfig, SimulationConfig};
+use ism_mobility::{Dataset, PositioningConfig, PositioningRecord, SimulationConfig};
 use ism_runtime::WorkerPool;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 const SHARDS: usize = 8;
 const QUEUE_CAPACITY: usize = 8;
+/// Queue capacity of the serving (latency-mode) runs: small, so a
+/// sequence never waits long for a fill-triggered batch even when no
+/// worker is idle.
+const SERVING_QUEUE_CAPACITY: usize = 4;
 const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_annotate.json");
 
 fn main() {
@@ -89,7 +102,7 @@ fn main() {
             .map(|ns| sequences.len() as f64 / (ns / 1e9));
         c.bench_function(&format!("ingest/streaming_{threads}_threads"), |b| {
             b.iter(|| {
-                let mut engine = EngineBuilder::new()
+                let engine = EngineBuilder::new()
                     .threads(threads)
                     .shards(SHARDS)
                     .base_seed(7)
@@ -134,7 +147,134 @@ fn main() {
         train.push((threads, tp));
     }
 
-    write_report(&throughputs, &ingest, &train, sequences.len(), num_records);
+    // Serving latency under Poisson arrivals. Calibrate the offered load
+    // to ~60% of the measured single-thread decode rate so the 1-thread
+    // run is loaded but stable, then replay the identical (seeded)
+    // arrival schedule at every thread count.
+    let smoke = std::env::args().any(|a| a == "--test");
+    let serving_arrivals = if smoke { 8 } else { 64 };
+    let calibrate = Instant::now();
+    BatchAnnotator::new(&model, 1, 7).label_batch(&sequences);
+    let mean_service = calibrate.elapsed().as_secs_f64() / sequences.len() as f64;
+    let arrival_rate = 0.6 / mean_service.max(1e-9);
+    let mut serving: Vec<(usize, f64, f64)> = Vec::new();
+    for threads in THREAD_COUNTS {
+        let latencies = serve_poisson(
+            &model,
+            threads,
+            arrival_rate,
+            serving_arrivals,
+            &object_ids,
+            &sequences,
+        );
+        let (p50, p99) = (percentile(&latencies, 50.0), percentile(&latencies, 99.0));
+        println!(
+            "serving/poisson_{threads}_threads: p50 {p50:.3} ms, p99 {p99:.3} ms \
+             ({arrival_rate:.1} arrivals/sec)"
+        );
+        serving.push((threads, p50, p99));
+    }
+
+    write_report(
+        &throughputs,
+        &ingest,
+        &train,
+        &serving,
+        arrival_rate,
+        serving_arrivals,
+        sequences.len(),
+        num_records,
+    );
+}
+
+/// Replays `total` Poisson arrivals (seeded, identical across thread
+/// counts) into a fresh latency-mode engine and returns the per-sequence
+/// latency in milliseconds: push instant → the instant the sequence's
+/// commit was observed via [`SemanticsEngine::sequences_committed`].
+///
+/// The submitting client observes commits between arrivals (closed loop):
+/// when a push blocks on backpressure the schedule slips, so reported
+/// latency is decode + queueing as the client experiences it.
+fn serve_poisson(
+    model: &C2mn<'_>,
+    threads: usize,
+    arrival_rate: f64,
+    total: usize,
+    object_ids: &[u64],
+    sequences: &[Vec<PositioningRecord>],
+) -> Vec<f64> {
+    let engine = EngineBuilder::new()
+        .threads(threads)
+        .shards(SHARDS)
+        .base_seed(7)
+        .queue_capacity(SERVING_QUEUE_CAPACITY)
+        .build(model.clone())
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut session = engine.ingest();
+    let mut pushed_at: Vec<Instant> = Vec::with_capacity(total);
+    let mut committed_at: Vec<Option<Instant>> = vec![None; total];
+    let mut observed = 0u64;
+    let start = Instant::now();
+    let mut next_arrival = 0.0f64;
+    for i in 0..total {
+        let u: f64 = rng.random();
+        next_arrival += -(1.0 - u).ln() / arrival_rate;
+        loop {
+            observe_commits(&engine, &mut observed, &mut committed_at);
+            let now = start.elapsed().as_secs_f64();
+            if now >= next_arrival {
+                break;
+            }
+            let remaining = next_arrival - now;
+            std::thread::sleep(Duration::from_secs_f64(remaining.min(2e-4)));
+        }
+        pushed_at.push(Instant::now());
+        session.push(
+            object_ids[i % object_ids.len()],
+            sequences[i % sequences.len()].clone(),
+        );
+        observe_commits(&engine, &mut observed, &mut committed_at);
+    }
+    while (observed as usize) < total {
+        observe_commits(&engine, &mut observed, &mut committed_at);
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    session.seal();
+    pushed_at
+        .iter()
+        .zip(&committed_at)
+        .map(|(pushed, committed)| {
+            committed
+                .expect("every arrival commits")
+                .saturating_duration_since(*pushed)
+                .as_secs_f64()
+                * 1e3
+        })
+        .collect()
+}
+
+/// Timestamps every commit whose global index became visible since the
+/// last call.
+fn observe_commits(
+    engine: &SemanticsEngine<'_>,
+    observed: &mut u64,
+    committed_at: &mut [Option<Instant>],
+) {
+    let committed = engine.sequences_committed();
+    let now = Instant::now();
+    while *observed < committed && (*observed as usize) < committed_at.len() {
+        committed_at[*observed as usize] = Some(now);
+        *observed += 1;
+    }
+}
+
+/// Nearest-rank percentile (`p` in 0..=100) of unsorted samples.
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
 }
 
 fn fmt_opt(v: Option<f64>) -> String {
@@ -143,10 +283,14 @@ fn fmt_opt(v: Option<f64>) -> String {
 
 /// Emits `BENCH_annotate.json` (hand-rolled JSON: the vendored serde does
 /// not serialize).
+#[allow(clippy::too_many_arguments)]
 fn write_report(
     throughputs: &[(usize, f64)],
     ingest: &[(usize, Option<f64>, Option<f64>)],
     train: &[(usize, Option<f64>)],
+    serving: &[(usize, f64, f64)],
+    arrival_rate: f64,
+    serving_arrivals: usize,
     num_sequences: usize,
     num_records: usize,
 ) {
@@ -204,6 +348,15 @@ fn write_report(
             )
         })
         .collect();
+    let serving_entries: Vec<String> = serving
+        .iter()
+        .map(|&(threads, p50, p99)| {
+            format!(
+                "    {{\"threads\": {threads}, \"p50_latency_ms\": {p50:.3}, \
+                 \"p99_latency_ms\": {p99:.3}}}"
+            )
+        })
+        .collect();
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"annotate_throughput\",\n  \"workload\": \"mall\",\n  \
@@ -211,10 +364,15 @@ fn write_report(
          \"host_parallelism\": {available},\n  \"queue_capacity\": {QUEUE_CAPACITY},\n  \
          \"shards\": {SHARDS},\n  \"results\": [\n{}\n  ],\n  \
          \"ingest_results\": [\n{}\n  ],\n  \
-         \"train_results\": [\n{}\n  ]\n}}\n",
+         \"train_results\": [\n{}\n  ],\n  \
+         \"serving_arrival_rate_per_sec\": {arrival_rate:.3},\n  \
+         \"serving_arrivals\": {serving_arrivals},\n  \
+         \"serving_queue_capacity\": {SERVING_QUEUE_CAPACITY},\n  \
+         \"serving_results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"),
         ingest_entries.join(",\n"),
-        train_entries.join(",\n")
+        train_entries.join(",\n"),
+        serving_entries.join(",\n")
     );
     match std::fs::write(OUT_PATH, &json) {
         Ok(()) => println!("wrote {OUT_PATH}"),

@@ -2,9 +2,12 @@
 //!
 //! The paper's evaluation annotated five million records on a 10-core
 //! machine; [`BatchAnnotator`] is the reproduction's counterpart. It shards
-//! a batch of independent p-sequences across a scoped worker pool
+//! a batch of independent p-sequences across a persistent worker pool
 //! ([`ism_runtime::WorkerPool`]) and decodes each with
-//! [`C2mn::label_with`], reusing one [`DecodeScratch`] per worker.
+//! [`C2mn::label_with`], reusing one [`DecodeScratch`] per worker. An
+//! annotator either owns a pool ([`BatchAnnotator::new`]) or shares an
+//! existing one ([`BatchAnnotator::with_pool`] — the engine path, so no
+//! threads are ever created per batch).
 //!
 //! ## Determinism contract
 //!
@@ -72,11 +75,20 @@ pub struct BatchAnnotator<'m, 'a> {
 
 impl<'m, 'a> BatchAnnotator<'m, 'a> {
     /// Creates an engine decoding on `threads` workers (clamped to ≥ 1),
-    /// deriving per-sequence RNGs from `base_seed`.
+    /// deriving per-sequence RNGs from `base_seed`. The persistent worker
+    /// threads are created here, once, and shared by every batch call.
     pub fn new(model: &'m C2mn<'a>, threads: usize, base_seed: u64) -> Self {
+        BatchAnnotator::with_pool(model, &WorkerPool::new(threads), base_seed)
+    }
+
+    /// Creates an engine decoding on an existing pool's workers — a cloned
+    /// handle onto the same persistent threads, so callers that already
+    /// own a pool (the `ism-engine` serving path) never create threads per
+    /// annotator or per batch.
+    pub fn with_pool(model: &'m C2mn<'a>, pool: &WorkerPool, base_seed: u64) -> Self {
         BatchAnnotator {
             model,
-            pool: WorkerPool::new(threads),
+            pool: pool.clone(),
             base_seed,
         }
     }

@@ -235,11 +235,12 @@ impl<'a, 'ob> Trainer<'a, 'ob> {
         self
     }
 
-    /// The worker pool the per-sequence sampling fans out over (the pool
-    /// handle is copied; an engine can share its serving pool). Thread
-    /// count never changes the learned weights.
+    /// The worker pool the per-sequence sampling fans out over (a cloned
+    /// handle shares the same persistent workers; an engine shares its
+    /// serving pool this way). Thread count never changes the learned
+    /// weights.
     pub fn pool(mut self, pool: &WorkerPool) -> Self {
-        self.pool = *pool;
+        self.pool = pool.clone();
         self
     }
 

@@ -16,10 +16,13 @@
 //!   capacity, optional warm-start store; [`build`](EngineBuilder::build)
 //!   from a trained model or [`train`](EngineBuilder::train) in one step.
 //! * [`IngestSession`] — the streaming front-end: p-sequences go in
-//!   incrementally (bounded queue feeding the pool), sealed m-semantics
-//!   come out the other end, **byte-identical** to the offline
-//!   `BatchAnnotator` reference for any thread count and any push
-//!   chunking.
+//!   incrementally and are handed to **idle workers as they arrive**
+//!   (decode overlaps with arrival; a filled queue still fans out as a
+//!   batch, bounding memory), sealed m-semantics come out the other end,
+//!   **byte-identical** to the offline `BatchAnnotator` reference for any
+//!   thread count and any push chunking. Sessions borrow the engine
+//!   *shared*, so several can ingest concurrently into one global
+//!   numbering.
 //! * [`EngineError`] — the unified error surface replacing the panicking
 //!   paths of the hand-wired pipeline.
 //!
@@ -63,6 +66,7 @@
 
 mod cache;
 mod error;
+mod ingest;
 mod session;
 
 pub use cache::CacheStats;
@@ -70,7 +74,8 @@ pub use error::EngineError;
 pub use session::IngestSession;
 
 use cache::{CacheKey, QueryCache};
-use ism_c2mn::{BatchAnnotator, C2mn, C2mnConfig, Trainer};
+use ingest::{IngestShared, PendingItem};
+use ism_c2mn::{BatchAnnotator, C2mn, C2mnConfig, DecodeScratch, Trainer};
 use ism_indoor::{IndoorSpace, RegionId};
 use ism_mobility::{
     LabeledSequence, MobilityEvent, MobilitySemantics, PositioningRecord, TimePeriod,
@@ -78,9 +83,10 @@ use ism_mobility::{
 use ism_queries::{
     QueryAnswer, QueryBatch, ShardedSemanticsStore, StandingTkFrpq, StandingTkPrq, DEFAULT_SHARDS,
 };
-use ism_runtime::WorkerPool;
-use rand::Rng;
-use std::sync::Mutex;
+use ism_runtime::{PoolStats, WorkerPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
 
 /// Default capacity of an ingest session's submission queue: how many
 /// submitted-but-undecoded p-sequences buffer before a chunk fans out.
@@ -128,9 +134,10 @@ impl EngineBuilder {
         self
     }
 
-    /// Capacity of each ingest session's submission queue (clamped to
-    /// ≥ 1): the most submitted-but-undecoded sequences ever buffered.
-    /// Never changes any result, only memory/latency.
+    /// Capacity of the engine-wide submission queue (clamped to ≥ 1):
+    /// the most submitted-but-undispatched sequences ever buffered across
+    /// all concurrent ingest sessions. Never changes any result, only
+    /// memory/latency.
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = Some(capacity);
         self
@@ -194,15 +201,22 @@ impl EngineBuilder {
             }
             None => ShardedSemanticsStore::new(self.shards.unwrap_or(DEFAULT_SHARDS)),
         };
+        let queue_capacity = self.queue_capacity.unwrap_or(DEFAULT_QUEUE_CAPACITY).max(1);
         Ok(SemanticsEngine {
-            model,
+            // Boxed so the model's address is stable across engine moves —
+            // pipelined decode tasks hold a raw borrow of it (see
+            // `decode_task`).
+            model: Box::new(model),
             pool,
             base_seed: self.base_seed,
-            queue_capacity: self.queue_capacity.unwrap_or(DEFAULT_QUEUE_CAPACITY).max(1),
-            store,
-            next_index: self.first_sequence_index,
+            queue_capacity,
+            shared: Arc::new(IngestShared::new(
+                store,
+                queue_capacity,
+                self.first_sequence_index,
+            )),
             cache: Mutex::new(QueryCache::default()),
-            standing: Vec::new(),
+            standing: Mutex::new(Vec::new()),
         })
     }
 
@@ -239,29 +253,72 @@ impl EngineBuilder {
 /// [`label_batch`](SemanticsEngine::label_batch) helpers) and is served by
 /// the query methods.
 ///
+/// All ingest and query methods take `&self`: the live store sits behind
+/// a reader/writer lock, sessions share one global submission queue, and
+/// the caches are internally synchronised — so several
+/// [`IngestSession`]s (and queries) can run concurrently on one engine.
+///
 /// ## Determinism contract
 ///
 /// The engine inherits — and composes — the contracts of its layers:
 /// global sequence `i` decodes with `sequence_seed(base_seed, i)`
-/// regardless of worker, session chunking, or queue capacity; objects hash
-/// whole into shards; per-shard query partials merge commutatively. The
-/// sealed store and every query answer are therefore **byte-identical for
-/// any thread count, shard count, and push chunking**, equal to the
-/// offline single-threaded reference.
-#[derive(Debug)]
+/// regardless of worker, session chunking, or queue capacity; decoded
+/// results pass through a reorder buffer and commit in global index
+/// order; objects hash whole into shards; per-shard query partials merge
+/// commutatively. The sealed store and every query answer are therefore
+/// **byte-identical for any thread count, shard count, push chunking,
+/// and session interleaving**, equal to the offline single-threaded
+/// reference.
 pub struct SemanticsEngine<'a> {
-    model: C2mn<'a>,
+    /// Boxed for address stability: pipelined decode tasks borrow the
+    /// model raw across the lifetime-erased worker queue.
+    model: Box<C2mn<'a>>,
     pool: WorkerPool,
     base_seed: u64,
     queue_capacity: usize,
-    store: ShardedSemanticsStore,
-    next_index: u64,
+    /// The cross-session ingest core: global submission queue, in-flight
+    /// ledger, reorder buffer, and the live store behind its lock.
+    shared: Arc<IngestShared>,
     /// Hot-region result cache for the one-shot query methods; seals
     /// evict exactly the entries whose regions they touch.
     cache: Mutex<QueryCache>,
     /// Registered standing queries, folded forward by every seal.
     /// Cancelled slots stay as `None` so handles keep their index.
-    standing: Vec<Option<StandingState>>,
+    standing: Mutex<Vec<Option<StandingState>>>,
+}
+
+impl std::fmt::Debug for SemanticsEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SemanticsEngine")
+            .field("threads", &self.threads())
+            .field("base_seed", &self.base_seed)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("num_shards", &self.num_shards())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Shared read access to the engine's live store, released on drop.
+///
+/// Dereferences to [`ShardedSemanticsStore`]. Ingest commits and seals
+/// take the write side of the same lock, so don't hold a guard across
+/// long pauses while sessions are streaming.
+pub struct StoreGuard<'e> {
+    guard: std::sync::RwLockReadGuard<'e, ShardedSemanticsStore>,
+}
+
+impl std::ops::Deref for StoreGuard<'_> {
+    type Target = ShardedSemanticsStore;
+
+    fn deref(&self) -> &ShardedSemanticsStore {
+        &self.guard
+    }
+}
+
+impl std::fmt::Debug for StoreGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&*self.guard, f)
+    }
 }
 
 /// One registered standing query of either kind.
@@ -288,6 +345,13 @@ impl<'a> SemanticsEngine<'a> {
         &self.model
     }
 
+    /// A snapshot of the worker pool's lifetime counters — fan-out vs
+    /// inline dispatches, items claimed, pipelined async tasks, idle
+    /// wakeups, and the (constant) number of threads ever spawned.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     /// The worker pool shared by decoding, sealing, and queries.
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
@@ -310,40 +374,89 @@ impl<'a> SemanticsEngine<'a> {
 
     /// Shard count of the live store.
     pub fn num_shards(&self) -> usize {
-        self.store.num_shards()
+        self.store().num_shards()
     }
 
     /// Sequences ingested over the engine's lifetime (the global index of
-    /// the next pushed sequence).
+    /// the next pushed sequence, counted across all sessions).
     pub fn sequences_ingested(&self) -> u64 {
-        self.next_index
+        self.state().queue.next_index()
+    }
+
+    /// Sequences whose decoded m-semantics have been appended to the live
+    /// store (the global index of the next commit). Trails
+    /// [`sequences_ingested`](SemanticsEngine::sequences_ingested) while
+    /// pipelined decodes are in flight; equal after a flush or seal.
+    pub fn sequences_committed(&self) -> u64 {
+        self.state().next_commit
     }
 
     /// Distinct objects with sealed m-semantics.
     pub fn num_objects(&self) -> usize {
-        self.store.len()
+        self.shared.store.read().expect("store lock poisoned").len()
     }
 
-    /// Read access to the live store (sealed data).
-    pub fn store(&self) -> &ShardedSemanticsStore {
-        &self.store
+    /// Read access to the live store (sealed data). The guard holds the
+    /// store's read lock until dropped.
+    pub fn store(&self) -> StoreGuard<'_> {
+        StoreGuard {
+            guard: self.shared.store.read().expect("store lock poisoned"),
+        }
     }
 
     /// Hands the live store over to the caller, consuming the engine
     /// (pass it to [`EngineBuilder::initial_store`] to resume later).
     pub fn into_store(self) -> ShardedSemanticsStore {
-        self.store
+        // Sessions borrow the engine, so none are open; wait out any
+        // still-running pipelined decodes and take the store.
+        self.wait_inflight();
+        let mut store = self.shared.store.write().expect("store lock poisoned");
+        let empty = ShardedSemanticsStore::new(store.num_shards());
+        std::mem::replace(&mut *store, empty)
     }
 
-    /// The sealed m-semantics of `object_id`, if any.
-    pub fn semantics_of(&self, object_id: u64) -> Option<&[MobilitySemantics]> {
-        self.store.get(object_id)
+    /// The sealed m-semantics of `object_id`, if any (cloned out of the
+    /// live store so no lock is held after the call).
+    pub fn semantics_of(&self, object_id: u64) -> Option<Vec<MobilitySemantics>> {
+        self.shared
+            .store
+            .read()
+            .expect("store lock poisoned")
+            .get(object_id)
+            .map(<[MobilitySemantics]>::to_vec)
     }
 
-    /// Opens a streaming ingest session. The session borrows the engine
-    /// exclusively; sealing (or dropping) it publishes everything pushed.
-    pub fn ingest(&mut self) -> IngestSession<'_, 'a> {
+    /// Opens a streaming ingest session. Sessions borrow the engine
+    /// *shared*: several may ingest concurrently, all stamping into one
+    /// global numbering. Sealing (or dropping) a session flushes and
+    /// publishes everything pushed engine-wide so far.
+    pub fn ingest(&self) -> IngestSession<'_, 'a> {
         IngestSession::new(self)
+    }
+
+    /// The ingest ledger, locked.
+    pub(crate) fn state(&self) -> std::sync::MutexGuard<'_, ingest::IngestState> {
+        self.shared
+            .state
+            .lock()
+            .expect("ingest state lock poisoned")
+    }
+
+    /// Blocks until no pipelined decode task is running (they borrow the
+    /// boxed model raw, so the engine must outlive them).
+    fn wait_inflight(&self) {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while state.inflight > 0 {
+            state = self
+                .shared
+                .progress
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
     }
 
     /// Offline convenience: labels a batch of p-sequences with per-record
@@ -415,7 +528,8 @@ impl<'a> SemanticsEngine<'a> {
     /// store on the engine's pool (answers in submission order). The batch
     /// path bypasses the result cache — it is the bulk interface.
     pub fn run_batch(&self, batch: &QueryBatch) -> Vec<QueryAnswer> {
-        batch.run(&self.store, &self.pool)
+        let store = self.shared.store.read().expect("store lock poisoned");
+        batch.run(&store, &self.pool)
     }
 
     /// Cache counters of the one-shot query methods.
@@ -427,15 +541,14 @@ impl<'a> SemanticsEngine<'a> {
     /// subsequent seal folds its new postings in incrementally, keeping
     /// [`standing_prq_result`](SemanticsEngine::standing_prq_result)
     /// byte-identical to re-running [`tk_prq`](SemanticsEngine::tk_prq).
-    pub fn standing_tk_prq(
-        &mut self,
-        query: &[RegionId],
-        k: usize,
-        qt: TimePeriod,
-    ) -> StandingQueryId {
-        let state = StandingTkPrq::new(query, k, qt, &self.store, &self.pool);
-        self.standing.push(Some(StandingState::Prq(state)));
-        StandingQueryId(self.standing.len() - 1)
+    pub fn standing_tk_prq(&self, query: &[RegionId], k: usize, qt: TimePeriod) -> StandingQueryId {
+        let state = {
+            let store = self.shared.store.read().expect("store lock poisoned");
+            StandingTkPrq::new(query, k, qt, &store, &self.pool)
+        };
+        let mut standing = self.standing.lock().expect("standing lock poisoned");
+        standing.push(Some(StandingState::Prq(state)));
+        StandingQueryId(standing.len() - 1)
     }
 
     /// Registers a standing TkFRPQ over everything sealed so far; every
@@ -443,20 +556,25 @@ impl<'a> SemanticsEngine<'a> {
     /// [`standing_frpq_result`](SemanticsEngine::standing_frpq_result)
     /// byte-identical to re-running [`tk_frpq`](SemanticsEngine::tk_frpq).
     pub fn standing_tk_frpq(
-        &mut self,
+        &self,
         query: &[RegionId],
         k: usize,
         qt: TimePeriod,
     ) -> StandingQueryId {
-        let state = StandingTkFrpq::new(query, k, qt, &self.store, &self.pool);
-        self.standing.push(Some(StandingState::Frpq(state)));
-        StandingQueryId(self.standing.len() - 1)
+        let state = {
+            let store = self.shared.store.read().expect("store lock poisoned");
+            StandingTkFrpq::new(query, k, qt, &store, &self.pool)
+        };
+        let mut standing = self.standing.lock().expect("standing lock poisoned");
+        standing.push(Some(StandingState::Frpq(state)));
+        StandingQueryId(standing.len() - 1)
     }
 
     /// The current ranking of a standing TkPRQ. `None` if the handle is
     /// unknown, cancelled, or names a TkFRPQ.
     pub fn standing_prq_result(&self, id: StandingQueryId) -> Option<Vec<(RegionId, usize)>> {
-        match self.standing.get(id.0)?.as_ref()? {
+        let standing = self.standing.lock().expect("standing lock poisoned");
+        match standing.get(id.0)?.as_ref()? {
             StandingState::Prq(state) => Some(state.result()),
             StandingState::Frpq(_) => None,
         }
@@ -468,7 +586,8 @@ impl<'a> SemanticsEngine<'a> {
         &self,
         id: StandingQueryId,
     ) -> Option<Vec<((RegionId, RegionId), usize)>> {
-        match self.standing.get(id.0)?.as_ref()? {
+        let standing = self.standing.lock().expect("standing lock poisoned");
+        match standing.get(id.0)?.as_ref()? {
             StandingState::Frpq(state) => Some(state.result()),
             StandingState::Prq(_) => None,
         }
@@ -476,8 +595,9 @@ impl<'a> SemanticsEngine<'a> {
 
     /// Cancels a standing query; returns whether the handle was live.
     /// Other handles are unaffected.
-    pub fn cancel_standing(&mut self, id: StandingQueryId) -> bool {
-        match self.standing.get_mut(id.0) {
+    pub fn cancel_standing(&self, id: StandingQueryId) -> bool {
+        let mut standing = self.standing.lock().expect("standing lock poisoned");
+        match standing.get_mut(id.0) {
             Some(slot) => slot.take().is_some(),
             None => false,
         }
@@ -485,17 +605,122 @@ impl<'a> SemanticsEngine<'a> {
 
     /// Standing queries currently registered (cancelled ones excluded).
     pub fn num_standing(&self) -> usize {
-        self.standing.iter().flatten().count()
+        let standing = self.standing.lock().expect("standing lock poisoned");
+        standing.iter().flatten().count()
     }
 
     fn annotator(&self) -> BatchAnnotator<'_, 'a> {
-        BatchAnnotator::new(&self.model, self.pool.threads(), self.base_seed)
+        BatchAnnotator::with_pool(&self.model, &self.pool, self.base_seed)
+    }
+
+    /// Accepts one pushed sequence from a session: stamps it into the
+    /// engine-wide submission queue, then either fans the filled queue
+    /// out synchronously (backpressure — the memory bound) or hands
+    /// buffered sequences to idle workers immediately (pipelining —
+    /// decode overlaps with arrival).
+    pub(crate) fn submit(&self, object_id: u64, records: Vec<PositioningRecord>) {
+        let full = self.state().queue.push((object_id, records));
+        match full {
+            Some(batch) => self.decode_chunk(batch),
+            None => self.dispatch_pipelined(),
+        }
+    }
+
+    /// Hands buffered sequences to idle workers, one decode task each.
+    /// Never blocks on a busy pool: while a decode is in flight the queue
+    /// keeps buffering (the finishing worker claims the next item
+    /// itself), but when nothing is in flight — no workers at all, or
+    /// every worker parked between our pop and its idle flag — this
+    /// caller decodes inline so no sequence is ever stranded unobserved
+    /// in the queue.
+    fn dispatch_pipelined(&self) {
+        loop {
+            let idle = self.pool.idle_workers() > 0;
+            let item = {
+                let mut state = self.state();
+                if !idle && state.inflight > 0 {
+                    // A running task will claim the queued items when it
+                    // finishes; leave them buffered.
+                    return;
+                }
+                match state.queue.pop_front() {
+                    Some(item) => {
+                        state.inflight += 1;
+                        item
+                    }
+                    None => return,
+                }
+            };
+            let task = self.decode_task(item);
+            if idle {
+                if let Err(task) = self.pool.try_spawn(task) {
+                    // Lost the race for the idle worker — run it here;
+                    // the commit still goes through the reorder buffer.
+                    task();
+                }
+            } else {
+                task();
+            }
+        }
+    }
+
+    /// Builds the lifetime-erased decode task for one stamped sequence.
+    /// The task decodes with the same `(base_seed, index)` derivation as
+    /// the batch path, parks the result in the reorder buffer, commits
+    /// the contiguous prefix — and then claims the next buffered
+    /// sequence itself, so a single dispatch keeps its worker busy until
+    /// the queue is dry and no arrival is ever stranded waiting for a
+    /// dispatcher.
+    fn decode_task(
+        &self,
+        (index, (object_id, records)): (u64, PendingItem),
+    ) -> ism_runtime::AsyncTask {
+        let shared = Arc::clone(&self.shared);
+        let base_seed = self.base_seed;
+        // SAFETY: the model lives in a `Box` owned by the engine, so its
+        // address is stable across engine moves, and every path that ends
+        // the model's life (`Drop`, `into_store`) first blocks until
+        // `inflight == 0` (`wait_inflight`). A task dereferences the
+        // model only while its claim is registered: the in-flight
+        // decrement and the claim of the next queued sequence happen in
+        // one critical section, so `inflight` never observably reaches
+        // zero while the task still intends to decode — the reference
+        // never outlives the data even though the closure is erased to
+        // `'static` for the worker queue.
+        let model: &'static C2mn<'static> =
+            unsafe { std::mem::transmute::<&C2mn<'a>, &'static C2mn<'static>>(&*self.model) };
+        Box::new(move || {
+            let mut next = Some((index, (object_id, records)));
+            while let Some((index, (object_id, records))) = next.take() {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    decode_one(model, base_seed, index, &records)
+                }));
+                let mut state = shared.state.lock().expect("ingest state lock poisoned");
+                state.inflight -= 1;
+                match result {
+                    Ok(semantics) => {
+                        state.ready.insert(index, (object_id, semantics));
+                        shared.commit_ready(&mut state);
+                        // Chain onto the next buffered sequence inside the
+                        // same critical section as the decrement, keeping
+                        // `inflight` non-zero across the handoff.
+                        if let Some(item) = state.queue.pop_front() {
+                            state.inflight += 1;
+                            next = Some(item);
+                        }
+                    }
+                    Err(_) => state.panicked = true,
+                }
+                drop(state);
+                shared.progress.notify_all();
+            }
+        })
     }
 
     /// Decodes one drained submission batch (`(global index, (object id,
-    /// records))` in index order) and appends the m-semantics to the
-    /// store's pending segments.
-    pub(crate) fn decode_chunk(&mut self, batch: Vec<(u64, (u64, Vec<PositioningRecord>))>) {
+    /// records))` in index order) on the pool and commits the results
+    /// through the reorder buffer.
+    pub(crate) fn decode_chunk(&self, batch: Vec<(u64, PendingItem)>) {
         let Some(&(first, _)) = batch.first() else {
             return;
         };
@@ -507,17 +732,46 @@ impl<'a> SemanticsEngine<'a> {
             sequences.push(records);
         }
         let annotated = self.annotator().annotate_batch_at(first, &sequences);
-        for (object_id, semantics) in object_ids.iter().zip(annotated) {
-            self.store.append(*object_id, semantics);
+        let mut state = self.state();
+        for (offset, (object_id, semantics)) in object_ids.into_iter().zip(annotated).enumerate() {
+            state
+                .ready
+                .insert(first + offset as u64, (object_id, semantics));
         }
-        self.next_index = first + object_ids.len() as u64;
+        self.shared.commit_ready(&mut state);
+        drop(state);
+        self.shared.progress.notify_all();
+    }
+
+    /// Drains the engine-wide queue, decodes it, and blocks until every
+    /// in-flight pipelined decode has committed. Panics if a pipelined
+    /// decode task panicked (the deferred equivalent of the synchronous
+    /// path's panic).
+    pub(crate) fn flush_ingest(&self) {
+        let batch = self.state().queue.drain();
+        self.decode_chunk(batch);
+        let mut state = self.state();
+        loop {
+            assert!(!state.panicked, "a pipelined decode task panicked");
+            if state.inflight == 0 && state.ready.is_empty() {
+                return;
+            }
+            state = self
+                .shared
+                .progress
+                .wait(state)
+                .expect("ingest state lock poisoned");
+        }
     }
 
     /// Seals the store's pending segments on the engine's pool, then feeds
     /// the seal's summary to the result cache (evicting entries whose
     /// regions the seal touched) and to every registered standing query.
-    pub(crate) fn seal_store(&mut self) {
-        let summary = self.store.seal_summarized_with(&self.pool);
+    pub(crate) fn seal_store(&self) {
+        let summary = {
+            let mut store = self.shared.store.write().expect("store lock poisoned");
+            store.seal_summarized_with(&self.pool)
+        };
         if summary.new_stays.is_empty() {
             return;
         }
@@ -525,13 +779,43 @@ impl<'a> SemanticsEngine<'a> {
             .lock()
             .expect("query cache lock")
             .invalidate_touching(&summary.touched_regions);
-        for state in self.standing.iter_mut().flatten() {
+        let mut standing = self.standing.lock().expect("standing lock poisoned");
+        for state in standing.iter_mut().flatten() {
             match state {
                 StandingState::Prq(q) => q.observe_seal(&summary),
                 StandingState::Frpq(q) => q.observe_seal(&summary),
             }
         }
     }
+}
+
+impl Drop for SemanticsEngine<'_> {
+    fn drop(&mut self) {
+        // In-flight pipelined decodes borrow the boxed model raw; wait
+        // them out before the model drops. Sessions seal on drop (and
+        // borrow the engine, so they are gone by now), so this is
+        // normally already quiescent.
+        self.wait_inflight();
+    }
+}
+
+/// Decodes one sequence exactly as the batch path does: per-sequence RNG
+/// seeded with `sequence_seed(base_seed, global_index)`, worker-local
+/// scratch reused across every sequence the thread ever decodes.
+fn decode_one(
+    model: &C2mn<'_>,
+    base_seed: u64,
+    index: u64,
+    records: &[PositioningRecord],
+) -> Vec<MobilitySemantics> {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<DecodeScratch> =
+            std::cell::RefCell::new(DecodeScratch::new());
+    }
+    SCRATCH.with(|scratch| {
+        let mut rng = StdRng::seed_from_u64(ism_c2mn::sequence_seed(base_seed, index as usize));
+        model.annotate_with(records, &mut rng, &mut scratch.borrow_mut())
+    })
 }
 
 #[cfg(test)]
@@ -654,7 +938,7 @@ mod tests {
             BatchAnnotator::new(&model(&space), 1, 9).annotate_into_store(&sequences, &ids, 4);
 
         // Two sessions, second continuing the first's numbering.
-        let mut engine = EngineBuilder::new()
+        let engine = EngineBuilder::new()
             .threads(2)
             .shards(4)
             .base_seed(9)
@@ -703,7 +987,7 @@ mod tests {
             .map(|s| s.positioning().collect())
             .collect();
         let ids: Vec<u64> = dataset.sequences.iter().map(|s| s.object_id).collect();
-        let mut engine = EngineBuilder::new()
+        let engine = EngineBuilder::new()
             .threads(2)
             .shards(3)
             .base_seed(5)
@@ -718,15 +1002,15 @@ mod tests {
         let pool = WorkerPool::new(1);
         assert_eq!(
             engine.tk_prq(&regions, 5, qt),
-            ism_queries::tk_prq_sharded(engine.store(), &regions, 5, qt, &pool)
+            ism_queries::tk_prq_sharded(&engine.store(), &regions, 5, qt, &pool)
         );
         assert_eq!(
             engine.tk_frpq(&regions, 5, qt),
-            ism_queries::tk_frpq_sharded(engine.store(), &regions, 5, qt, &pool)
+            ism_queries::tk_frpq_sharded(&engine.store(), &regions, 5, qt, &pool)
         );
         // Per-object lookup agrees with the store.
         for &id in &ids {
-            assert_eq!(engine.semantics_of(id), engine.store().get(id));
+            assert_eq!(engine.semantics_of(id).as_deref(), engine.store().get(id));
         }
     }
 
@@ -742,7 +1026,7 @@ mod tests {
         let split = 2.min(sequences.len());
 
         // One engine ingesting everything...
-        let mut whole = EngineBuilder::new()
+        let whole = EngineBuilder::new()
             .threads(1)
             .shards(3)
             .base_seed(21)
@@ -753,7 +1037,7 @@ mod tests {
         s.seal();
 
         // ...equals an engine resumed from a handed-over store.
-        let mut first = EngineBuilder::new()
+        let first = EngineBuilder::new()
             .threads(1)
             .shards(3)
             .base_seed(21)
@@ -768,7 +1052,7 @@ mod tests {
         );
         s.seal();
         let ingested = first.sequences_ingested();
-        let mut resumed = EngineBuilder::new()
+        let resumed = EngineBuilder::new()
             .threads(2)
             .base_seed(21)
             .first_sequence_index(ingested)
@@ -830,7 +1114,7 @@ mod tests {
         dataset: &Dataset,
         n: usize,
     ) -> SemanticsEngine<'s> {
-        let mut engine = EngineBuilder::new()
+        let engine = EngineBuilder::new()
             .threads(2)
             .shards(3)
             .base_seed(5)
@@ -849,7 +1133,7 @@ mod tests {
     #[test]
     fn query_cache_hits_until_a_seal_touches_its_regions() {
         let (space, dataset) = setup();
-        let mut engine = ingested_engine(&space, &dataset, 4);
+        let engine = ingested_engine(&space, &dataset, 4);
         let regions: Vec<RegionId> = space.regions().iter().map(|r| r.id).collect();
         let qt = TimePeriod::new(0.0, 1e9);
 
@@ -893,14 +1177,14 @@ mod tests {
         let pool = WorkerPool::new(1);
         assert_eq!(
             after,
-            ism_queries::tk_prq_sharded(engine.store(), &regions, 5, qt, &pool)
+            ism_queries::tk_prq_sharded(&engine.store(), &regions, 5, qt, &pool)
         );
     }
 
     #[test]
     fn standing_queries_track_full_reruns_across_seals() {
         let (space, dataset) = setup();
-        let mut engine = ingested_engine(&space, &dataset, 2);
+        let engine = ingested_engine(&space, &dataset, 2);
         let regions: Vec<RegionId> = space.regions().iter().map(|r| r.id).collect();
         let qt = TimePeriod::new(0.0, 1e9);
         let prq = engine.standing_tk_prq(&regions, 4, qt);

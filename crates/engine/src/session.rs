@@ -2,59 +2,61 @@
 
 use crate::SemanticsEngine;
 use ism_mobility::PositioningRecord;
-use ism_runtime::SubmissionQueue;
 
 /// A streaming annotation session: p-sequences go in one at a time,
 /// annotated m-semantics come out the other end already sharded into the
 /// engine's live store.
 ///
-/// Pushed sequences buffer in a bounded [`SubmissionQueue`]; whenever it
-/// fills, the buffered chunk fans out over the engine's worker pool and
-/// its m-semantics land in the store's pending segments. Dropping or
-/// [`seal`](IngestSession::seal)ing the session flushes the remainder and
-/// seals the store, making everything ingested visible to queries.
+/// Sessions borrow the engine *shared*, so several can run at once — all
+/// of them stamp into one engine-wide submission queue, which is what
+/// makes the interleaving unobservable (see the determinism contract).
+/// A pushed sequence is handed to an idle worker **immediately**
+/// (decode-during-arrival); when no worker keeps up, the bounded queue
+/// fills and the buffered chunk fans out synchronously, so at most
+/// `queue_capacity` submitted-but-undecoded sequences are ever buffered.
+/// Dropping or [`seal`](IngestSession::seal)ing the session flushes the
+/// queue, waits for in-flight decodes, and seals the store, making
+/// everything ingested engine-wide visible to queries.
 ///
 /// ## Determinism contract
 ///
-/// Sequence number `i` of the engine's lifetime (counted across sessions)
-/// is decoded with the seed `sequence_seed(base_seed, i)` — a function of
-/// the global sequence index only. Push chunking, queue capacity, and
-/// thread count are therefore unobservable: the sealed store is
-/// byte-identical to annotating the whole stream offline with
-/// [`BatchAnnotator::annotate_into_store`], which the
-/// `streaming_oracle` property suite pins.
+/// Sequence number `i` of the engine's lifetime (counted across sessions
+/// in push order) is decoded with the seed `sequence_seed(base_seed, i)`
+/// — a function of the global sequence index only — and decoded results
+/// commit to the store in global index order through a reorder buffer.
+/// Push chunking, queue capacity, thread count, and session interleaving
+/// are therefore unobservable: the sealed store is byte-identical to
+/// annotating the whole stream offline with
+/// [`BatchAnnotator::annotate_into_store`], which the `streaming_oracle`
+/// and `concurrent_sessions` property suites pin.
 ///
 /// [`BatchAnnotator::annotate_into_store`]: ism_c2mn::BatchAnnotator::annotate_into_store
 #[derive(Debug)]
 pub struct IngestSession<'e, 'a> {
-    engine: &'e mut SemanticsEngine<'a>,
-    queue: SubmissionQueue<(u64, Vec<PositioningRecord>)>,
-    first_index: u64,
+    engine: &'e SemanticsEngine<'a>,
+    pushed: u64,
     sealed: bool,
 }
 
 impl<'e, 'a> IngestSession<'e, 'a> {
-    pub(crate) fn new(engine: &'e mut SemanticsEngine<'a>) -> Self {
-        let first_index = engine.sequences_ingested();
-        let queue = SubmissionQueue::starting_at(engine.queue_capacity(), first_index);
+    pub(crate) fn new(engine: &'e SemanticsEngine<'a>) -> Self {
         IngestSession {
             engine,
-            queue,
-            first_index,
+            pushed: 0,
             sealed: false,
         }
     }
 
     /// Submits one object's p-sequence for annotation.
     ///
-    /// Returns immediately unless the submission fills the queue, in which
-    /// case the buffered chunk is decoded on the engine's pool before the
-    /// call returns (the bound is the memory contract: at most
+    /// If a worker is idle the sequence starts decoding immediately and
+    /// the call returns; otherwise it buffers, and the push that fills
+    /// the queue decodes the buffered chunk on the engine's pool before
+    /// returning (the bound is the memory contract: at most
     /// `queue_capacity` undecoded sequences are ever held).
     pub fn push(&mut self, object_id: u64, records: Vec<PositioningRecord>) {
-        if let Some(batch) = self.queue.push((object_id, records)) {
-            self.engine.decode_chunk(batch);
-        }
+        self.engine.submit(object_id, records);
+        self.pushed += 1;
     }
 
     /// Submits a batch of `(object_id, p-sequence)` pairs in order.
@@ -67,36 +69,38 @@ impl<'e, 'a> IngestSession<'e, 'a> {
         }
     }
 
-    /// Decodes everything currently buffered without sealing the store.
-    /// Queries still don't see the results until the session ends.
+    /// Decodes everything currently buffered engine-wide and waits for
+    /// every in-flight pipelined decode to commit, without sealing the
+    /// store. Queries still don't see the results until a session ends.
     pub fn flush(&mut self) {
-        let batch = self.queue.drain();
-        self.engine.decode_chunk(batch);
+        self.engine.flush_ingest();
     }
 
     /// Sequences pushed into this session so far.
     pub fn pushed(&self) -> u64 {
-        self.queue.next_index() - self.first_index
+        self.pushed
     }
 
-    /// Sequences buffered but not yet decoded.
+    /// Sequences buffered engine-wide but not yet dispatched for decode.
     pub fn queued(&self) -> usize {
-        self.queue.len()
+        self.engine.state().queue.len()
     }
 
     /// Ends the session: flushes the queue, seals the engine's store (the
     /// incremental per-shard merge), and returns how many sequences this
-    /// session ingested. Dropping the session without calling `seal` does
-    /// the same — no pushed sequence is ever lost.
+    /// session pushed. Sealing is an engine-wide barrier — sequences
+    /// pushed by other live sessions so far are published too. Dropping
+    /// the session without calling `seal` does the same — no pushed
+    /// sequence is ever lost.
     pub fn seal(mut self) -> u64 {
         self.finish()
     }
 
     fn finish(&mut self) -> u64 {
         self.sealed = true;
-        self.flush();
+        self.engine.flush_ingest();
         self.engine.seal_store();
-        self.pushed()
+        self.pushed
     }
 }
 

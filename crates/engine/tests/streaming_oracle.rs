@@ -93,7 +93,7 @@ proptest! {
         let reference = BatchAnnotator::new(&model(&space), 1, case.base_seed)
             .annotate_into_store(&sequences, &ids, case.shards);
         for threads in THREAD_COUNTS {
-            let mut engine = EngineBuilder::new()
+            let engine = EngineBuilder::new()
                 .threads(threads)
                 .shards(case.shards)
                 .base_seed(case.base_seed)
@@ -143,7 +143,7 @@ fn pinned_thread_and_chunking_sweep() {
         BatchAnnotator::new(&model(&space), 1, 42).annotate_into_store(&sequences, &ids, 3);
     for threads in THREAD_COUNTS {
         for pattern in PATTERNS {
-            let mut engine = EngineBuilder::new()
+            let engine = EngineBuilder::new()
                 .threads(threads)
                 .shards(3)
                 .base_seed(42)

@@ -1,323 +1,38 @@
-//! Deterministic scoped-thread worker pool.
+//! Deterministic **persistent** worker runtime.
 //!
-//! The batch annotation engine shards independent per-sequence jobs across
-//! a fixed number of OS threads. Two properties drive the design:
+//! Every parallel path of the reproduction — batch annotation, training,
+//! streaming ingest, sharded query fan-out — runs on one [`WorkerPool`]:
+//! a fixed set of long-lived OS threads created once at pool construction
+//! and parked on per-worker condvars between tasks. Calls inject work into
+//! per-worker queues; **no path spawns threads per call**.
+//!
+//! Two properties drive the design:
 //!
 //! * **Determinism** — a job's output may depend only on its item index
 //!   (callers derive per-item RNGs from `(base_seed, index)`), and results
 //!   are returned in item order. Which worker ran which item is therefore
 //!   unobservable, so output is byte-identical for any thread count.
-//! * **Scratch reuse** — each worker owns one mutable state value built by
-//!   an `init` closure and threaded through every job it runs
-//!   ([`WorkerPool::run_with`]), so per-sweep buffers are allocated once
-//!   per worker instead of once per sequence.
+//! * **Scratch reuse** — each participant of a call owns one mutable state
+//!   value built by an `init` closure and threaded through every job it
+//!   runs ([`WorkerPool::run_with`]), so per-sweep buffers are allocated
+//!   once per participant instead of once per sequence.
 //!
-//! Threads are scoped (`std::thread::scope`): jobs may borrow from the
-//! caller's stack and no thread outlives a call.
+//! Jobs may still borrow from the caller's stack even though the threads
+//! outlive the call: each blocking call erases its body's lifetime, hands
+//! it to the workers, and blocks on a completion latch until every
+//! participant has finished — a bounded-lifetime job handoff in place of
+//! the scoped-thread join the pool used before it became persistent.
+//! Fire-and-forget work (pipelined ingest) goes through
+//! [`WorkerPool::try_spawn`] instead, and [`PoolStats`] exposes the
+//! lifetime counters (dispatch modes, claims, idle wakeups, threads
+//! created) that make the steady state observable.
 
 #![deny(missing_docs)]
 
+mod pool;
 mod queue;
+mod stats;
 
+pub use pool::{AsyncTask, WorkerPool};
 pub use queue::SubmissionQueue;
-
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::thread;
-
-/// A fixed-size pool of scoped worker threads.
-///
-/// The pool itself holds no threads between calls; each [`WorkerPool::run`]
-/// / [`WorkerPool::run_with`] spawns up to `threads` scoped workers that
-/// pull item indices from a shared atomic counter and exit when the items
-/// are exhausted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct WorkerPool {
-    threads: usize,
-}
-
-impl WorkerPool {
-    /// Creates a pool running jobs on `threads` workers (clamped to ≥ 1).
-    pub fn new(threads: usize) -> Self {
-        WorkerPool {
-            threads: threads.max(1),
-        }
-    }
-
-    /// Creates a pool sized to the machine's available parallelism
-    /// (falling back to 1 when it cannot be queried).
-    pub fn with_available_parallelism() -> Self {
-        let threads = thread::available_parallelism().map_or(1, |n| n.get());
-        WorkerPool::new(threads)
-    }
-
-    /// The configured worker count.
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
-    /// A view of this pool limited to at most `max_workers` workers
-    /// (clamped to ≥ 1).
-    ///
-    /// The dispatch heuristic behind batched query fan-out: callers that
-    /// can estimate how much work a call carries cap the worker count so
-    /// that small calls run sequentially (`capped(1)` skips thread spawns
-    /// entirely) instead of paying a fan-out that costs more than the work
-    /// it distributes. Capping never changes results — only which workers
-    /// run the items.
-    pub fn capped(&self, max_workers: usize) -> WorkerPool {
-        WorkerPool {
-            threads: self.threads.min(max_workers.max(1)),
-        }
-    }
-
-    /// Runs `job(index)` for every `index in 0..num_items`, returning the
-    /// outputs in item order.
-    pub fn run<T, F>(&self, num_items: usize, job: F) -> Vec<T>
-    where
-        T: Send,
-        F: Fn(usize) -> T + Sync,
-    {
-        self.run_with(num_items, || (), |(), i| job(i))
-    }
-
-    /// Runs `job(&mut state, index)` for every `index in 0..num_items`,
-    /// returning the outputs in item order.
-    ///
-    /// Each worker builds one `state` via `init` when it starts and reuses
-    /// it across every item it processes — the hook for per-worker scratch
-    /// buffers. Items are claimed dynamically (atomic counter), so uneven
-    /// per-item costs balance across workers; output order is still the
-    /// item order.
-    pub fn run_with<S, T, I, F>(&self, num_items: usize, init: I, job: F) -> Vec<T>
-    where
-        T: Send,
-        I: Fn() -> S + Sync,
-        F: Fn(&mut S, usize) -> T + Sync,
-    {
-        let workers = self.threads.min(num_items);
-        if workers <= 1 {
-            let mut state = init();
-            return (0..num_items).map(|i| job(&mut state, i)).collect();
-        }
-
-        // One slot per item; workers write disjoint slots, so each lock is
-        // uncontended and held only for the duration of a move.
-        let slots: Vec<Mutex<Option<T>>> = (0..num_items).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut state = init();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= num_items {
-                            break;
-                        }
-                        *slots[i].lock() = Some(job(&mut state, i));
-                    }
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("worker filled every claimed slot"))
-            .collect()
-    }
-
-    /// Folds `0..num_items` into per-worker accumulators and reduces them
-    /// into one.
-    ///
-    /// Each worker builds an accumulator via `init`, folds every item it
-    /// claims into it with `fold(&mut acc, index)`, and the caller thread
-    /// combines the per-worker accumulators with `reduce(&mut total, acc)`
-    /// in worker-index order, starting from a fresh `init()` value.
-    ///
-    /// Items are claimed dynamically, so *which* items land in which
-    /// accumulator varies run to run. The overall result is deterministic
-    /// when the accumulation is order-insensitive — a commutative monoid
-    /// such as per-key count sums — or when the caller tags folded entries
-    /// with their item index and restores order inside `reduce` (or after
-    /// it). The map-reduce query engine does the former; the parallel
-    /// sharded-store builder does the latter.
-    pub fn map_reduce<A, I, F, R>(&self, num_items: usize, init: I, fold: F, reduce: R) -> A
-    where
-        A: Send,
-        I: Fn() -> A + Sync,
-        F: Fn(&mut A, usize) + Sync,
-        R: Fn(&mut A, A),
-    {
-        let workers = self.threads.min(num_items);
-        if workers <= 1 {
-            let mut acc = init();
-            for i in 0..num_items {
-                fold(&mut acc, i);
-            }
-            return acc;
-        }
-
-        // One slot per worker; each worker writes only its own slot.
-        let slots: Vec<Mutex<Option<A>>> = (0..workers).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        thread::scope(|scope| {
-            for slot in &slots {
-                scope.spawn(|| {
-                    let mut acc = init();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= num_items {
-                            break;
-                        }
-                        fold(&mut acc, i);
-                    }
-                    *slot.lock() = Some(acc);
-                });
-            }
-        });
-        let mut total = init();
-        for slot in slots {
-            let acc = slot.into_inner().expect("worker stored its accumulator");
-            reduce(&mut total, acc);
-        }
-        total
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::WorkerPool;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn zero_threads_clamps_to_one() {
-        assert_eq!(WorkerPool::new(0).threads(), 1);
-    }
-
-    #[test]
-    fn capped_clamps_but_never_below_one() {
-        let pool = WorkerPool::new(4);
-        assert_eq!(pool.capped(2).threads(), 2);
-        assert_eq!(pool.capped(8).threads(), 4);
-        assert_eq!(pool.capped(0).threads(), 1);
-        // Capping never changes results.
-        let full = pool.run(17, |i| i * 31);
-        assert_eq!(pool.capped(1).run(17, |i| i * 31), full);
-    }
-
-    #[test]
-    fn results_are_in_item_order() {
-        for threads in [1, 2, 4, 7] {
-            let pool = WorkerPool::new(threads);
-            let out = pool.run(23, |i| i * i);
-            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
-        }
-    }
-
-    #[test]
-    fn every_item_runs_exactly_once() {
-        let counts: Vec<AtomicUsize> = (0..57).map(|_| AtomicUsize::new(0)).collect();
-        let pool = WorkerPool::new(4);
-        pool.run(counts.len(), |i| counts[i].fetch_add(1, Ordering::Relaxed));
-        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
-    }
-
-    #[test]
-    fn more_threads_than_items() {
-        let pool = WorkerPool::new(16);
-        assert_eq!(pool.run(3, |i| i + 1), vec![1, 2, 3]);
-        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
-    }
-
-    #[test]
-    fn worker_state_is_reused_within_a_worker() {
-        // Single worker: the state counts how many jobs it has seen; every
-        // job observes the same accumulating state instance.
-        let pool = WorkerPool::new(1);
-        let out = pool.run_with(
-            5,
-            || 0usize,
-            |seen, _| {
-                *seen += 1;
-                *seen
-            },
-        );
-        assert_eq!(out, vec![1, 2, 3, 4, 5]);
-    }
-
-    #[test]
-    fn output_is_thread_count_invariant() {
-        // Jobs that depend only on their index produce identical output
-        // regardless of worker count.
-        let reference = WorkerPool::new(1).run(100, |i| (i as u64).wrapping_mul(0x9E37));
-        for threads in [2, 3, 4, 8] {
-            let out = WorkerPool::new(threads).run(100, |i| (i as u64).wrapping_mul(0x9E37));
-            assert_eq!(out, reference, "threads = {threads}");
-        }
-    }
-
-    #[test]
-    fn map_reduce_sums_every_item_once() {
-        for threads in [1, 2, 4, 7] {
-            let pool = WorkerPool::new(threads);
-            let total = pool.map_reduce(
-                100,
-                || 0u64,
-                |acc, i| *acc += i as u64 + 1,
-                |total, acc| *total += acc,
-            );
-            assert_eq!(total, 5050, "threads = {threads}");
-        }
-    }
-
-    #[test]
-    fn map_reduce_zero_items_returns_identity() {
-        let pool = WorkerPool::new(4);
-        let total = pool.map_reduce(0, || 41u64, |_, _| unreachable!(), |_, _| unreachable!());
-        assert_eq!(total, 41);
-    }
-
-    #[test]
-    fn map_reduce_order_insensitive_reduction_is_thread_invariant() {
-        // Per-key count sums: the canonical commutative accumulation.
-        let keys: Vec<usize> = (0..200).map(|i| i % 7).collect();
-        let count = |threads: usize| {
-            WorkerPool::new(threads).map_reduce(
-                keys.len(),
-                || vec![0usize; 7],
-                |acc, i| acc[keys[i]] += 1,
-                |total, acc| {
-                    for (t, a) in total.iter_mut().zip(acc) {
-                        *t += a;
-                    }
-                },
-            )
-        };
-        let reference = count(1);
-        for threads in [2, 3, 4, 8] {
-            assert_eq!(count(threads), reference, "threads = {threads}");
-        }
-    }
-
-    #[test]
-    fn map_reduce_index_tagging_restores_order() {
-        // Order-sensitive result made deterministic by carrying indices.
-        let pool = WorkerPool::new(4);
-        let mut pairs = pool.map_reduce(
-            50,
-            Vec::new,
-            |acc: &mut Vec<(usize, usize)>, i| acc.push((i, i * 3)),
-            |total, acc| total.extend(acc),
-        );
-        pairs.sort_unstable();
-        let values: Vec<usize> = pairs.into_iter().map(|(_, v)| v).collect();
-        assert_eq!(values, (0..50).map(|i| i * 3).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn jobs_may_borrow_from_the_caller() {
-        let data: Vec<u64> = (0..40).collect();
-        let pool = WorkerPool::new(3);
-        let doubled = pool.run(data.len(), |i| data[i] * 2);
-        assert_eq!(doubled[7], 14);
-    }
-}
+pub use stats::PoolStats;

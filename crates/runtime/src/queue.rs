@@ -1,11 +1,14 @@
 //! Bounded submission queue for streaming workloads.
 //!
 //! Streaming producers (the `ism-engine` ingest sessions) accept items one
-//! at a time but execute them in chunks on a [`WorkerPool`]: items buffer
-//! in a [`SubmissionQueue`] until it fills, at which point the queue hands
-//! the caller a *drained batch* to fan out. The bound is the memory
-//! contract — at most `capacity` submitted-but-unexecuted items are ever
-//! materialised.
+//! at a time and execute them on a [`WorkerPool`] two ways: pipelined
+//! consumers peel individual items off the front ([`pop_front`]) to hand
+//! to idle workers as they arrive, and when no worker keeps up the queue
+//! fills and hands the caller a *drained batch* to fan out. The bound is
+//! the memory contract either way — at most `capacity`
+//! submitted-but-unexecuted items are ever materialised.
+//!
+//! [`pop_front`]: SubmissionQueue::pop_front
 //!
 //! Every item is stamped with a monotonically increasing **global index**
 //! at submission time. Deterministic pipelines derive per-item RNG seeds
@@ -21,24 +24,34 @@
 /// worker pool. The bound caps buffered items, not total throughput.
 #[derive(Debug, Clone)]
 pub struct SubmissionQueue<T> {
-    items: Vec<(u64, T)>,
+    items: std::collections::VecDeque<(u64, T)>,
     capacity: usize,
     next_index: u64,
 }
 
 impl<T> SubmissionQueue<T> {
-    /// Creates a queue holding at most `capacity` items (clamped to ≥ 1),
-    /// stamping the first item with index 0.
+    /// Creates a queue holding at most `capacity` items, stamping the
+    /// first item with index 0.
+    ///
+    /// A `capacity` of 0 is clamped to 1 — a zero-capacity queue could
+    /// never accept a push, so the clamp turns the degenerate
+    /// configuration into the smallest useful one: every push fills the
+    /// queue and hands back a one-item batch ([`push`] never returns
+    /// `None`). Callers sizing the queue from untrusted configuration get
+    /// strict per-item execution rather than an error path.
+    ///
+    /// [`push`]: SubmissionQueue::push
     pub fn new(capacity: usize) -> Self {
         SubmissionQueue::starting_at(capacity, 0)
     }
 
     /// Creates a queue whose first item is stamped `first_index` —
     /// continuing the global numbering of an earlier queue or session.
+    /// The capacity clamp of [`new`](SubmissionQueue::new) applies.
     pub fn starting_at(capacity: usize, first_index: u64) -> Self {
         let capacity = capacity.max(1);
         SubmissionQueue {
-            items: Vec::with_capacity(capacity),
+            items: std::collections::VecDeque::with_capacity(capacity),
             capacity,
             next_index: first_index,
         }
@@ -74,7 +87,7 @@ impl<T> SubmissionQueue<T> {
     pub fn push(&mut self, item: T) -> Option<Vec<(u64, T)>> {
         let index = self.next_index;
         self.next_index += 1;
-        self.items.push((index, item));
+        self.items.push_back((index, item));
         if self.items.len() >= self.capacity {
             Some(self.drain())
         } else {
@@ -82,10 +95,21 @@ impl<T> SubmissionQueue<T> {
         }
     }
 
+    /// Removes and returns the oldest buffered item with its stamped
+    /// index, or `None` when nothing is buffered.
+    ///
+    /// The pipelined-ingest hook: a consumer with an idle worker peels one
+    /// item off the front and hands it over immediately instead of waiting
+    /// for the queue to fill. Indices stay contiguous with batches drained
+    /// before or after.
+    pub fn pop_front(&mut self) -> Option<(u64, T)> {
+        self.items.pop_front()
+    }
+
     /// Drains every buffered item as an `(index, item)` batch in index
     /// order (empty when nothing is buffered).
     pub fn drain(&mut self) -> Vec<(u64, T)> {
-        std::mem::take(&mut self.items)
+        std::mem::take(&mut self.items).into()
     }
 }
 
@@ -135,5 +159,82 @@ mod tests {
     fn drain_of_empty_queue_is_empty() {
         let mut q: SubmissionQueue<u8> = SubmissionQueue::new(4);
         assert!(q.drain().is_empty());
+    }
+
+    #[test]
+    fn capacity_one_drains_on_every_push() {
+        let mut q = SubmissionQueue::new(1);
+        assert_eq!(q.capacity(), 1);
+        for i in 0u64..5 {
+            assert_eq!(q.push(i), Some(vec![(i, i)]));
+            assert!(q.is_empty());
+            assert_eq!(q.next_index(), i + 1);
+        }
+    }
+
+    #[test]
+    fn drain_on_exact_fill_hands_back_exactly_capacity() {
+        // The push that reaches exactly `capacity` items drains — never a
+        // batch larger or smaller than the fill, never a leftover item.
+        for capacity in [2, 3, 5] {
+            let mut q = SubmissionQueue::new(capacity);
+            for round in 0..3u64 {
+                for i in 0..capacity as u64 - 1 {
+                    assert_eq!(q.push(()), None, "capacity {capacity} round {round} i {i}");
+                    assert_eq!(q.len(), i as usize + 1);
+                }
+                let batch = q.push(()).expect("the filling push drains");
+                assert_eq!(batch.len(), capacity, "capacity {capacity}");
+                assert!(q.is_empty());
+                let first = batch[0].0;
+                assert!(batch
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &(idx, ()))| idx == first + i as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn global_indices_are_continuous_across_sessions() {
+        // Session 2 resumes the numbering where session 1 stopped — even
+        // when session 1 left nothing buffered — so per-index derived
+        // seeds never collide or skip.
+        let mut session1 = SubmissionQueue::new(3);
+        let mut all = Vec::new();
+        for i in 0..4u64 {
+            if let Some(batch) = session1.push(i) {
+                all.extend(batch);
+            }
+        }
+        all.extend(session1.drain());
+        let mut session2 = SubmissionQueue::starting_at(2, session1.next_index());
+        for i in 4..9u64 {
+            if let Some(batch) = session2.push(i) {
+                all.extend(batch);
+            }
+        }
+        all.extend(session2.drain());
+        let indices: Vec<u64> = all.iter().map(|&(idx, _)| idx).collect();
+        assert_eq!(indices, (0..9).collect::<Vec<_>>());
+        assert_eq!(session2.next_index(), 9);
+    }
+
+    #[test]
+    fn pop_front_interleaves_with_batch_drains() {
+        // Pipelined consumption: peeling items off the front keeps index
+        // order and composes with fill-triggered batch drains.
+        let mut q = SubmissionQueue::new(3);
+        assert_eq!(q.pop_front(), None);
+        assert!(q.push('a').is_none());
+        assert!(q.push('b').is_none());
+        assert_eq!(q.pop_front(), Some((0, 'a')));
+        assert_eq!(q.len(), 1);
+        // Refill: 'b' is still buffered, so two more pushes fill it.
+        assert!(q.push('c').is_none());
+        let batch = q.push('d').expect("fill drains");
+        assert_eq!(batch, vec![(1, 'b'), (2, 'c'), (3, 'd')]);
+        assert_eq!(q.pop_front(), None);
+        assert_eq!(q.next_index(), 4);
     }
 }

@@ -1,0 +1,74 @@
+//! Pool observability counters.
+//!
+//! A persistent pool's health is invisible from the outside — threads are
+//! created once and sleep between calls — so the pool keeps cheap lifetime
+//! counters (relaxed atomics, one `fetch_add` per event) and exposes them
+//! as [`PoolStats`] snapshots. The counters answer the operational
+//! questions: *did this call fan out or run inline?* *how many items were
+//! claimed off the shared counter?* *are workers parking and waking as
+//! expected?* — and, for tests, *were any threads created after pool
+//! construction?* (they must not be: `threads_spawned` is fixed at
+//! construction and every steady-state path runs on those workers).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A point-in-time snapshot of a pool's lifetime counters.
+///
+/// Counters are shared by every clone of the pool (clones and
+/// [`capped`](crate::WorkerPool::capped) views are handles onto one set of
+/// workers), accumulate from pool construction, and never reset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// OS threads created for this pool — exactly `threads - 1`, created
+    /// once at construction (the caller of each blocking call is the
+    /// remaining participant). Steady-state calls never change this.
+    pub threads_spawned: usize,
+    /// Blocking calls (`run` / `run_with` / `map_reduce`) that fanned out
+    /// to the persistent workers.
+    pub fanout_calls: u64,
+    /// Blocking calls that ran entirely on the calling thread (single
+    /// worker, capped view, or fewer than two items).
+    pub inline_calls: u64,
+    /// Items claimed off fan-out calls' shared claim counters, across all
+    /// participants (workers and callers). Inline calls don't count here.
+    pub items_claimed: u64,
+    /// Fire-and-forget tasks executed by workers
+    /// ([`try_spawn`](crate::WorkerPool::try_spawn) — the pipelined-ingest
+    /// path).
+    pub async_tasks: u64,
+    /// Times a parked worker woke from its condvar (including spurious
+    /// wakeups).
+    pub idle_wakeups: u64,
+}
+
+impl PoolStats {
+    /// Total units of work executed on the pool: claimed fan-out items
+    /// plus fire-and-forget tasks.
+    pub fn tasks_executed(&self) -> u64 {
+        self.items_claimed + self.async_tasks
+    }
+}
+
+/// The live cells behind [`PoolStats`], shared between the pool handle and
+/// every worker thread.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCells {
+    pub(crate) fanout_calls: AtomicU64,
+    pub(crate) inline_calls: AtomicU64,
+    pub(crate) items_claimed: AtomicU64,
+    pub(crate) async_tasks: AtomicU64,
+    pub(crate) idle_wakeups: AtomicU64,
+}
+
+impl StatsCells {
+    pub(crate) fn snapshot(&self, threads_spawned: usize) -> PoolStats {
+        PoolStats {
+            threads_spawned,
+            fanout_calls: self.fanout_calls.load(Ordering::Relaxed),
+            inline_calls: self.inline_calls.load(Ordering::Relaxed),
+            items_claimed: self.items_claimed.load(Ordering::Relaxed),
+            async_tasks: self.async_tasks.load(Ordering::Relaxed),
+            idle_wakeups: self.idle_wakeups.load(Ordering::Relaxed),
+        }
+    }
+}

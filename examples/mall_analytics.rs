@@ -62,7 +62,7 @@ fn main() {
         outcome.report.iterations,
         outcome.report.converged
     );
-    let mut engine = EngineBuilder::new()
+    let engine = EngineBuilder::new()
         .shards(8)
         .base_seed(11)
         .queue_capacity(16)

@@ -42,7 +42,7 @@ fn main() {
 
     // 3. Train the coupled conditional Markov network (Algorithm 1) and
     //    build the engine owning it in one step.
-    let mut engine = EngineBuilder::new()
+    let engine = EngineBuilder::new()
         .shards(4)
         .base_seed(7)
         .train(&venue, &train, &C2mnConfig::quick_test(), &mut rng)

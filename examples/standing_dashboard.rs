@@ -29,7 +29,7 @@ fn main() {
         &mut rng,
     );
     let model = C2mn::from_weights(&venue, C2mnConfig::quick_test(), Weights::uniform(1.0));
-    let mut engine = EngineBuilder::new()
+    let engine = EngineBuilder::new()
         .threads(2)
         .base_seed(23)
         .build(model)
@@ -92,5 +92,26 @@ fn main() {
     println!(
         "cache: {} entries, {} hits / {} misses",
         after.entries, after.hits, after.misses
+    );
+
+    // Everything above ran on the engine's persistent pool: its one
+    // helper thread was spawned at construction and never again, and the
+    // ingest waves and query fan-outs are all visible in the counters.
+    let stats = engine.pool_stats();
+    println!(
+        "pool: {} thread spawned, {} fan-out + {} inline calls, {} items claimed, \
+         {} async tasks, {} idle wakeups",
+        stats.threads_spawned,
+        stats.fanout_calls,
+        stats.inline_calls,
+        stats.items_claimed,
+        stats.async_tasks,
+        stats.idle_wakeups
+    );
+    assert_eq!(stats.threads_spawned, engine.threads() - 1);
+    assert!(stats.tasks_executed() > 0, "no work reached the pool");
+    assert!(
+        stats.fanout_calls + stats.inline_calls > 0,
+        "no blocking call dispatched"
     );
 }

@@ -29,7 +29,7 @@ fn main() {
         10,
         &mut rng,
     );
-    let mut engine = EngineBuilder::new()
+    let engine = EngineBuilder::new()
         .shards(2)
         .base_seed(42)
         .train(

@@ -16,9 +16,11 @@
 //! * [`optim`] — L-BFGS with line search.
 //! * [`pgm`] — probabilistic graphical model toolkit (HMM, linear-chain CRF,
 //!   Gibbs/ICM inference).
-//! * [`runtime`] — deterministic scoped-thread worker pool (item-ordered
-//!   `run` / `run_with`, commutative `map_reduce`) backing the batch
-//!   annotation and query engines.
+//! * [`runtime`] — deterministic **persistent** worker pool: long-lived
+//!   threads created once, item-ordered `run` / `run_with`, commutative
+//!   `map_reduce`, fire-and-forget `try_spawn` for pipelined ingest, and
+//!   `PoolStats` observability — backing the batch annotation and query
+//!   engines without ever spawning per call.
 //! * [`c2mn`] — the paper's coupled conditional Markov network: feature
 //!   functions, the `Trainer` session API for alternate learning
 //!   (Algorithm 1, pool-parallel and resumable with per-iteration
@@ -31,8 +33,10 @@
 //!   queries folded forward from seal summaries.
 //! * [`engine`] — the unified streaming front-end: `SemanticsEngine` owns
 //!   model, worker pool, and a live sharded store; `IngestSession` streams
-//!   p-sequences in with deterministic output; queries are methods, with a
-//!   seal-invalidated result cache and standing-query registration.
+//!   p-sequences in with deterministic output, handing each arrival to an
+//!   idle worker immediately (pipelined ingest), with several sessions
+//!   ingesting concurrently; queries are methods, with a seal-invalidated
+//!   result cache and standing-query registration.
 //! * [`eval`] — RA/EA/CA/PA metrics, splits, cross-validation.
 //!
 //! ## Quickstart
@@ -58,7 +62,7 @@
 //! );
 //!
 //! // 2. Train the coupled model and build the engine around it.
-//! let mut engine = EngineBuilder::new()
+//! let engine = EngineBuilder::new()
 //!     .threads(2)
 //!     .shards(4)
 //!     .base_seed(7)
@@ -124,5 +128,5 @@ pub mod prelude {
         QuerySet, SealSummary, SemanticsStore, ShardedSemanticsStore, ShardedStoreBuilder,
         StandingTkFrpq, StandingTkPrq, StoreError,
     };
-    pub use ism_runtime::{SubmissionQueue, WorkerPool};
+    pub use ism_runtime::{PoolStats, SubmissionQueue, WorkerPool};
 }
