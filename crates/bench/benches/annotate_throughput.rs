@@ -7,6 +7,16 @@
 //! (all thread counts learn byte-identical weights — again pure speedup
 //! accounting).
 //!
+//! A **kernel** section compares the naive decode loop (recompute every
+//! `(site, candidate)` row every sweep) against the memoized
+//! Markov-blanket kernel at 1 thread — identical RNG streams, identical
+//! output — and records cache effectiveness: the overall row reuse rate,
+//! the reuse rate at the final annealing temperatures (the
+//! zero-temperature ICM sweeps finishing the schedule — the converged
+//! regime, where memoization pays; hotter sweeps still flip labels whose
+//! segmentation features genuinely couple whole runs), and the bytes
+//! held by the precomputed pairwise feature tables.
+//!
 //! A **serving** section measures latency-mode ingest: per-sequence
 //! annotation latency (push → commit to the live store) under Poisson
 //! arrivals at 1, 2 and 4 threads, with the arrival rate calibrated to
@@ -14,7 +24,10 @@
 //! persistent pool picks each arrival up on an idle worker immediately
 //! (pipelined ingest); at 1 thread arrivals queue until the bounded
 //! submission queue fills — the p50/p99 gap between the two is the
-//! latency win the serving path exists for.
+//! latency win the serving path exists for. Each serving row carries the
+//! pool's `idle_wakeups` / `async_tasks` counters so a latency regression
+//! can be attributed (e.g. thread counts above the host's parallelism
+//! spinning each other out of the only core).
 //!
 //! Besides the usual criterion console report, the bench writes
 //! `BENCH_annotate.json` at the repository root so CI can archive the perf
@@ -25,11 +38,18 @@
 
 use criterion::Criterion;
 use ism_bench::positioning_batch;
-use ism_c2mn::{BatchAnnotator, C2mn, Trainer};
+use ism_c2mn::{
+    invalidate_events_after_region_sweep, invalidate_regions_after_event_sweep, sequence_seed,
+    BatchAnnotator, C2mn, CoupledNetwork, DecodeScratch, EventSites, RegionSites, SequenceContext,
+    Trainer,
+};
 use ism_engine::{EngineBuilder, SemanticsEngine};
 use ism_indoor::BuildingGenerator;
-use ism_mobility::{Dataset, PositioningConfig, PositioningRecord, SimulationConfig};
-use ism_runtime::WorkerPool;
+use ism_mobility::{
+    Dataset, MobilityEvent, PositioningConfig, PositioningRecord, SimulationConfig,
+};
+use ism_pgm::{gibbs_sweep_cached, icm_sweep_cached, AnnealSchedule, SweepCache};
+use ism_runtime::{PoolStats, WorkerPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -147,6 +167,72 @@ fn main() {
         train.push((threads, tp));
     }
 
+    // Decode kernel: naive vs memoized sweeps at 1 thread over the same
+    // batch with identical RNG streams (so both kernels produce identical
+    // labels and run identical sweep counts). The rate counts annealed
+    // Gibbs half-sweeps (2 per anneal step per decode); the ICM polish
+    // runs inside the timed region for both kernels but is excluded from
+    // the count, keeping the two rates comparable.
+    let half_sweeps = (2 * config.anneal_sweeps.max(1) * sequences.len()) as f64;
+    c.bench_function("kernel/naive_sweeps_1_thread", |b| {
+        let mut scratch = DecodeScratch::new();
+        b.iter(|| {
+            for (i, seq) in sequences.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(sequence_seed(7, i));
+                black_box(model.label_with_naive(black_box(seq), &mut rng, &mut scratch));
+            }
+        })
+    });
+    let sweeps_naive = c.last_estimate_ns().map(|ns| half_sweeps / (ns / 1e9));
+    c.bench_function("kernel/cached_sweeps_1_thread", |b| {
+        let mut scratch = DecodeScratch::new();
+        b.iter(|| {
+            for (i, seq) in sequences.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(sequence_seed(7, i));
+                black_box(model.label_with(black_box(seq), &mut rng, &mut scratch));
+            }
+        })
+    });
+    let sweeps_cached = c.last_estimate_ns().map(|ns| half_sweeps / (ns / 1e9));
+
+    // Cache effectiveness over one clean sequential pass, bracketed by
+    // snapshots of the process-wide counters (they accumulate across every
+    // decode, including the runs above).
+    let before = ism_pgm::kernel_stats();
+    {
+        let mut scratch = DecodeScratch::new();
+        for (i, seq) in sequences.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(sequence_seed(7, i));
+            black_box(model.label_with(seq, &mut rng, &mut scratch));
+        }
+    }
+    let after = ism_pgm::kernel_stats();
+    let reuse_overall = {
+        let filled = after.rows_filled - before.rows_filled;
+        let reused = after.rows_reused - before.rows_reused;
+        if filled + reused == 0 {
+            0.0
+        } else {
+            reused as f64 / (filled + reused) as f64
+        }
+    };
+    let (reuse_final, pairwise_bytes) = final_temps_reuse(&model, &sequences);
+    println!(
+        "kernel: naive {} cached {} half-sweeps/sec, reuse overall {:.3} final temps {:.3}, \
+         pairwise tables {pairwise_bytes} bytes",
+        fmt_opt(sweeps_naive),
+        fmt_opt(sweeps_cached),
+        reuse_overall,
+        reuse_final
+    );
+    let kernel = KernelResults {
+        sweeps_per_sec_naive: sweeps_naive,
+        sweeps_per_sec_cached: sweeps_cached,
+        row_reuse_rate_overall: reuse_overall,
+        row_reuse_rate_final_temps: reuse_final,
+        pairwise_table_bytes: pairwise_bytes,
+    };
+
     // Serving latency under Poisson arrivals. Calibrate the offered load
     // to ~60% of the measured single-thread decode rate so the 1-thread
     // run is loaded but stable, then replay the identical (seeded)
@@ -157,9 +243,9 @@ fn main() {
     BatchAnnotator::new(&model, 1, 7).label_batch(&sequences);
     let mean_service = calibrate.elapsed().as_secs_f64() / sequences.len() as f64;
     let arrival_rate = 0.6 / mean_service.max(1e-9);
-    let mut serving: Vec<(usize, f64, f64)> = Vec::new();
+    let mut serving: Vec<ServingRow> = Vec::new();
     for threads in THREAD_COUNTS {
-        let latencies = serve_poisson(
+        let (latencies, pool_stats) = serve_poisson(
             &model,
             threads,
             arrival_rate,
@@ -170,21 +256,218 @@ fn main() {
         let (p50, p99) = (percentile(&latencies, 50.0), percentile(&latencies, 99.0));
         println!(
             "serving/poisson_{threads}_threads: p50 {p50:.3} ms, p99 {p99:.3} ms \
-             ({arrival_rate:.1} arrivals/sec)"
+             ({arrival_rate:.1} arrivals/sec, {} idle wakeups, {} async tasks)",
+            pool_stats.idle_wakeups, pool_stats.async_tasks
         );
-        serving.push((threads, p50, p99));
+        serving.push(ServingRow {
+            threads,
+            p50,
+            p99,
+            idle_wakeups: pool_stats.idle_wakeups,
+            async_tasks: pool_stats.async_tasks,
+        });
     }
 
     write_report(
         &throughputs,
         &ingest,
         &train,
+        &kernel,
         &serving,
         arrival_rate,
         serving_arrivals,
         sequences.len(),
         num_records,
     );
+}
+
+/// Decode-kernel measurements for the `kernel_results` report section.
+struct KernelResults {
+    sweeps_per_sec_naive: Option<f64>,
+    sweeps_per_sec_cached: Option<f64>,
+    row_reuse_rate_overall: f64,
+    row_reuse_rate_final_temps: f64,
+    pairwise_table_bytes: u64,
+}
+
+/// One serving latency row plus the pool counters explaining it.
+struct ServingRow {
+    threads: usize,
+    p50: f64,
+    p99: f64,
+    idle_wakeups: u64,
+    async_tasks: u64,
+}
+
+/// Replays the annealed (cached) decode loop per sequence, reading the
+/// cache counter deltas to isolate the row-reuse rate at the *final
+/// annealing temperatures* — the zero-temperature ICM sweeps that finish
+/// the schedule, i.e. the converged regime a cold sampler spends its
+/// time in — and summing the pairwise-table bytes of the built contexts.
+///
+/// The annealed sweeps proper (including the last one at `t_end`) still
+/// flip several labels per sweep on this workload, and one flipped label
+/// genuinely changes every row whose segmentation window it falls in
+/// (`fes`/`fss` couple whole label runs), so those rows *must* refill —
+/// the memoization pays once the flip rate drops, which is exactly the
+/// window this metric isolates.
+///
+/// The loop mirrors `C2mn::label_with` (same seeds, same sweep order,
+/// same cross-chain invalidation, same ICM fixpoint loop); it is rebuilt
+/// here from the public kernel API because the counters are only visible
+/// per sweep from outside the decode call.
+fn final_temps_reuse(model: &C2mn<'_>, sequences: &[Vec<PositioningRecord>]) -> (f64, u64) {
+    let config = model.config();
+    let weights = model.weights();
+    let coupled = config.structure.event_segmentation || config.structure.space_segmentation;
+    let mut final_filled = 0u64;
+    let mut final_reused = 0u64;
+    let mut table_bytes = 0u64;
+    for (qi, records) in sequences.iter().enumerate() {
+        if records.is_empty() {
+            continue;
+        }
+        let ctx = SequenceContext::build(model.space(), config, records, &[]);
+        table_bytes += ctx.pairwise_table_bytes() as u64;
+        let net = CoupledNetwork::new(&ctx, weights);
+        let n = ctx.len();
+        let mut rng = StdRng::seed_from_u64(sequence_seed(7, qi));
+        let mut region_state = ctx.nearest_idx.clone();
+        let mut event_state: Vec<usize> = ctx.dbscan_events.iter().map(|e| e.index()).collect();
+        let mut regions: Vec<_> = ctx
+            .nearest_idx
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ctx.candidates[i][c])
+            .collect();
+        let mut events = ctx.dbscan_events.clone();
+        let mut region_cache = SweepCache::new();
+        let mut event_cache = SweepCache::new();
+        {
+            let rs = RegionSites {
+                net: &net,
+                events: &events,
+            };
+            region_cache.reset(&rs);
+            let es = EventSites {
+                net: &net,
+                regions: &regions,
+            };
+            event_cache.reset(&es);
+        }
+        let schedule = AnnealSchedule {
+            t_start: config.anneal_t_start,
+            t_end: config.anneal_t_end,
+            sweeps: config.anneal_sweeps.max(1),
+        };
+        let mut prev_regions = regions.clone();
+        let mut prev_events = events.clone();
+        for k in 0..schedule.sweeps {
+            let t = schedule.temperature(k);
+            prev_regions.clear();
+            prev_regions.extend_from_slice(&regions);
+            {
+                let rs = RegionSites {
+                    net: &net,
+                    events: &events,
+                };
+                gibbs_sweep_cached(&rs, &mut region_state, t, &mut rng, &mut region_cache);
+            }
+            for i in 0..n {
+                regions[i] = ctx.candidates[i][region_state[i]];
+            }
+            if coupled {
+                invalidate_events_after_region_sweep(
+                    &ctx,
+                    &prev_regions,
+                    &regions,
+                    &events,
+                    &mut event_cache,
+                );
+            }
+            prev_events.clear();
+            prev_events.extend_from_slice(&events);
+            {
+                let es = EventSites {
+                    net: &net,
+                    regions: &regions,
+                };
+                gibbs_sweep_cached(&es, &mut event_state, t, &mut rng, &mut event_cache);
+            }
+            for i in 0..n {
+                events[i] = MobilityEvent::ALL[event_state[i]];
+            }
+            if coupled {
+                invalidate_regions_after_event_sweep(
+                    &ctx,
+                    &prev_events,
+                    &events,
+                    &regions,
+                    &mut region_cache,
+                );
+            }
+        }
+        // The measured window: the zero-temperature ICM polish that
+        // finishes the schedule — same fixpoint loop as `C2mn::label_with`.
+        let snap = (region_cache.stats(), event_cache.stats());
+        for _ in 0..(2 * n + 4) {
+            prev_regions.clear();
+            prev_regions.extend_from_slice(&regions);
+            let changed_r = {
+                let rs = RegionSites {
+                    net: &net,
+                    events: &events,
+                };
+                icm_sweep_cached(&rs, &mut region_state, &mut region_cache)
+            };
+            for i in 0..n {
+                regions[i] = ctx.candidates[i][region_state[i]];
+            }
+            if coupled {
+                invalidate_events_after_region_sweep(
+                    &ctx,
+                    &prev_regions,
+                    &regions,
+                    &events,
+                    &mut event_cache,
+                );
+            }
+            prev_events.clear();
+            prev_events.extend_from_slice(&events);
+            let changed_e = {
+                let es = EventSites {
+                    net: &net,
+                    regions: &regions,
+                };
+                icm_sweep_cached(&es, &mut event_state, &mut event_cache)
+            };
+            for i in 0..n {
+                events[i] = MobilityEvent::ALL[event_state[i]];
+            }
+            if coupled {
+                invalidate_regions_after_event_sweep(
+                    &ctx,
+                    &prev_events,
+                    &events,
+                    &regions,
+                    &mut region_cache,
+                );
+            }
+            if changed_r == 0 && changed_e == 0 {
+                break;
+            }
+        }
+        let (r, e) = (region_cache.stats(), event_cache.stats());
+        final_filled += (r.rows_filled - snap.0.rows_filled) + (e.rows_filled - snap.1.rows_filled);
+        final_reused += (r.rows_reused - snap.0.rows_reused) + (e.rows_reused - snap.1.rows_reused);
+    }
+    let total = final_filled + final_reused;
+    let rate = if total == 0 {
+        0.0
+    } else {
+        final_reused as f64 / total as f64
+    };
+    (rate, table_bytes)
 }
 
 /// Replays `total` Poisson arrivals (seeded, identical across thread
@@ -195,6 +478,9 @@ fn main() {
 /// The submitting client observes commits between arrivals (closed loop):
 /// when a push blocks on backpressure the schedule slips, so reported
 /// latency is decode + queueing as the client experiences it.
+///
+/// Also returns the engine pool's lifetime counters — the engine is fresh
+/// per run, so the counters describe exactly this replay.
 fn serve_poisson(
     model: &C2mn<'_>,
     threads: usize,
@@ -202,7 +488,7 @@ fn serve_poisson(
     total: usize,
     object_ids: &[u64],
     sequences: &[Vec<PositioningRecord>],
-) -> Vec<f64> {
+) -> (Vec<f64>, PoolStats) {
     let engine = EngineBuilder::new()
         .threads(threads)
         .shards(SHARDS)
@@ -241,7 +527,7 @@ fn serve_poisson(
         std::thread::sleep(Duration::from_micros(100));
     }
     session.seal();
-    pushed_at
+    let latencies = pushed_at
         .iter()
         .zip(&committed_at)
         .map(|(pushed, committed)| {
@@ -251,7 +537,8 @@ fn serve_poisson(
                 .as_secs_f64()
                 * 1e3
         })
-        .collect()
+        .collect();
+    (latencies, engine.pool_stats())
 }
 
 /// Timestamps every commit whose global index became visible since the
@@ -288,7 +575,8 @@ fn write_report(
     throughputs: &[(usize, f64)],
     ingest: &[(usize, Option<f64>, Option<f64>)],
     train: &[(usize, Option<f64>)],
-    serving: &[(usize, f64, f64)],
+    kernel: &KernelResults,
+    serving: &[ServingRow],
     arrival_rate: f64,
     serving_arrivals: usize,
     num_sequences: usize,
@@ -350,14 +638,37 @@ fn write_report(
         .collect();
     let serving_entries: Vec<String> = serving
         .iter()
-        .map(|&(threads, p50, p99)| {
+        .map(|row| {
             format!(
-                "    {{\"threads\": {threads}, \"p50_latency_ms\": {p50:.3}, \
-                 \"p99_latency_ms\": {p99:.3}}}"
+                "    {{\"threads\": {}, \"p50_latency_ms\": {:.3}, \
+                 \"p99_latency_ms\": {:.3}, \"idle_wakeups\": {}, \
+                 \"async_tasks\": {}}}",
+                row.threads, row.p50, row.p99, row.idle_wakeups, row.async_tasks
             )
         })
         .collect();
+    let cached_vs_naive = match (kernel.sweeps_per_sec_cached, kernel.sweeps_per_sec_naive) {
+        (Some(c), Some(n)) if n > 0.0 => format!("{:.3}", c / n),
+        _ => "null".to_string(),
+    };
+    let kernel_entry = format!(
+        "{{\n    \"sweeps_per_sec_naive\": {},\n    \"sweeps_per_sec_cached\": {},\n    \
+         \"cached_vs_naive\": {cached_vs_naive},\n    \
+         \"row_reuse_rate_overall\": {:.4},\n    \
+         \"row_reuse_rate_final_temps\": {:.4},\n    \
+         \"pairwise_table_bytes\": {}\n  }}",
+        fmt_opt(kernel.sweeps_per_sec_naive),
+        fmt_opt(kernel.sweeps_per_sec_cached),
+        kernel.row_reuse_rate_overall,
+        kernel.row_reuse_rate_final_temps,
+        kernel.pairwise_table_bytes
+    );
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let serving_note = format!(
+        "serving ran on a host with {available} available core(s); thread counts above \
+         host_parallelism time-share cores, so added threads can worsen latency — read the \
+         per-row idle_wakeups/async_tasks counters before comparing rows"
+    );
     let json = format!(
         "{{\n  \"bench\": \"annotate_throughput\",\n  \"workload\": \"mall\",\n  \
          \"num_sequences\": {num_sequences},\n  \"num_records\": {num_records},\n  \
@@ -365,9 +676,11 @@ fn write_report(
          \"shards\": {SHARDS},\n  \"results\": [\n{}\n  ],\n  \
          \"ingest_results\": [\n{}\n  ],\n  \
          \"train_results\": [\n{}\n  ],\n  \
+         \"kernel_results\": {kernel_entry},\n  \
          \"serving_arrival_rate_per_sec\": {arrival_rate:.3},\n  \
          \"serving_arrivals\": {serving_arrivals},\n  \
          \"serving_queue_capacity\": {SERVING_QUEUE_CAPACITY},\n  \
+         \"serving_note\": \"{serving_note}\",\n  \
          \"serving_results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"),
         ingest_entries.join(",\n"),

@@ -46,6 +46,11 @@ pub fn sequence_seed(base_seed: u64, index: usize) -> u64 {
 
 /// Decodes batches of p-sequences in parallel with deterministic output.
 ///
+/// Each worker owns one [`DecodeScratch`], so the memoized sweep caches of
+/// [`C2mn::label_with`] are reused (and re-targeted) across the sequences a
+/// worker claims — the per-worker kernel counters are flushed into
+/// [`ism_pgm::kernel_stats`] after every decode.
+///
 /// ```
 /// # use ism_c2mn::{BatchAnnotator, C2mn, C2mnConfig, Weights};
 /// # use ism_indoor::BuildingGenerator;

@@ -40,6 +40,17 @@ pub struct SequenceContext<'a> {
     pub nearest_idx: Vec<usize>,
     /// Event configuration from ST-DBSCAN (clustered → stay, noise → pass).
     pub dbscan_events: Vec<MobilityEvent>,
+    /// Offset of gap `g`'s pairwise block inside the flat feature tables
+    /// (`n` entries; the block stride is
+    /// `candidates[g].len() · candidates[g+1].len()`). Empty when neither
+    /// pairwise template is active.
+    pub(crate) pair_off: Vec<usize>,
+    /// Precomputed `fst(g, candidates[g][a], candidates[g+1][b])` per gap,
+    /// flat (empty when transitions are off).
+    pub(crate) fst_table: Vec<f64>,
+    /// Precomputed `fsc(g, candidates[g][a], candidates[g+1][b])` per gap,
+    /// flat (empty when synchronizations are off).
+    pub(crate) fsc_table: Vec<f64>,
 }
 
 impl<'a> SequenceContext<'a> {
@@ -181,7 +192,7 @@ impl<'a> SequenceContext<'a> {
             turn_prefix.push(turn_prefix[i] + u32::from(is));
         }
 
-        SequenceContext {
+        let mut ctx = SequenceContext {
             space,
             config,
             records: records.to_vec(),
@@ -196,7 +207,61 @@ impl<'a> SequenceContext<'a> {
             turn_prefix,
             nearest_idx,
             dbscan_events,
+            pair_off: Vec::new(),
+            fst_table: Vec::new(),
+            fsc_table: Vec::new(),
+        };
+        ctx.build_pairwise_tables();
+        ctx
+    }
+
+    /// Precomputes the per-edge pairwise features `fst`/`fsc` over every
+    /// `(candidate, candidate)` pair of every gap into flat arenas.
+    ///
+    /// Both features bottom out in the same expensive
+    /// `region_expected_miwd` lookup; a sweep evaluates them four times per
+    /// site visit, and a decode runs tens of sweeps over the same context.
+    /// Tabulating once per context (|candidates|² per gap) and indexing by
+    /// candidate index is exact memoization: the stored values come from
+    /// the very same [`fst`](Self::fst)/[`fsc`](Self::fsc) expressions, so
+    /// every read is bitwise identical to recomputation.
+    fn build_pairwise_tables(&mut self) {
+        let n = self.len();
+        let s = &self.config.structure;
+        if n < 2 || !(s.transitions || s.synchronizations) {
+            return;
         }
+        let mut pair_off = Vec::with_capacity(n);
+        let mut total = 0usize;
+        for g in 0..n - 1 {
+            pair_off.push(total);
+            total += self.candidates[g].len() * self.candidates[g + 1].len();
+        }
+        pair_off.push(total);
+        let mut fst_table = Vec::with_capacity(if s.transitions { total } else { 0 });
+        let mut fsc_table = Vec::with_capacity(if s.synchronizations { total } else { 0 });
+        for g in 0..n - 1 {
+            for &a in &self.candidates[g] {
+                for &b in &self.candidates[g + 1] {
+                    if s.transitions {
+                        fst_table.push(self.fst(g, a, b));
+                    }
+                    if s.synchronizations {
+                        fsc_table.push(self.fsc(g, a, b));
+                    }
+                }
+            }
+        }
+        self.pair_off = pair_off;
+        self.fst_table = fst_table;
+        self.fsc_table = fsc_table;
+        ism_pgm::note_pairwise_table_bytes(self.pairwise_table_bytes() as u64);
+    }
+
+    /// Bytes held by the precomputed pairwise feature tables.
+    pub fn pairwise_table_bytes(&self) -> usize {
+        (self.fst_table.len() + self.fsc_table.len()) * std::mem::size_of::<f64>()
+            + self.pair_off.len() * std::mem::size_of::<usize>()
     }
 
     /// Sequence length.

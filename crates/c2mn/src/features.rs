@@ -28,6 +28,15 @@ impl SequenceContext<'_> {
         (-cost).exp()
     }
 
+    /// Table lookup of [`fst`](Self::fst) by *candidate indices* into the
+    /// flat arena built by `build_pairwise_tables`. Bitwise identical to
+    /// recomputation; only valid when the structure enables transitions.
+    #[inline]
+    pub(crate) fn fst_at(&self, gap: usize, ca: usize, cb: usize) -> f64 {
+        debug_assert!(!self.fst_table.is_empty(), "fst table not built");
+        self.fst_table[self.pair_off[gap] + ca * self.candidates[gap + 1].len() + cb]
+    }
+
     /// (4) Event transition `fet(e_i, e_{i+1})`: 1 when equal, else 0.
     #[inline]
     pub fn fet(&self, a: MobilityEvent, b: MobilityEvent) -> f64 {
@@ -48,6 +57,14 @@ impl SequenceContext<'_> {
             diff *= (-gamma_t * self.dt[gap]).exp();
         }
         (-diff).exp()
+    }
+
+    /// Table lookup of [`fsc`](Self::fsc) by *candidate indices*; see
+    /// [`fst_at`](Self::fst_at).
+    #[inline]
+    pub(crate) fn fsc_at(&self, gap: usize, ca: usize, cb: usize) -> f64 {
+        debug_assert!(!self.fsc_table.is_empty(), "fsc table not built");
+        self.fsc_table[self.pair_off[gap] + ca * self.candidates[gap + 1].len() + cb]
     }
 
     /// (6) Event consistency `fec(θ_i, θ_{i+1}, e_i, e_{i+1})`:
@@ -71,16 +88,28 @@ impl SequenceContext<'_> {
     {
         debug_assert!(b >= a && b < self.len());
         let len = (b - a + 1) as f64;
-        // Distinct region count via a small scan (runs are short and carry
-        // few distinct labels).
-        let mut distinct: Vec<RegionId> = Vec::with_capacity(8);
-        for k in a..=b {
+        // Distinct region count via a stack-buffered scan: this is the
+        // hottest feature call on the decode path, so no heap allocation.
+        // Runs rarely carry more than a handful of distinct labels; the
+        // (exact) overflow fallback rescans first occurrences.
+        let mut seen = [region_at(a); 16];
+        let mut count = 0usize;
+        'records: for k in a..=b {
             let r = region_at(k);
-            if !distinct.contains(&r) {
-                distinct.push(r);
+            for &s in &seen[..count.min(seen.len())] {
+                if s == r {
+                    continue 'records;
+                }
             }
+            if count >= seen.len() && (a..k).any(|j| region_at(j) == r) {
+                continue;
+            }
+            if count < seen.len() {
+                seen[count] = r;
+            }
+            count += 1;
         }
-        let distnum = distinct.len() as f64 / len;
+        let distnum = count as f64 / len;
         let speed = if b > a {
             let dt = (self.records[b].t - self.records[a].t).max(1e-6);
             (self.path_length(a, b) / dt / self.config.speed_norm).min(1.0)

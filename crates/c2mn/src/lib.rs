@@ -25,7 +25,14 @@
 //!   [`TrainCheckpoint`]s resume interrupted runs exactly.
 //!   [`C2mn::train`] remains as a thin sequential convenience wrapper;
 //! * [`C2mn::annotate`] — joint decoding (annealed Gibbs + ICM) followed by
-//!   label-and-merge into m-semantics;
+//!   label-and-merge into m-semantics. Decoding runs the memoized kernel:
+//!   per-site candidate rows are cached in a
+//!   [`SweepCache`](ism_pgm::SweepCache) and refilled only when the site's
+//!   Markov blanket changed, with cross-chain invalidation
+//!   ([`invalidate_events_after_region_sweep`] /
+//!   [`invalidate_regions_after_event_sweep`]) between half-sweeps —
+//!   byte-identical to the naive loop, which
+//!   [`C2mn::label_with_naive`] keeps compiled as the reference oracle;
 //! * [`BatchAnnotator`] — the parallel batch engine: shards a batch of
 //!   p-sequences across scoped worker threads with per-worker
 //!   [`DecodeScratch`] buffers and per-sequence seeds derived from
@@ -52,7 +59,10 @@ pub use config::{C2mnConfig, FirstConfigured};
 pub use context::SequenceContext;
 pub use error::TrainError;
 pub use model::{C2mn, DecodeScratch};
-pub use network::{CoupledNetwork, EventSites, RegionSites};
+pub use network::{
+    invalidate_events_after_region_sweep, invalidate_regions_after_event_sweep, CoupledNetwork,
+    EventSites, RegionSites,
+};
 pub use sample::train_seed;
 pub use structure::{ModelStructure, Weights, NUM_FEATURES};
 pub use trainer::{

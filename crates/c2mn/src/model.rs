@@ -1,5 +1,6 @@
 //! The public C2MN model: training, labeling, annotation.
 
+use crate::network::{invalidate_events_after_region_sweep, invalidate_regions_after_event_sweep};
 use crate::{
     C2mnConfig, CoupledNetwork, EventSites, RegionSites, SequenceContext, TrainError, TrainReport,
     Trainer, Weights,
@@ -8,17 +9,22 @@ use ism_indoor::{IndoorSpace, RegionId};
 use ism_mobility::{
     merge_labels, LabeledSequence, MobilityEvent, MobilitySemantics, PositioningRecord,
 };
-use ism_pgm::{gibbs_sweep_with, icm_sweep, AnnealSchedule, SweepScratch};
+use ism_pgm::{
+    gibbs_sweep_cached, gibbs_sweep_with, icm_sweep, icm_sweep_cached, AnnealSchedule, SweepCache,
+    SweepScratch,
+};
 use rand::Rng;
 
-/// Reusable decode buffers: the per-sequence state vectors plus the
-/// per-sweep log-weight buffer of the Gibbs sampler.
+/// Reusable decode buffers: the per-sequence state vectors, the memoized
+/// per-site candidate rows of both chains, and the label snapshots used for
+/// cross-chain invalidation.
 ///
 /// [`C2mn::label`] runs dozens of sweeps per sequence; batch workloads
 /// decode thousands of sequences. Owning one `DecodeScratch` per worker
 /// (see [`crate::BatchAnnotator`]) and routing decoding through
 /// [`C2mn::label_with`] replaces those per-sequence/per-sweep allocations
-/// with buffers that grow once and are reused.
+/// with buffers that grow once and are reused — and carries the
+/// [`SweepCache`]s that make the sweeps incremental.
 #[derive(Debug, Default)]
 pub struct DecodeScratch {
     region_state: Vec<usize>,
@@ -26,6 +32,10 @@ pub struct DecodeScratch {
     regions: Vec<RegionId>,
     events: Vec<MobilityEvent>,
     sweep: SweepScratch,
+    region_cache: SweepCache,
+    event_cache: SweepCache,
+    prev_regions: Vec<RegionId>,
+    prev_events: Vec<MobilityEvent>,
 }
 
 impl DecodeScratch {
@@ -136,7 +146,194 @@ impl<'a> C2mn<'a> {
     /// Output is identical to [`C2mn::label`] for the same RNG state; only
     /// the allocation strategy differs. Batch workloads keep one
     /// [`DecodeScratch`] per worker and reuse it across sequences.
+    ///
+    /// This is the memoized decode path: both chains sample through a
+    /// [`SweepCache`] that refills a site's candidate row only when the
+    /// site's Markov blanket changed, and a region half-sweep dirties the
+    /// affected event rows (and vice versa) via the snapshot-diff helpers
+    /// in [`crate::network`]. The result is byte-identical to the naive
+    /// loop, which remains available as [`C2mn::label_with_naive`] and
+    /// serves as the test oracle.
     pub fn label_with<R: Rng + ?Sized>(
+        &self,
+        records: &[PositioningRecord],
+        rng: &mut R,
+        scratch: &mut DecodeScratch,
+    ) -> Vec<(RegionId, MobilityEvent)> {
+        if records.is_empty() {
+            return Vec::new();
+        }
+        let ctx = SequenceContext::build(self.space, &self.config, records, &self.region_freq);
+        let net = CoupledNetwork::new(&ctx, &self.weights);
+        let n = ctx.len();
+        // Region flips reach event rows (and vice versa) only through the
+        // segmentation features; without them the chains share no cliques
+        // and the snapshot-diff pass is skipped.
+        let coupled = {
+            let s = &self.config.structure;
+            s.event_segmentation || s.space_segmentation
+        };
+
+        let DecodeScratch {
+            region_state,
+            event_state,
+            regions,
+            events,
+            sweep: _,
+            region_cache,
+            event_cache,
+            prev_regions,
+            prev_events,
+        } = scratch;
+        region_state.clear();
+        region_state.extend_from_slice(&ctx.nearest_idx);
+        event_state.clear();
+        event_state.extend(ctx.dbscan_events.iter().map(|e| e.index()));
+        regions.clear();
+        regions.extend(
+            ctx.nearest_idx
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| ctx.candidates[i][c]),
+        );
+        events.clear();
+        events.extend_from_slice(&ctx.dbscan_events);
+        {
+            let rs = RegionSites {
+                net: &net,
+                events: events.as_slice(),
+            };
+            region_cache.reset(&rs);
+            let es = EventSites {
+                net: &net,
+                regions: regions.as_slice(),
+            };
+            event_cache.reset(&es);
+        }
+
+        // Annealed coupled Gibbs, cooling geometrically from `t_start` on
+        // the first sweep to exactly `t_end` on the last.
+        let schedule = AnnealSchedule {
+            t_start: self.config.anneal_t_start,
+            t_end: self.config.anneal_t_end,
+            sweeps: self.config.anneal_sweeps.max(1),
+        };
+        for k in 0..schedule.sweeps {
+            let t = schedule.temperature(k);
+            if coupled {
+                prev_regions.clear();
+                prev_regions.extend_from_slice(regions);
+            }
+            {
+                let rs = RegionSites {
+                    net: &net,
+                    events: events.as_slice(),
+                };
+                gibbs_sweep_cached(&rs, region_state, t, rng, region_cache);
+            }
+            for i in 0..n {
+                regions[i] = ctx.candidates[i][region_state[i]];
+            }
+            if coupled {
+                invalidate_events_after_region_sweep(
+                    &ctx,
+                    prev_regions,
+                    regions,
+                    events,
+                    event_cache,
+                );
+                prev_events.clear();
+                prev_events.extend_from_slice(events);
+            }
+            {
+                let es = EventSites {
+                    net: &net,
+                    regions: regions.as_slice(),
+                };
+                gibbs_sweep_cached(&es, event_state, t, rng, event_cache);
+            }
+            for i in 0..n {
+                events[i] = MobilityEvent::ALL[event_state[i]];
+            }
+            if coupled {
+                invalidate_regions_after_event_sweep(
+                    &ctx,
+                    prev_events,
+                    events,
+                    regions,
+                    region_cache,
+                );
+            }
+        }
+
+        // ICM polish: alternate until a joint fixed point.
+        for _ in 0..(2 * n + 4) {
+            if coupled {
+                prev_regions.clear();
+                prev_regions.extend_from_slice(regions);
+            }
+            let changed_r = {
+                let rs = RegionSites {
+                    net: &net,
+                    events: events.as_slice(),
+                };
+                icm_sweep_cached(&rs, region_state, region_cache)
+            };
+            for i in 0..n {
+                regions[i] = ctx.candidates[i][region_state[i]];
+            }
+            if coupled {
+                invalidate_events_after_region_sweep(
+                    &ctx,
+                    prev_regions,
+                    regions,
+                    events,
+                    event_cache,
+                );
+                prev_events.clear();
+                prev_events.extend_from_slice(events);
+            }
+            let changed_e = {
+                let es = EventSites {
+                    net: &net,
+                    regions: regions.as_slice(),
+                };
+                icm_sweep_cached(&es, event_state, event_cache)
+            };
+            for i in 0..n {
+                events[i] = MobilityEvent::ALL[event_state[i]];
+            }
+            if coupled {
+                invalidate_regions_after_event_sweep(
+                    &ctx,
+                    prev_events,
+                    events,
+                    regions,
+                    region_cache,
+                );
+            }
+            if changed_r == 0 && changed_e == 0 {
+                break;
+            }
+        }
+        region_cache.flush_stats();
+        event_cache.flush_stats();
+
+        regions
+            .iter()
+            .copied()
+            .zip(events.iter().copied())
+            .collect()
+    }
+
+    /// The pre-memoization decode loop, kept compiled as the reference
+    /// oracle: every sweep recomputes every `(site, candidate)` local
+    /// log-potential from scratch.
+    ///
+    /// [`C2mn::label_with`] must produce byte-identical labels for the
+    /// same RNG state — the `kernel_oracle` integration suite and the
+    /// benchmark's naive-vs-cached comparison both call this.
+    pub fn label_with_naive<R: Rng + ?Sized>(
         &self,
         records: &[PositioningRecord],
         rng: &mut R,
@@ -155,6 +352,7 @@ impl<'a> C2mn<'a> {
             regions,
             events,
             sweep,
+            ..
         } = scratch;
         region_state.clear();
         region_state.extend_from_slice(&ctx.nearest_idx);
@@ -170,8 +368,6 @@ impl<'a> C2mn<'a> {
         events.clear();
         events.extend_from_slice(&ctx.dbscan_events);
 
-        // Annealed coupled Gibbs, cooling geometrically from `t_start` on
-        // the first sweep to exactly `t_end` on the last.
         let schedule = AnnealSchedule {
             t_start: self.config.anneal_t_start,
             t_end: self.config.anneal_t_end,
@@ -201,7 +397,6 @@ impl<'a> C2mn<'a> {
             }
         }
 
-        // ICM polish: alternate until a joint fixed point.
         for _ in 0..(2 * n + 4) {
             let changed_r = {
                 let rs = RegionSites {

@@ -123,6 +123,9 @@ pub(crate) fn sample_sequence(
     let ctx = &prep.ctx;
     let net = CoupledNetwork::new(ctx, weights);
     let n = ctx.len();
+    // The indexed region path below conditions the blanket on
+    // `truth_r_idx`; that is the same labelling as `truth_regions`.
+    debug_assert!((0..n).all(|k| ctx.candidates[k][prep.truth_r_idx[k]] == prep.truth_regions[k]));
     let SampleScratch { feats, log_pot } = scratch;
 
     let mut sites = Vec::with_capacity(n);
@@ -149,13 +152,10 @@ pub(crate) fn sample_sequence(
         feats.resize(num_cand, [0.0; NUM_FEATURES]);
         for (c, f) in feats.iter_mut().enumerate() {
             if sample_regions {
-                net.region_local_features(
-                    i,
-                    ctx.candidates[i][c],
-                    |k| prep.truth_regions[k],
-                    |k| events_cfg[k],
-                    f,
-                );
+                // Indexed path: reads the precomputed pairwise tables and
+                // the blanket at `truth_r_idx`, bitwise identical to the
+                // `RegionId` path over `truth_regions`.
+                net.region_local_features_indexed(i, c, &prep.truth_r_idx, |k| events_cfg[k], f);
             } else {
                 net.event_local_features(
                     i,

@@ -71,6 +71,7 @@ mod session;
 
 pub use cache::CacheStats;
 pub use error::EngineError;
+pub use ism_pgm::KernelStats;
 pub use session::IngestSession;
 
 use cache::{CacheKey, QueryCache};
@@ -350,6 +351,17 @@ impl<'a> SemanticsEngine<'a> {
     /// wakeups, and the (constant) number of threads ever spawned.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// A snapshot of the process-wide decode-kernel counters — memoized
+    /// candidate rows filled vs reused, cross-chain invalidations, and
+    /// bytes cumulatively allocated to precomputed pairwise feature
+    /// tables. Counters accumulate over every decode in the process
+    /// (batch, streaming, serving, and training), mirroring how
+    /// [`SemanticsEngine::pool_stats`] accumulates over the pool's
+    /// lifetime.
+    pub fn kernel_stats(&self) -> KernelStats {
+        ism_pgm::kernel_stats()
     }
 
     /// The worker pool shared by decoding, sealing, and queries.

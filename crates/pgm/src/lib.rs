@@ -11,7 +11,11 @@
 //! * [`gibbs`] — Markov-blanket samplers over a [`ConditionalModel`]:
 //!   Gibbs sweeps, iterated conditional modes (ICM) and simulated
 //!   annealing, the inference workhorses of C2MN's alternate learning and
-//!   joint decoding,
+//!   joint decoding. The memoized variants ([`gibbs_sweep_cached`] /
+//!   [`icm_sweep_cached`] over a [`SweepCache`]) recompute a site's
+//!   candidate row only when its Markov blanket
+//!   ([`ConditionalModel::dependents`]) changed — byte-identical to the
+//!   naive sweeps, which remain compiled as the reference oracle,
 //! * [`util`] — numerically stable log-space helpers.
 
 #![deny(missing_docs)]
@@ -23,8 +27,9 @@ pub mod util;
 
 pub use chain_crf::{ChainCrf, ChainCrfConfig};
 pub use gibbs::{
-    gibbs_sweep, gibbs_sweep_with, icm_sweep, simulated_annealing, AnnealSchedule,
-    ConditionalModel, SweepScratch,
+    gibbs_sweep, gibbs_sweep_cached, gibbs_sweep_with, icm_sweep, icm_sweep_cached, kernel_stats,
+    note_pairwise_table_bytes, simulated_annealing, AnnealSchedule, ConditionalModel, KernelStats,
+    SweepCache, SweepScratch,
 };
 pub use hmm::{Hmm, HmmConfig};
 pub use util::{log_sum_exp, sample_from_log_weights};

@@ -15,7 +15,8 @@
 //! * [`cluster`] — ST-DBSCAN spatio-temporal clustering.
 //! * [`optim`] — L-BFGS with line search.
 //! * [`pgm`] — probabilistic graphical model toolkit (HMM, linear-chain CRF,
-//!   Gibbs/ICM inference).
+//!   Gibbs/ICM inference with a memoized Markov-blanket sweep cache and
+//!   `KernelStats` observability).
 //! * [`runtime`] — deterministic **persistent** worker pool: long-lived
 //!   threads created once, item-ordered `run` / `run_with`, commutative
 //!   `map_reduce`, fire-and-forget `try_spawn` for pipelined ingest, and
@@ -114,7 +115,8 @@ pub mod prelude {
     };
     pub use ism_cluster::{DensityClass, StDbscan, StDbscanParams};
     pub use ism_engine::{
-        CacheStats, EngineBuilder, EngineError, IngestSession, SemanticsEngine, StandingQueryId,
+        CacheStats, EngineBuilder, EngineError, IngestSession, KernelStats, SemanticsEngine,
+        StandingQueryId,
     };
     pub use ism_eval::{combined_accuracy, perfect_accuracy, LabelAccuracy};
     pub use ism_geometry::{Circle, Point2, Rect};
