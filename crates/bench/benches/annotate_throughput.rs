@@ -43,8 +43,8 @@ use ism_c2mn::{
     BatchAnnotator, C2mn, CoupledNetwork, DecodeScratch, EventSites, RegionSites, SequenceContext,
     Trainer,
 };
-use ism_engine::{EngineBuilder, SemanticsEngine};
-use ism_indoor::BuildingGenerator;
+use ism_engine::{log_path, EngineBuilder, SemanticsEngine};
+use ism_indoor::{BuildingGenerator, IndoorSpace};
 use ism_mobility::{
     Dataset, MobilityEvent, PositioningConfig, PositioningRecord, SimulationConfig,
 };
@@ -268,12 +268,19 @@ fn main() {
         });
     }
 
+    // Durability: snapshot write/load bandwidth, then warm restart (seal
+    // log replay) vs cold re-annotation of the same half-stream. These are
+    // one-shot I/O paths, so they are wall-clock timed directly rather
+    // than criterion-sampled.
+    let persistence = measure_persistence(&model, &space, &object_ids, &sequences);
+
     write_report(
         &throughputs,
         &ingest,
         &train,
         &kernel,
         &serving,
+        &persistence,
         arrival_rate,
         serving_arrivals,
         sequences.len(),
@@ -288,6 +295,123 @@ struct KernelResults {
     row_reuse_rate_overall: f64,
     row_reuse_rate_final_temps: f64,
     pairwise_table_bytes: u64,
+}
+
+/// Durability measurements for the `persistence_results` report section.
+struct PersistenceResults {
+    snapshot_bytes: u64,
+    snapshot_write_mb_per_sec: f64,
+    snapshot_load_mb_per_sec: f64,
+    seal_log_bytes: u64,
+    log_replay_seconds: f64,
+    cold_reannotate_seconds: f64,
+    /// Warm-restart wall time as a fraction of the cold path (< 1 means
+    /// replaying the seal log beats re-annotating the lost sequences).
+    replay_vs_cold: f64,
+}
+
+/// Snapshot bandwidth over the fully-ingested mall engine, then two ways
+/// of recovering an engine whose second half only ever reached the seal
+/// log: replaying the log (warm) vs reopening a log-less snapshot and
+/// re-annotating the missing p-sequences (cold). Both paths end on the
+/// same store, so the ratio isolates what the log buys.
+fn measure_persistence(
+    model: &C2mn<'_>,
+    space: &IndoorSpace,
+    object_ids: &[u64],
+    sequences: &[Vec<PositioningRecord>],
+) -> PersistenceResults {
+    let dir = std::env::temp_dir().join(format!("ism-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    let threads = *THREAD_COUNTS.last().unwrap();
+    let build = || {
+        EngineBuilder::new()
+            .threads(threads)
+            .shards(SHARDS)
+            .base_seed(7)
+            .queue_capacity(QUEUE_CAPACITY)
+            .build(model.clone())
+            .unwrap()
+    };
+    let ingest = |engine: &SemanticsEngine<'_>, range: std::ops::Range<usize>| {
+        let mut session = engine.ingest();
+        for (id, seq) in object_ids[range.clone()].iter().zip(&sequences[range]) {
+            session.push(*id, seq.clone());
+        }
+        session.seal();
+    };
+
+    // Snapshot write/load bandwidth over the whole workload.
+    let full = dir.join("full.ism");
+    let engine = build();
+    ingest(&engine, 0..sequences.len());
+    let t = Instant::now();
+    engine.save_snapshot(&full).unwrap();
+    let write_secs = t.elapsed().as_secs_f64();
+    let snapshot_bytes = std::fs::metadata(&full).unwrap().len();
+    drop(engine);
+    let t = Instant::now();
+    let (_reopened, report) = EngineBuilder::new()
+        .threads(threads)
+        .open(&full, space)
+        .unwrap();
+    let load_secs = t.elapsed().as_secs_f64();
+    assert_eq!(report.replayed_frames, 0, "full snapshot carries no log");
+
+    // Half the stream in the snapshot, the other half only in the log.
+    // `cold.ism` is the same snapshot *without* the log, so its recovery
+    // has to re-annotate the second half from p-sequences.
+    let split = sequences.len() / 2;
+    let half = dir.join("half.ism");
+    let cold_path = dir.join("cold.ism");
+    let engine = build();
+    ingest(&engine, 0..split);
+    engine.save_snapshot(&half).unwrap();
+    std::fs::copy(&half, &cold_path).expect("copy snapshot");
+    ingest(&engine, split..sequences.len());
+    drop(engine);
+    let seal_log_bytes = std::fs::metadata(log_path(&half)).unwrap().len();
+
+    let t = Instant::now();
+    let (warm, report) = EngineBuilder::new()
+        .threads(threads)
+        .open(&half, space)
+        .unwrap();
+    let log_replay_seconds = t.elapsed().as_secs_f64();
+    assert_eq!(report.replayed_entries, sequences.len() - split);
+
+    let t = Instant::now();
+    let (cold, _) = EngineBuilder::new()
+        .threads(threads)
+        .open(&cold_path, space)
+        .unwrap();
+    ingest(&cold, split..sequences.len());
+    let cold_reannotate_seconds = t.elapsed().as_secs_f64();
+    assert_eq!(warm.num_objects(), cold.num_objects());
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let mb = snapshot_bytes as f64 / 1e6;
+    let results = PersistenceResults {
+        snapshot_bytes,
+        snapshot_write_mb_per_sec: mb / write_secs.max(1e-9),
+        snapshot_load_mb_per_sec: mb / load_secs.max(1e-9),
+        seal_log_bytes,
+        log_replay_seconds,
+        cold_reannotate_seconds,
+        replay_vs_cold: log_replay_seconds / cold_reannotate_seconds.max(1e-9),
+    };
+    println!(
+        "persistence: snapshot {} bytes (write {:.1} MB/s, load {:.1} MB/s), \
+         log replay {:.4}s vs cold re-annotate {:.4}s ({:.3}x of cold)",
+        results.snapshot_bytes,
+        results.snapshot_write_mb_per_sec,
+        results.snapshot_load_mb_per_sec,
+        results.log_replay_seconds,
+        results.cold_reannotate_seconds,
+        results.replay_vs_cold
+    );
+    results
 }
 
 /// One serving latency row plus the pool counters explaining it.
@@ -577,6 +701,7 @@ fn write_report(
     train: &[(usize, Option<f64>)],
     kernel: &KernelResults,
     serving: &[ServingRow],
+    persistence: &PersistenceResults,
     arrival_rate: f64,
     serving_arrivals: usize,
     num_sequences: usize,
@@ -663,6 +788,22 @@ fn write_report(
         kernel.row_reuse_rate_final_temps,
         kernel.pairwise_table_bytes
     );
+    let persistence_entry = format!(
+        "{{\n    \"snapshot_bytes\": {},\n    \
+         \"snapshot_write_mb_per_sec\": {:.3},\n    \
+         \"snapshot_load_mb_per_sec\": {:.3},\n    \
+         \"seal_log_bytes\": {},\n    \
+         \"log_replay_seconds\": {:.6},\n    \
+         \"cold_reannotate_seconds\": {:.6},\n    \
+         \"replay_vs_cold\": {:.4}\n  }}",
+        persistence.snapshot_bytes,
+        persistence.snapshot_write_mb_per_sec,
+        persistence.snapshot_load_mb_per_sec,
+        persistence.seal_log_bytes,
+        persistence.log_replay_seconds,
+        persistence.cold_reannotate_seconds,
+        persistence.replay_vs_cold
+    );
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let serving_note = format!(
         "serving ran on a host with {available} available core(s); thread counts above \
@@ -677,6 +818,7 @@ fn write_report(
          \"ingest_results\": [\n{}\n  ],\n  \
          \"train_results\": [\n{}\n  ],\n  \
          \"kernel_results\": {kernel_entry},\n  \
+         \"persistence_results\": {persistence_entry},\n  \
          \"serving_arrival_rate_per_sec\": {arrival_rate:.3},\n  \
          \"serving_arrivals\": {serving_arrivals},\n  \
          \"serving_queue_capacity\": {SERVING_QUEUE_CAPACITY},\n  \

@@ -23,6 +23,14 @@ pub enum TrainError {
         /// Record index within that sequence.
         site: usize,
     },
+    /// Writing the [`Trainer::checkpoint_to`](crate::Trainer::checkpoint_to)
+    /// artifact failed mid-run. Carries the rendered
+    /// [`PersistError`](ism_codec::PersistError) (the enum stays `Eq` this
+    /// way); the run stops rather than continue un-checkpointed.
+    Persist {
+        /// The underlying persistence failure, rendered.
+        message: String,
+    },
     /// A [`TrainCheckpoint`](crate::TrainCheckpoint) was resumed against a
     /// training set of a different shape than the one it was captured from.
     CheckpointMismatch {
@@ -47,6 +55,9 @@ impl fmt::Display for TrainError {
                 "ground-truth region of sequence {sequence}, site {site} is \
                  not in the candidate set (malformed labelled sequence)"
             ),
+            TrainError::Persist { message } => {
+                write!(f, "writing the training checkpoint failed: {message}")
+            }
             TrainError::CheckpointMismatch {
                 sequence: None,
                 expected,

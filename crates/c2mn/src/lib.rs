@@ -48,6 +48,7 @@ mod error;
 mod features;
 mod model;
 mod network;
+mod persist;
 mod prep;
 mod sample;
 mod step;
@@ -63,6 +64,7 @@ pub use network::{
     invalidate_events_after_region_sweep, invalidate_regions_after_event_sweep, CoupledNetwork,
     EventSites, RegionSites,
 };
+pub use persist::ModelSnapshot;
 pub use sample::train_seed;
 pub use structure::{ModelStructure, Weights, NUM_FEATURES};
 pub use trainer::{

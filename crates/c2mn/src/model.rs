@@ -129,6 +129,12 @@ impl<'a> C2mn<'a> {
         self.space
     }
 
+    /// Normalised historical region frequency (empty unless trained with
+    /// the frequency prior's statistics).
+    pub(crate) fn region_freq_slice(&self) -> &[f64] {
+        &self.region_freq
+    }
+
     /// Labels every record of a p-sequence with a (region, event) pair by
     /// joint MAP inference: ST-DBSCAN / nearest-neighbour initialisation,
     /// annealed Gibbs sweeps alternating between the two chains, then ICM

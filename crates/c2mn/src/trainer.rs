@@ -28,10 +28,12 @@ use crate::sample::{sample_sequence, SampleScratch, SequenceSamples};
 use crate::step::optimize_step;
 use crate::structure::NUM_FEATURES;
 use crate::{train_seed, C2mn, C2mnConfig, FirstConfigured, TrainError, Weights};
+use ism_codec::PersistError;
 use ism_indoor::{IndoorSpace, RegionId};
 use ism_mobility::{LabeledSequence, MobilityEvent};
 use ism_runtime::WorkerPool;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Diagnostics of one training run.
@@ -112,16 +114,16 @@ pub enum TrainControl {
 /// a run byte-exactly: the resumed run's weights equal the uninterrupted
 /// run's, because per-iteration seeds derive from the global iteration
 /// index, which the checkpoint preserves.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainCheckpoint {
-    weights: Weights,
-    next_iteration: usize,
-    events_cfg: Vec<Vec<MobilityEvent>>,
-    regions_cfg: Vec<Vec<RegionId>>,
-    region_converged: bool,
-    event_converged: bool,
-    did_region_step: bool,
-    did_event_step: bool,
+    pub(crate) weights: Weights,
+    pub(crate) next_iteration: usize,
+    pub(crate) events_cfg: Vec<Vec<MobilityEvent>>,
+    pub(crate) regions_cfg: Vec<Vec<RegionId>>,
+    pub(crate) region_converged: bool,
+    pub(crate) event_converged: bool,
+    pub(crate) did_region_step: bool,
+    pub(crate) did_event_step: bool,
 }
 
 impl TrainCheckpoint {
@@ -196,6 +198,7 @@ pub struct Trainer<'a, 'ob> {
     pool: WorkerPool,
     initial_weights: Option<Weights>,
     checkpoint: Option<TrainCheckpoint>,
+    checkpoint_path: Option<PathBuf>,
     observer: Option<Observer<'ob>>,
 }
 
@@ -223,6 +226,7 @@ impl<'a, 'ob> Trainer<'a, 'ob> {
             pool: WorkerPool::new(1),
             initial_weights: None,
             checkpoint: None,
+            checkpoint_path: None,
             observer: None,
         }
     }
@@ -260,6 +264,28 @@ impl<'a, 'ob> Trainer<'a, 'ob> {
     pub fn checkpoint(mut self, checkpoint: TrainCheckpoint) -> Self {
         self.checkpoint = Some(checkpoint);
         self
+    }
+
+    /// Persists the full iteration state to `path` (atomically, via the
+    /// `ism-codec` checkpoint artifact) after every outer iteration and
+    /// once more when the run ends. A run killed at any point — including
+    /// mid-iteration — leaves the last completed iteration on disk, and
+    /// [`Trainer::resume_from`] in a *new process* continues it with the
+    /// weights the uninterrupted run would have produced, byte for byte.
+    /// A failed write surfaces as [`TrainError::Persist`].
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Loads a [`TrainCheckpoint`] artifact written by
+    /// [`Trainer::checkpoint_to`] (or [`TrainCheckpoint::save_to`]) and
+    /// resumes from it, exactly like [`Trainer::checkpoint`]. The same
+    /// contract applies: seed, configuration, and training set must match
+    /// the run that wrote the file.
+    pub fn resume_from(self, path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let cp = TrainCheckpoint::load_from(path.as_ref())?;
+        Ok(self.checkpoint(cp))
     }
 
     /// Installs a per-iteration observer: called after every outer
@@ -417,6 +443,14 @@ impl<'a, 'ob> Trainer<'a, 'ob> {
             let iteration_seconds = iter_start.elapsed().as_secs_f64();
             report.iteration_seconds.push(iteration_seconds);
 
+            // Durability point: the iteration's state is complete, so a
+            // crash from here on resumes at `iter + 1`.
+            if let Some(path) = self.checkpoint_path.as_deref() {
+                state.save_to(path).map_err(|e| TrainError::Persist {
+                    message: e.to_string(),
+                })?;
+            }
+
             if let Some(observer) = self.observer.as_mut() {
                 let progress = TrainProgress {
                     iteration: iter + 1,
@@ -440,6 +474,14 @@ impl<'a, 'ob> Trainer<'a, 'ob> {
             if converged {
                 break;
             }
+        }
+
+        // Final write: also covers runs that execute zero iterations (a
+        // resumed already-converged checkpoint) so the artifact exists.
+        if let Some(path) = self.checkpoint_path.as_deref() {
+            state.save_to(path).map_err(|e| TrainError::Persist {
+                message: e.to_string(),
+            })?;
         }
 
         report.region_converged = state.region_converged;

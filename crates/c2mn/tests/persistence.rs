@@ -1,0 +1,198 @@
+//! Durability of training: checkpoint files round-trip bit-exactly,
+//! interrupted-then-resumed training equals uninterrupted training byte
+//! for byte, and corrupt checkpoint files fail with typed errors — never
+//! a panic, never an unbounded allocation.
+
+use ism_c2mn::{C2mnConfig, TrainControl, Trainer};
+use ism_codec::{write_artifact, ArtifactKind, PersistError};
+use ism_indoor::BuildingGenerator;
+use ism_mobility::{Dataset, LabeledSequence, PositioningConfig, SimulationConfig};
+use ism_runtime::WorkerPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn training_data() -> (ism_indoor::IndoorSpace, Vec<LabeledSequence>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let space = BuildingGenerator::small_office()
+        .generate(&mut rng)
+        .unwrap();
+    let dataset = Dataset::generate(
+        "train",
+        &space,
+        SimulationConfig::quick(),
+        PositioningConfig::synthetic(8.0, 2.0),
+        None,
+        5,
+        &mut rng,
+    );
+    (space, dataset.sequences)
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ism-c2mn-persistence-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn checkpoint_file_round_trips_bit_exactly() {
+    let (space, seqs) = training_data();
+    let path = test_dir("roundtrip").join("train.ckpt");
+    let out = Trainer::new(&space, C2mnConfig::quick_test())
+        .seed(11)
+        .checkpoint_to(&path)
+        .observer(|p| {
+            if p.iteration == 2 {
+                TrainControl::Stop
+            } else {
+                TrainControl::Continue
+            }
+        })
+        .run(&seqs)
+        .unwrap();
+    let loaded = ism_c2mn::TrainCheckpoint::load_from(&path).unwrap();
+    // `TrainCheckpoint` compares every field, weights included.
+    assert_eq!(loaded, out.checkpoint);
+    assert_eq!(loaded.next_iteration(), 2);
+}
+
+#[test]
+fn interrupted_then_resumed_training_is_byte_exact() {
+    let (space, seqs) = training_data();
+    let config = C2mnConfig::quick_test();
+
+    // Uninterrupted reference.
+    let whole = Trainer::new(&space, config.clone())
+        .seed(23)
+        .run(&seqs)
+        .unwrap();
+
+    // Interrupted run: stop after two iterations, checkpointing to disk.
+    let path = test_dir("resume").join("train.ckpt");
+    let first = Trainer::new(&space, config.clone())
+        .seed(23)
+        .checkpoint_to(&path)
+        .observer(|p| {
+            if p.iteration == 2 {
+                TrainControl::Stop
+            } else {
+                TrainControl::Continue
+            }
+        })
+        .run(&seqs)
+        .unwrap();
+    assert!(first.report.early_stopped);
+
+    // Resume from the file — in a "new process" as far as the trainer is
+    // concerned: nothing carries over but the artifact and the seed.
+    let resumed = Trainer::new(&space, config)
+        .seed(23)
+        .resume_from(&path)
+        .unwrap()
+        .run(&seqs)
+        .unwrap();
+
+    assert_eq!(
+        resumed.model.weights().0.map(f64::to_bits),
+        whole.model.weights().0.map(f64::to_bits),
+        "resumed-from-disk training must equal uninterrupted training bit for bit"
+    );
+    assert_eq!(resumed.checkpoint, whole.checkpoint);
+}
+
+#[test]
+fn resume_is_byte_exact_across_thread_counts() {
+    let (space, seqs) = training_data();
+    let config = C2mnConfig::quick_test();
+    let whole = Trainer::new(&space, config.clone())
+        .seed(31)
+        .run(&seqs)
+        .unwrap();
+    let path = test_dir("resume-threads").join("train.ckpt");
+    Trainer::new(&space, config.clone())
+        .seed(31)
+        .checkpoint_to(&path)
+        .observer(|p| {
+            if p.iteration == 1 {
+                TrainControl::Stop
+            } else {
+                TrainControl::Continue
+            }
+        })
+        .run(&seqs)
+        .unwrap();
+    // The resuming "process" may use a different worker count.
+    let pool = WorkerPool::new(3);
+    let resumed = Trainer::new(&space, config)
+        .seed(31)
+        .pool(&pool)
+        .resume_from(&path)
+        .unwrap()
+        .run(&seqs)
+        .unwrap();
+    assert_eq!(
+        resumed.model.weights().0.map(f64::to_bits),
+        whole.model.weights().0.map(f64::to_bits)
+    );
+}
+
+#[test]
+fn missing_checkpoint_is_a_typed_io_error() {
+    let (space, _) = training_data();
+    let path = test_dir("missing").join("nope.ckpt");
+    let err = Trainer::new(&space, C2mnConfig::quick_test())
+        .resume_from(&path)
+        .unwrap_err();
+    assert!(matches!(err, PersistError::Io { .. }), "got {err:?}");
+}
+
+#[test]
+fn corrupt_checkpoints_fail_typed_never_panic() {
+    let (space, seqs) = training_data();
+    let dir = test_dir("corrupt");
+    let path = dir.join("train.ckpt");
+    Trainer::new(&space, C2mnConfig::quick_test())
+        .seed(7)
+        .checkpoint_to(&path)
+        .observer(|p| {
+            if p.iteration == 1 {
+                TrainControl::Stop
+            } else {
+                TrainControl::Continue
+            }
+        })
+        .run(&seqs)
+        .unwrap();
+    let valid = std::fs::read(&path).unwrap();
+
+    let corrupt = dir.join("corrupt.ckpt");
+    // Flip one bit at a sweep of offsets: header, frame prefix, payload.
+    for offset in (0..valid.len()).step_by(7) {
+        let mut bytes = valid.clone();
+        bytes[offset] ^= 0x10;
+        std::fs::write(&corrupt, &bytes).unwrap();
+        match ism_c2mn::TrainCheckpoint::load_from(&corrupt) {
+            // Decoding may only succeed if the flip produced the same
+            // logical value (it cannot: CRC-32 catches all 1-bit flips).
+            Ok(_) => panic!("1-bit flip at {offset} went undetected"),
+            Err(PersistError::Codec { .. }) => {}
+            Err(other) => panic!("unexpected error kind at {offset}: {other:?}"),
+        }
+    }
+    // Every strict truncation fails too.
+    for len in (0..valid.len()).step_by(11) {
+        std::fs::write(&corrupt, &valid[..len]).unwrap();
+        assert!(
+            ism_c2mn::TrainCheckpoint::load_from(&corrupt).is_err(),
+            "truncation to {len} bytes went undetected"
+        );
+    }
+    // A well-formed artifact of the wrong kind is rejected up front.
+    write_artifact(&corrupt, ArtifactKind::EngineSnapshot, b"not a checkpoint").unwrap();
+    assert!(ism_c2mn::TrainCheckpoint::load_from(&corrupt).is_err());
+}

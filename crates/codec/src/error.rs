@@ -1,0 +1,151 @@
+//! Typed errors for decoding and persistence.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// A decode-side failure. Corrupt, truncated, or hostile input always
+/// surfaces as one of these variants — never as a panic or an unbounded
+/// allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before a value (or a declared length) could be read.
+    Truncated {
+        /// Bytes the decoder needed at the failure point.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// The file does not start with the `b"ISMB"` magic.
+    BadMagic {
+        /// The four bytes found where the magic should be.
+        found: [u8; 4],
+    },
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version recorded in the file.
+        found: u16,
+        /// Highest version this build can read.
+        supported: u16,
+    },
+    /// The artifact kind byte does not match what the caller expected
+    /// (e.g. opening a seal log as an engine snapshot).
+    WrongKind {
+        /// Kind the caller asked for.
+        expected: u8,
+        /// Kind recorded in the file.
+        found: u8,
+    },
+    /// A frame's CRC-32 did not match its payload.
+    BadChecksum {
+        /// Zero-based index of the failing frame within the artifact.
+        frame: usize,
+    },
+    /// A field decoded to a value outside its domain (bad enum tag,
+    /// overlong varint, out-of-range id, …).
+    InvalidValue {
+        /// Which field or invariant failed.
+        what: &'static str,
+    },
+    /// Decoding finished but input bytes were left over.
+    TrailingBytes {
+        /// Number of unread bytes.
+        trailing: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated input: needed {needed} bytes, {available} available"
+                )
+            }
+            CodecError::BadMagic { found } => {
+                write!(f, "bad magic {found:?} (expected b\"ISMB\")")
+            }
+            CodecError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (this build reads <= {supported})"
+                )
+            }
+            CodecError::WrongKind { expected, found } => {
+                write!(f, "wrong artifact kind {found} (expected {expected})")
+            }
+            CodecError::BadChecksum { frame } => write!(f, "checksum mismatch in frame {frame}"),
+            CodecError::InvalidValue { what } => write!(f, "invalid value: {what}"),
+            CodecError::TrailingBytes { trailing } => {
+                write!(f, "{trailing} trailing bytes after decoded value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A persistence failure: an I/O error or a decode error, annotated with
+/// the path involved. I/O causes are flattened to `ErrorKind` + message so
+/// the type stays `PartialEq`/`Eq` and can be embedded in the workspace's
+/// comparable error enums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// File the operation targeted.
+        path: PathBuf,
+        /// Operation that failed (`"read"`, `"write"`, `"rename"`, …).
+        op: &'static str,
+        /// `std::io::Error` kind, stringified.
+        kind: String,
+    },
+    /// The file was read but its contents failed to decode.
+    Codec {
+        /// File that failed to decode.
+        path: PathBuf,
+        /// The decode failure.
+        source: CodecError,
+    },
+}
+
+impl PersistError {
+    /// Wraps an `io::Error` for an operation on `path`.
+    pub fn io(path: &std::path::Path, op: &'static str, err: &std::io::Error) -> Self {
+        PersistError::Io {
+            path: path.to_path_buf(),
+            op,
+            kind: err.to_string(),
+        }
+    }
+
+    /// Wraps a decode failure for the file at `path`.
+    pub fn codec(path: &std::path::Path, source: CodecError) -> Self {
+        PersistError::Codec {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { path, op, kind } => {
+                write!(f, "{op} {}: {kind}", path.display())
+            }
+            PersistError::Codec { path, source } => {
+                write!(f, "decode {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Codec { source, .. } => Some(source),
+            PersistError::Io { .. } => None,
+        }
+    }
+}

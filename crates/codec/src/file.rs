@@ -1,0 +1,98 @@
+//! Filesystem helpers: atomic writes and whole-artifact read/write.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::error::PersistError;
+use crate::frame::{decode_artifact, encode_artifact, ArtifactKind};
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Writes `bytes` to `path` atomically: the bytes land in a sibling
+/// `*.tmp` file first and are renamed into place, so a crash mid-write
+/// leaves either the old artifact or the new one — never a half-written
+/// file at the final path.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let tmp = tmp_path(path);
+    fs::write(&tmp, bytes).map_err(|e| PersistError::io(&tmp, "write", &e))?;
+    fs::rename(&tmp, path).map_err(|e| PersistError::io(path, "rename", &e))?;
+    Ok(())
+}
+
+/// Reads the whole file at `path`.
+pub fn read_file(path: &Path) -> Result<Vec<u8>, PersistError> {
+    fs::read(path).map_err(|e| PersistError::io(path, "read", &e))
+}
+
+/// Atomically writes a single-frame artifact (header + checksummed frame)
+/// around `payload`.
+pub fn write_artifact(path: &Path, kind: ArtifactKind, payload: &[u8]) -> Result<(), PersistError> {
+    write_atomic(path, &encode_artifact(kind, payload))
+}
+
+/// Reads and validates a single-frame artifact, returning its payload.
+pub fn read_artifact(path: &Path, kind: ArtifactKind) -> Result<Vec<u8>, PersistError> {
+    let bytes = read_file(path)?;
+    let payload = decode_artifact(&bytes, kind).map_err(|e| PersistError::codec(path, e))?;
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ism-codec-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn artifact_file_round_trips() {
+        let path = scratch("roundtrip.ism");
+        write_artifact(&path, ArtifactKind::TrainCheckpoint, b"payload").unwrap();
+        assert_eq!(
+            read_artifact(&path, ArtifactKind::TrainCheckpoint).unwrap(),
+            b"payload"
+        );
+        // Overwrite goes through the same atomic path.
+        write_artifact(&path, ArtifactKind::TrainCheckpoint, b"updated").unwrap();
+        assert_eq!(
+            read_artifact(&path, ArtifactKind::TrainCheckpoint).unwrap(),
+            b"updated"
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let path = scratch("does-not-exist.ism");
+        fs::remove_file(&path).ok();
+        assert!(matches!(
+            read_artifact(&path, ArtifactKind::EngineSnapshot),
+            Err(PersistError::Io { op: "read", .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_file_is_a_typed_codec_error() {
+        let path = scratch("corrupt.ism");
+        write_artifact(&path, ArtifactKind::EngineSnapshot, b"payload").unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_artifact(&path, ArtifactKind::EngineSnapshot),
+            Err(PersistError::Codec { .. })
+        ));
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,137 @@
+//! Encoding primitives: little-endian fixed-width writes, LEB128 varints,
+//! ZigZag, the order-preserving f64 mapping, and CRC-32.
+//!
+//! These mirror the conventions proven by the compressed posting codec in
+//! `ism-queries` (`crates/queries/src/codec.rs`); the reading side lives in
+//! [`crate::Reader`], which bounds-checks every access.
+
+/// Appends `v` little-endian.
+#[inline]
+pub fn write_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `v` little-endian.
+#[inline]
+pub fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `v` little-endian.
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends the raw IEEE-754 bit pattern of `x` little-endian. Bit-exact for
+/// every value including NaNs and signed zeros.
+#[inline]
+pub fn write_f64_bits(out: &mut Vec<u8>, x: f64) {
+    write_u64(out, x.to_bits());
+}
+
+/// Appends `v` as an LEB128 varint (7 payload bits per byte, little endian,
+/// high bit = continuation). At most 10 bytes.
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7F) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// ZigZag-maps a signed value to an unsigned varint payload: small
+/// magnitudes of either sign stay small.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Maps an f64 to a u64 whose unsigned order matches the f64 total order
+/// (`total_cmp`): negative values are bit-complemented, non-negatives get
+/// the sign bit flipped. Round-trips every bit via [`from_ordered_bits`],
+/// and makes sorted timestamp runs delta-encode as small integers.
+#[inline]
+pub fn ordered_bits(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Inverse of [`ordered_bits`].
+#[inline]
+pub fn from_ordered_bits(b: u64) -> f64 {
+    if b >> 63 == 1 {
+        f64::from_bits(b & !(1 << 63))
+    } else {
+        f64::from_bits(!b)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) lookup table, built at
+/// compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`. Used as the per-frame checksum; it detects the
+/// torn writes and bit flips the corruption fuzz suite throws at it.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for the ASCII string "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"ISMB"), crc32(b"ISMB"));
+        assert_ne!(crc32(b"ISMB"), crc32(b"ISMA"));
+    }
+
+    #[test]
+    fn fixed_width_writes_are_little_endian() {
+        let mut out = Vec::new();
+        write_u16(&mut out, 0x1234);
+        write_u32(&mut out, 0x5678_9ABC);
+        write_u64(&mut out, 0x0102_0304_0506_0708);
+        assert_eq!(
+            out,
+            [0x34, 0x12, 0xBC, 0x9A, 0x78, 0x56, 0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! The `Encode` / `Decode` traits and impls for primitive types.
+//!
+//! Each workspace crate implements these for its own types (the orphan rule
+//! keeps the impls next to the private fields they serialize); this module
+//! only covers the building blocks every impl composes from.
+
+use crate::error::CodecError;
+use crate::primitives::{write_f64_bits, write_u16, write_u32, write_u64, write_varint};
+use crate::reader::Reader;
+
+/// A value that serializes to the `ism-codec` byte format.
+///
+/// Encoding is infallible and deterministic: equal values produce equal
+/// bytes, and every emitted value occupies at least one byte (the container
+/// impls rely on that to bound decode-side allocations).
+pub trait Encode {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// A value that deserializes from the `ism-codec` byte format.
+pub trait Decode: Sized {
+    /// Reads one value from `r`, leaving the cursor just past it.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Decodes a value that must occupy the whole buffer.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+impl Encode for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+}
+
+impl Decode for u8 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.u8()
+    }
+}
+
+impl Encode for u16 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_u16(out, *self);
+    }
+}
+
+impl Decode for u16 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.u16()
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_u32(out, *self);
+    }
+}
+
+impl Decode for u32 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.u32()
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_u64(out, *self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.u64()
+    }
+}
+
+/// `usize` encodes as a varint: counts and indexes are usually small, and
+/// the width-independent encoding keeps artifacts portable across
+/// pointer widths.
+impl Encode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, *self as u64);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        usize::try_from(r.varint()?).map_err(|_| CodecError::InvalidValue {
+            what: "usize overflow",
+        })
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.boolean()
+    }
+}
+
+/// `f64` encodes as its raw bit pattern: bit-exact for every value
+/// including NaNs and signed zeros, which is what byte-exact resume needs.
+impl Encode for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_f64_bits(out, *self);
+    }
+}
+
+impl Decode for f64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.f64_bits()
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(CodecError::InvalidValue { what: "option tag" }),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        // Every encodable value is at least one byte, so a count larger
+        // than the remaining input is provably corrupt — reject it before
+        // reserving capacity.
+        let count = r.count_prefix(1)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(u16::MAX);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip(false);
+        round_trip(-0.0f64);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(Some(42u64));
+        round_trip(None::<u64>);
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<f64>::new());
+        round_trip(vec![vec![1u8], vec![], vec![2, 3]]);
+    }
+
+    #[test]
+    fn nan_round_trips_bit_exactly() {
+        let weird = f64::from_bits(0x7FF8_0000_DEAD_BEEF);
+        let bytes = weird.to_bytes();
+        assert_eq!(f64::from_bytes(&bytes).unwrap().to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn corrupt_vec_count_is_rejected_without_allocating() {
+        // A count of u64::MAX/4 with no payload must fail fast.
+        let mut bytes = Vec::new();
+        write_varint(&mut bytes, u64::MAX / 4);
+        assert!(Vec::<u64>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn from_bytes_rejects_trailing_garbage() {
+        let mut bytes = 7u32.to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            u32::from_bytes(&bytes),
+            Err(CodecError::TrailingBytes { trailing: 1 })
+        ));
+    }
+}

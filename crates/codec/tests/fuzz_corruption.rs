@@ -1,0 +1,119 @@
+//! Corruption fuzzing: no input — random, bit-flipped, or truncated —
+//! may ever panic the codec or trick it into allocating unbounded
+//! memory. Every failure is a typed [`CodecError`].
+
+use ism_codec::{
+    decode_artifact, encode_artifact, read_header, ArtifactKind, CodecError, Decode, FrameIter,
+    Reader, HEADER_LEN,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn arbitrary_bytes(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.random_range(0..max_len);
+    (0..len).map(|_| rng.random()).collect()
+}
+
+proptest! {
+    /// Arbitrary bytes through every reader primitive: typed errors only.
+    #[test]
+    fn reader_never_panics_on_arbitrary_bytes(seed in 0u64..512) {
+        let bytes = arbitrary_bytes(&mut StdRng::seed_from_u64(seed), 256);
+        type ReaderOp = fn(&mut Reader<'_>) -> Result<(), CodecError>;
+        let ops: [ReaderOp; 9] = [
+            |r| r.u8().map(drop),
+            |r| r.u16().map(drop),
+            |r| r.u32().map(drop),
+            |r| r.u64().map(drop),
+            |r| r.f64_bits().map(drop),
+            |r| r.boolean().map(drop),
+            |r| r.varint().map(drop),
+            |r| r.len_prefix().map(drop),
+            |r| r.count_prefix(4).map(drop),
+        ];
+        for op in ops {
+            let mut r = Reader::new(&bytes);
+            // Drain with one primitive until it errors or the buffer ends.
+            while r.remaining() > 0 {
+                if op(&mut r).is_err() {
+                    break;
+                }
+            }
+        }
+        // Composite decodes guard their count prefixes the same way.
+        let _ = Vec::<u64>::from_bytes(&bytes);
+        let _ = Vec::<f64>::from_bytes(&bytes);
+        let _ = Option::<u32>::from_bytes(&bytes);
+    }
+
+    /// Arbitrary bytes as an artifact/frame stream: typed errors only,
+    /// and `good_end` always lands on a frame boundary inside the buffer.
+    #[test]
+    fn frame_iter_never_panics_on_arbitrary_bytes(seed in 0u64..512) {
+        let bytes = arbitrary_bytes(&mut StdRng::seed_from_u64(seed ^ 0xF0F0), 512);
+        let _ = decode_artifact(&bytes, ArtifactKind::EngineSnapshot);
+        if let Ok(start) = read_header(&bytes, ArtifactKind::SealLog) {
+            let mut frames = FrameIter::new(&bytes, start);
+            let mut intact = 0usize;
+            for frame in &mut frames {
+                match frame {
+                    Ok(_) => intact += 1,
+                    Err(_) => break,
+                }
+            }
+            prop_assert_eq!(frames.frames_read(), intact);
+            prop_assert!(frames.good_end() >= HEADER_LEN);
+            prop_assert!(frames.good_end() <= bytes.len());
+        }
+    }
+
+    /// Any single bit flip in a valid artifact is detected — the header
+    /// checks or the frame CRC catch it, typed, without a panic.
+    #[test]
+    fn bit_flips_in_valid_artifacts_are_always_detected(seed in 0u64..512) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB17F);
+        let payload = arbitrary_bytes(&mut rng, 128);
+        let artifact = encode_artifact(ArtifactKind::TrainCheckpoint, &payload);
+        let flip = rng.random_range(0..artifact.len() * 8);
+        let mut corrupt = artifact.clone();
+        corrupt[flip / 8] ^= 1 << (flip % 8);
+        match decode_artifact(&corrupt, ArtifactKind::TrainCheckpoint) {
+            Ok(_) => prop_assert!(false, "1-bit flip at bit {} went undetected", flip),
+            Err(CodecError::Truncated { .. })
+            | Err(CodecError::BadMagic { .. })
+            | Err(CodecError::UnsupportedVersion { .. })
+            | Err(CodecError::WrongKind { .. })
+            | Err(CodecError::BadChecksum { .. })
+            | Err(CodecError::InvalidValue { .. })
+            | Err(CodecError::TrailingBytes { .. }) => {}
+        }
+    }
+
+    /// Every strict truncation of a valid artifact fails typed.
+    #[test]
+    fn truncations_of_valid_artifacts_are_always_detected(seed in 0u64..512) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7205);
+        let payload = arbitrary_bytes(&mut rng, 128);
+        let artifact = encode_artifact(ArtifactKind::EngineSnapshot, &payload);
+        let len = rng.random_range(0..artifact.len());
+        prop_assert!(decode_artifact(&artifact[..len], ArtifactKind::EngineSnapshot).is_err());
+    }
+
+    /// A declared length far past the buffer is rejected *before* any
+    /// allocation happens — a 10-byte varint can claim 2^63 items; the
+    /// reader must bound it by what is actually present.
+    #[test]
+    fn oversized_length_claims_never_allocate(claim in 1u64..u64::MAX) {
+        let mut bytes = Vec::new();
+        ism_codec::write_varint(&mut bytes, claim);
+        let mut r = Reader::new(&bytes);
+        if claim as usize > r.remaining() {
+            prop_assert!(r.len_prefix().is_err());
+        }
+        let mut r = Reader::new(&bytes);
+        prop_assert!(r.count_prefix(1).is_err());
+        // The same guard protects composite decodes.
+        prop_assert!(Vec::<u8>::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,6 +1,7 @@
 //! The unified error type of the engine API.
 
 use ism_c2mn::TrainError;
+use ism_codec::PersistError;
 use ism_queries::StoreError;
 use std::fmt;
 
@@ -15,6 +16,10 @@ pub enum EngineError {
     /// A storage-layer invariant was violated (e.g. an initial store whose
     /// shard count contradicts the builder's configuration).
     Store(StoreError),
+    /// Durability failed: a snapshot or seal-log file could not be
+    /// written, read, or decoded (corrupt artifacts report through here —
+    /// they never panic).
+    Persist(PersistError),
 }
 
 impl fmt::Display for EngineError {
@@ -22,6 +27,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Train(e) => write!(f, "training failed: {e}"),
             EngineError::Store(e) => write!(f, "store error: {e}"),
+            EngineError::Persist(e) => write!(f, "persistence failed: {e}"),
         }
     }
 }
@@ -31,7 +37,14 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Train(e) => Some(e),
             EngineError::Store(e) => Some(e),
+            EngineError::Persist(e) => Some(e),
         }
+    }
+}
+
+impl From<PersistError> for EngineError {
+    fn from(e: PersistError) -> Self {
+        EngineError::Persist(e)
     }
 }
 

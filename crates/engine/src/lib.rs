@@ -67,11 +67,14 @@
 mod cache;
 mod error;
 mod ingest;
+mod persist;
 mod session;
 
 pub use cache::CacheStats;
 pub use error::EngineError;
+pub use ism_codec::PersistError;
 pub use ism_pgm::KernelStats;
+pub use persist::{log_path, RecoveryReport};
 pub use session::IngestSession;
 
 use cache::{CacheKey, QueryCache};
@@ -218,6 +221,7 @@ impl EngineBuilder {
             )),
             cache: Mutex::new(QueryCache::default()),
             standing: Mutex::new(Vec::new()),
+            log: Mutex::new(persist::LogState::default()),
         })
     }
 
@@ -286,6 +290,9 @@ pub struct SemanticsEngine<'a> {
     /// Registered standing queries, folded forward by every seal.
     /// Cancelled slots stay as `None` so handles keep their index.
     standing: Mutex<Vec<Option<StandingState>>>,
+    /// The attached seal append-log, if any, plus the error that
+    /// detached it (see the `persist` module docs).
+    log: Mutex<persist::LogState>,
 }
 
 impl std::fmt::Debug for SemanticsEngine<'_> {
@@ -779,9 +786,21 @@ impl<'a> SemanticsEngine<'a> {
     /// Seals the store's pending segments on the engine's pool, then feeds
     /// the seal's summary to the result cache (evicting entries whose
     /// regions the seal touched) and to every registered standing query.
+    /// If a seal log is attached, the pending entries are appended to it
+    /// as one frame *before* the merge, so a crash after this call loses
+    /// nothing (see the `persist` module docs).
     pub(crate) fn seal_store(&self) {
         let summary = {
+            // State before store (the engine-wide lock order): the commit
+            // index the frame records must describe exactly the pending
+            // set we log, so both are read under one store write guard.
+            let state = self.state();
+            let next_commit = state.next_commit;
             let mut store = self.shared.store.write().expect("store lock poisoned");
+            drop(state);
+            if store.num_pending() > 0 {
+                self.log_seal(next_commit, &store);
+            }
             store.seal_summarized_with(&self.pool)
         };
         if summary.new_stays.is_empty() {

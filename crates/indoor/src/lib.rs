@@ -27,6 +27,7 @@ mod graph;
 mod ids;
 mod index;
 mod model;
+mod persist;
 mod space;
 
 pub use error::IndoorError;

@@ -1,0 +1,58 @@
+//! `ism-codec` impls for indoor identifiers.
+//!
+//! Ids encode as varints: region/partition/door ids are dense small
+//! integers, so most take a single byte on disk.
+
+use ism_codec::{write_varint, CodecError, Decode, Encode, Reader};
+
+use crate::ids::{DoorId, PartitionId, RegionId};
+
+macro_rules! codec_for_id {
+    ($name:ident, $what:expr) => {
+        impl Encode for $name {
+            fn encode(&self, out: &mut Vec<u8>) {
+                write_varint(out, u64::from(self.0));
+            }
+        }
+
+        impl Decode for $name {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                let raw = r.varint()?;
+                u32::try_from(raw)
+                    .map($name)
+                    .map_err(|_| CodecError::InvalidValue { what: $what })
+            }
+        }
+    };
+}
+
+codec_for_id!(RegionId, "region id exceeds u32");
+codec_for_id!(PartitionId, "partition id exceeds u32");
+codec_for_id!(DoorId, "door id exceeds u32");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_and_stay_small() {
+        for raw in [0u32, 1, 127, 128, u32::MAX] {
+            let id = RegionId(raw);
+            let bytes = id.to_bytes();
+            assert_eq!(RegionId::from_bytes(&bytes).unwrap(), id);
+            if raw < 128 {
+                assert_eq!(bytes.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_id_is_rejected() {
+        let mut bytes = Vec::new();
+        write_varint(&mut bytes, u64::from(u32::MAX) + 1);
+        assert!(matches!(
+            RegionId::from_bytes(&bytes),
+            Err(CodecError::InvalidValue { .. })
+        ));
+    }
+}

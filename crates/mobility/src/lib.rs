@@ -26,6 +26,7 @@
 mod dataset;
 mod merge;
 mod observe;
+mod persist;
 mod preprocess;
 mod simulate;
 mod types;
@@ -33,6 +34,7 @@ mod types;
 pub use dataset::{Dataset, DatasetStats};
 pub use merge::merge_labels;
 pub use observe::{PositioningConfig, PositioningSampler};
+pub use persist::{decode_semantics_run, encode_semantics_run};
 pub use preprocess::{preprocess, split_by_gap, PreprocessConfig};
 pub use simulate::{SimulationConfig, Simulator, Trajectory};
 pub use types::{

@@ -57,6 +57,7 @@
 mod batch;
 mod codec;
 mod index;
+mod persist;
 mod standing;
 mod store;
 mod topk;

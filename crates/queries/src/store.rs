@@ -147,14 +147,14 @@ pub fn shard_of(object_id: u64, num_shards: usize) -> usize {
 /// them, and a pending segment of appended-but-unsealed entries.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Shard {
-    objects: Vec<(u64, Vec<MobilitySemantics>)>,
+    pub(crate) objects: Vec<(u64, Vec<MobilitySemantics>)>,
     by_id: HashMap<u64, usize>,
     index: ShardIndex,
-    pending: Vec<(u64, Vec<MobilitySemantics>)>,
+    pub(crate) pending: Vec<(u64, Vec<MobilitySemantics>)>,
 }
 
 impl Shard {
-    fn build(objects: Vec<(u64, Vec<MobilitySemantics>)>) -> Self {
+    pub(crate) fn build(objects: Vec<(u64, Vec<MobilitySemantics>)>) -> Self {
         let index = ShardIndex::build(&objects);
         let by_id = objects
             .iter()
@@ -221,7 +221,7 @@ impl Shard {
 /// by appends equal to one rebuilt from scratch.
 #[derive(Debug, Clone)]
 pub struct ShardedSemanticsStore {
-    shards: Vec<Shard>,
+    pub(crate) shards: Vec<Shard>,
 }
 
 impl ShardedSemanticsStore {
@@ -380,6 +380,17 @@ impl ShardedSemanticsStore {
     pub fn iter_shard(&self, s: usize) -> impl Iterator<Item = (u64, &[MobilitySemantics])> {
         self.shards[s]
             .objects
+            .iter()
+            .map(|(id, sem)| (*id, sem.as_slice()))
+    }
+
+    /// Iterates the **pending** (appended but unsealed) entries of shard
+    /// `s`, in append order. This is the exact per-shard segment the next
+    /// seal will merge — the engine's durability layer writes it as one
+    /// seal-log frame before sealing.
+    pub fn pending_of_shard(&self, s: usize) -> impl Iterator<Item = (u64, &[MobilitySemantics])> {
+        self.shards[s]
+            .pending
             .iter()
             .map(|(id, sem)| (*id, sem.as_slice()))
     }

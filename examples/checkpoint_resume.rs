@@ -1,0 +1,142 @@
+//! Cross-process training checkpoint/resume: interrupt training in one
+//! process, resume it from the checkpoint file in another, and end on
+//! weights byte-identical to never having stopped.
+//!
+//! Three modes:
+//!
+//! * `cargo run --release --example checkpoint_resume` — self-contained:
+//!   runs interrupt + resume in-process and checks byte-exactness.
+//! * `... -- save <dir>` — trains two iterations, checkpoints to
+//!   `<dir>/train.ckpt`, prints nothing else, and exits (the
+//!   "interrupted process").
+//! * `... -- resume <dir>` — a fresh process: resumes from the file,
+//!   finishes training, and writes the final weight bytes to
+//!   `<dir>/weights.hex` for the caller to compare.
+//!
+//! CI drives `save` and `resume` as two separate `cargo run` invocations
+//! and asserts the resumed weights equal an uninterrupted run's.
+
+use indoor_semantics::mobility::LabeledSequence;
+use indoor_semantics::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+const SEED: u64 = 23;
+
+fn training_data() -> (IndoorSpace, Vec<LabeledSequence>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let space = BuildingGenerator::small_office()
+        .generate(&mut rng)
+        .unwrap();
+    let dataset = Dataset::generate(
+        "ckpt",
+        &space,
+        SimulationConfig::quick(),
+        PositioningConfig::synthetic(8.0, 2.0),
+        None,
+        6,
+        &mut rng,
+    );
+    (space, dataset.sequences)
+}
+
+fn weights_hex(weights: &Weights) -> String {
+    weights
+        .0
+        .iter()
+        .map(|w| format!("{:016x}", w.to_bits()))
+        .collect::<Vec<_>>()
+        .join("")
+}
+
+/// The uninterrupted reference: train to completion in one go.
+fn train_whole(space: &IndoorSpace, seqs: &[LabeledSequence]) -> Weights {
+    Trainer::new(space, C2mnConfig::quick_test())
+        .seed(SEED)
+        .run(seqs)
+        .unwrap()
+        .model
+        .weights()
+        .clone()
+}
+
+/// The "interrupted process": two iterations, checkpointed to disk.
+fn save(space: &IndoorSpace, seqs: &[LabeledSequence], dir: &Path) {
+    Trainer::new(space, C2mnConfig::quick_test())
+        .seed(SEED)
+        .checkpoint_to(dir.join("train.ckpt"))
+        .observer(|p| {
+            if p.iteration == 2 {
+                TrainControl::Stop
+            } else {
+                TrainControl::Continue
+            }
+        })
+        .run(seqs)
+        .unwrap();
+}
+
+/// The "resuming process": nothing carried over but the file + the seed.
+fn resume(space: &IndoorSpace, seqs: &[LabeledSequence], dir: &Path) -> Weights {
+    Trainer::new(space, C2mnConfig::quick_test())
+        .seed(SEED)
+        .resume_from(dir.join("train.ckpt"))
+        .unwrap()
+        .run(seqs)
+        .unwrap()
+        .model
+        .weights()
+        .clone()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (space, seqs) = training_data();
+    match args.get(1).map(String::as_str) {
+        Some("save") => {
+            let dir = Path::new(&args[2]);
+            std::fs::create_dir_all(dir).unwrap();
+            save(&space, &seqs, dir);
+            println!(
+                "checkpointed 2 iterations to {}",
+                dir.join("train.ckpt").display()
+            );
+        }
+        Some("resume") => {
+            let dir = Path::new(&args[2]);
+            let weights = resume(&space, &seqs, dir);
+            std::fs::write(dir.join("weights.hex"), weights_hex(&weights)).unwrap();
+            println!("resumed and finished; weights written to weights.hex");
+        }
+        Some("reference") => {
+            let dir = Path::new(&args[2]);
+            std::fs::create_dir_all(dir).unwrap();
+            let weights = train_whole(&space, &seqs);
+            std::fs::write(dir.join("reference.hex"), weights_hex(&weights)).unwrap();
+            println!("uninterrupted reference weights written to reference.hex");
+        }
+        None => {
+            // Self-contained smoke: interrupt + resume in one process.
+            let dir = std::env::temp_dir().join(format!("ism-ckpt-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let whole = train_whole(&space, &seqs);
+            save(&space, &seqs, &dir);
+            let resumed = resume(&space, &seqs, &dir);
+            assert_eq!(
+                weights_hex(&resumed),
+                weights_hex(&whole),
+                "resumed training must be byte-identical to uninterrupted"
+            );
+            println!(
+                "interrupted-at-2-then-resumed == uninterrupted, bit for bit:\n  {}",
+                weights_hex(&whole)
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        Some(other) => {
+            eprintln!("unknown mode {other:?}; use save <dir> | resume <dir> | reference <dir>");
+            std::process::exit(2);
+        }
+    }
+}

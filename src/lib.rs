@@ -95,6 +95,7 @@
 pub use ism_baselines as baselines;
 pub use ism_c2mn as c2mn;
 pub use ism_cluster as cluster;
+pub use ism_codec as codec;
 pub use ism_engine as engine;
 pub use ism_eval as eval;
 pub use ism_geometry as geometry;
@@ -109,14 +110,15 @@ pub use ism_runtime as runtime;
 pub mod prelude {
     pub use ism_baselines::{HmmDc, SapDa, SapDv, Smot};
     pub use ism_c2mn::{
-        sequence_seed, train_seed, BatchAnnotator, C2mn, C2mnConfig, ModelStructure, SampledChain,
-        TrainCheckpoint, TrainControl, TrainError, TrainOutcome, TrainProgress, TrainReport,
-        Trainer, Weights,
+        sequence_seed, train_seed, BatchAnnotator, C2mn, C2mnConfig, ModelSnapshot, ModelStructure,
+        SampledChain, TrainCheckpoint, TrainControl, TrainError, TrainOutcome, TrainProgress,
+        TrainReport, Trainer, Weights,
     };
     pub use ism_cluster::{DensityClass, StDbscan, StDbscanParams};
+    pub use ism_codec::{ArtifactKind, CodecError, Decode, Encode, PersistError};
     pub use ism_engine::{
-        CacheStats, EngineBuilder, EngineError, IngestSession, KernelStats, SemanticsEngine,
-        StandingQueryId,
+        CacheStats, EngineBuilder, EngineError, IngestSession, KernelStats, RecoveryReport,
+        SemanticsEngine, StandingQueryId,
     };
     pub use ism_eval::{combined_accuracy, perfect_accuracy, LabelAccuracy};
     pub use ism_geometry::{Circle, Point2, Rect};

@@ -1,10 +1,16 @@
 //! Vendored no-op replacements for serde's derive macros.
 //!
-//! The build environment has no crates.io access, and nothing in the
-//! workspace serializes values yet — `#[derive(Serialize, Deserialize)]`
-//! only needs to *compile*. These derives accept the `#[serde(...)]`
-//! helper attribute and expand to nothing; real impls can be generated
-//! here later without touching any call site.
+//! The build environment has no crates.io access —
+//! `#[derive(Serialize, Deserialize)]` only needs to *compile*. These
+//! derives accept the `#[serde(...)]` helper attribute and expand to
+//! nothing.
+//!
+//! Real persistence does not go through serde at all: the workspace's
+//! durable formats (engine snapshots, seal logs, train checkpoints) are
+//! hand-rolled on `ism-codec`'s `Encode`/`Decode` traits, which give
+//! deterministic byte-exact round-trips and typed errors on corrupt
+//! input. Keep these derives as compile-only stubs; new persisted types
+//! should implement `ism_codec::{Encode, Decode}` instead.
 
 use proc_macro::TokenStream;
 
