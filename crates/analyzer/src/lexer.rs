@@ -1,0 +1,372 @@
+//! A minimal Rust tokenizer: enough lexical structure for the lint rules
+//! to reason about *code* tokens without being fooled by comments,
+//! strings, raw strings, char literals, or lifetimes. Not a parser — it
+//! produces a flat token stream plus a separate comment list.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `for`, `unsafe`, `r#try`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// String / raw string / byte string / char / numeric literal.
+    Literal,
+    /// A single punctuation character (`.`, `:`, `[`, `!`, …).
+    Punct,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A comment (line or block), with the line it starts on. Doc comments
+/// (`///`, `//!`) are comments too.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Lines (1-based) on which at least one token sits.
+    pub fn token_lines(&self) -> std::collections::BTreeSet<u32> {
+        self.tokens.iter().map(|t| t.line).collect()
+    }
+}
+
+/// Tokenizes `source`. Invalid code lexes loosely rather than erroring:
+/// the analyzer runs on a compiling workspace, so the precise error
+/// behaviour of rustc's lexer is not needed.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! bump_lines {
+        ($s:expr) => {
+            line += $s.iter().filter(|&&c| c == '\n').count() as u32
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: chars[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                let start_line = line;
+                let consumed = lex_string(&chars[i..]);
+                bump_lines!(&chars[i..i + consumed]);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: chars[i..i + consumed].iter().collect(),
+                    line: start_line,
+                });
+                i += consumed;
+            }
+            'r' | 'b' if is_literal_prefix(&chars[i..]) => {
+                let start_line = line;
+                let consumed = lex_prefixed_literal(&chars[i..]);
+                bump_lines!(&chars[i..i + consumed]);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: chars[i..i + consumed].iter().collect(),
+                    line: start_line,
+                });
+                i += consumed;
+            }
+            '\'' => {
+                // Lifetime vs char literal: `'a` followed by a non-quote
+                // is a lifetime; everything else is a char literal.
+                let next = chars.get(i + 1).copied();
+                let after = chars.get(i + 2).copied();
+                let is_lifetime =
+                    matches!(next, Some(c) if c.is_alphabetic() || c == '_') && after != Some('\'');
+                if is_lifetime {
+                    let start = i;
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: chars[start..i].iter().collect(),
+                        line,
+                    });
+                } else {
+                    let start = i;
+                    i += 1;
+                    if chars.get(i) == Some(&'\\') {
+                        i += 2; // escape + escaped char
+                        while i < chars.len() && chars[i] != '\'' {
+                            i += 1; // \u{…} and friends
+                        }
+                    } else if i < chars.len() {
+                        i += 1;
+                    }
+                    if chars.get(i) == Some(&'\'') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: chars[start..i].iter().collect(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                // Fractional part — but not a `..` range.
+                if chars.get(i) == Some(&'.')
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does the slice start a raw/byte string literal (`r"`, `r#"`, `b"`,
+/// `br"`, `br#"`, `b'`)? (`r#ident` raw identifiers return false.)
+fn is_literal_prefix(s: &[char]) -> bool {
+    let mut j = 1;
+    if s[0] == 'b' && s.get(1) == Some(&'r') {
+        j = 2;
+    }
+    if s[0] == 'b' && s.get(1) == Some(&'\'') {
+        return true;
+    }
+    match s.get(j) {
+        Some('"') => true,
+        Some('#') => {
+            // Skip hashes; raw string iff a quote follows them.
+            let mut k = j;
+            while s.get(k) == Some(&'#') {
+                k += 1;
+            }
+            s.get(k) == Some(&'"') && (s[0] == 'r' || (s[0] == 'b' && s[1] == 'r'))
+        }
+        _ => false,
+    }
+}
+
+/// Length of a plain `"…"` string starting at `s[0] == '"'`.
+fn lex_string(s: &[char]) -> usize {
+    let mut i = 1;
+    while i < s.len() {
+        match s[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    s.len()
+}
+
+/// Length of an `r`/`b`/`br`-prefixed literal starting at `s[0]`.
+fn lex_prefixed_literal(s: &[char]) -> usize {
+    let mut i = 1;
+    if s[0] == 'b' && s.get(1) == Some(&'r') {
+        i = 2;
+    }
+    if s[0] == 'b' && s.get(1) == Some(&'\'') {
+        // Byte char literal: b'x' / b'\n'.
+        let mut j = 2;
+        if s.get(j) == Some(&'\\') {
+            j += 2;
+        } else {
+            j += 1;
+        }
+        while j < s.len() && s[j] != '\'' {
+            j += 1;
+        }
+        return (j + 1).min(s.len());
+    }
+    let raw = s[1] == 'r' || s[0] == 'r';
+    if raw {
+        let mut hashes = 0;
+        while s.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+        debug_assert_eq!(s.get(i), Some(&'"'));
+        i += 1;
+        // Scan for `"` followed by the same number of hashes.
+        while i < s.len() {
+            if s[i] == '"'
+                && s[i + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == '#')
+                    .count()
+                    == hashes
+            {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        }
+        return s.len();
+    }
+    // b"…": plain string body after the prefix.
+    i + lex_string(&s[i..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            // unwrap in a comment
+            /* HashMap::iter in a block /* nested */ comment */
+            let s = "thread_rng() in a string";
+            let r = r#"Instant::now in a raw "string""#;
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "r", "real_ident"]);
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'x'"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        // `r#type` must not be eaten as a raw string.
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"type".to_string()) || ids.contains(&"r".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = \"one\ntwo\";\nlet b = 1;";
+        let toks = lex(src).tokens;
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn numeric_literals_including_floats_and_ranges() {
+        let toks = lex("a[1..2]; let x = 1.5e3; let h = 0xff_u32;").tokens;
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(lits.contains(&"1"));
+        assert!(lits.contains(&"2"));
+        assert!(lits.contains(&"0xff_u32"));
+    }
+}

@@ -1,0 +1,60 @@
+//! `ism-analyzer` — the workspace determinism lint.
+//!
+//! The repo's determinism contract (byte-identical output across thread
+//! counts, shard layouts, and restarts) rests on conventions: seeded RNG
+//! only, no hash-order-dependent output, no clock reads on kernel paths,
+//! panic-free library crates, and documented `unsafe`. This crate
+//! machine-checks them. It is dependency-free by design — a hand-rolled
+//! tokenizer ([`lexer`]) and token-stream rules ([`rules`]), because the
+//! build environment has no crates.io access (no `syn`).
+//!
+//! Run it with `cargo run -p ism-analyzer -- lint [--deny]`; see the
+//! README's "Static analysis" section for the rule catalog and the
+//! `// analyzer: allow(<rule>) <reason>` pragma syntax.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{lint_file, lint_path, FileReport, Finding, RULES};
+
+/// The `.rs` files the lint covers: every `src/` tree of the workspace —
+/// root façade, `crates/*`, and `vendor/*` — in sorted order. Test
+/// directories, benches, and examples are not library surface.
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut dirs = vec![root.join("src")];
+    for group in ["crates", "vendor"] {
+        let Ok(entries) = std::fs::read_dir(root.join(group)) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                dirs.push(src);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for dir in dirs {
+        collect_rs(&dir, &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

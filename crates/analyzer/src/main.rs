@@ -1,0 +1,84 @@
+//! CLI for the workspace determinism lint.
+//!
+//! ```text
+//! cargo run -p ism-analyzer -- lint            # report findings
+//! cargo run -p ism-analyzer -- lint --deny     # exit 1 on any finding (CI)
+//! cargo run -p ism-analyzer -- lint --verbose  # also list suppressions
+//! cargo run -p ism-analyzer -- lint --root P   # lint workspace at P
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ism_analyzer::{lint_path, workspace_sources};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let command = args.next();
+    if command.as_deref() != Some("lint") {
+        eprintln!("usage: ism-analyzer lint [--deny] [--verbose] [--root <workspace>]");
+        return ExitCode::from(2);
+    }
+    let mut deny = false;
+    let mut verbose = false;
+    let mut root = PathBuf::from(".");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--verbose" => verbose = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let files = workspace_sources(&root);
+    if files.is_empty() {
+        eprintln!("no workspace sources under {}", root.display());
+        return ExitCode::from(2);
+    }
+
+    let mut findings = 0usize;
+    let mut suppressed = 0usize;
+    let mut files_linted = 0usize;
+    for file in &files {
+        let report = match lint_path(file) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: unreadable: {e}", file.display());
+                findings += 1;
+                continue;
+            }
+        };
+        files_linted += 1;
+        for f in &report.findings {
+            println!("{f}");
+            findings += 1;
+        }
+        for (f, reason) in &report.suppressed {
+            suppressed += 1;
+            if verbose {
+                println!("{f} — suppressed: {reason}");
+            }
+        }
+    }
+    println!(
+        "ism-analyzer: {files_linted} files, {findings} finding{}, {suppressed} suppressed \
+         (run with --verbose to list suppressions)",
+        if findings == 1 { "" } else { "s" },
+    );
+    if deny && findings > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

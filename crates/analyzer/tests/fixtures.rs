@@ -1,0 +1,148 @@
+//! Fixture-based rule tests: each checked-in snippet under
+//! `tests/fixtures/` is linted as if it lived at a scoped workspace path,
+//! and the produced findings are compared exactly — rule, line, and
+//! nothing else. A fixture change that shifts a line number fails loudly;
+//! that is the point.
+
+use ism_analyzer::lint_file;
+
+/// Lints `source` as if it were the workspace file at `path`, returning
+/// surviving findings as `(line, rule)` pairs in line order.
+fn findings_at(path: &str, source: &str) -> Vec<(u32, &'static str)> {
+    lint_file(path, source)
+        .findings
+        .iter()
+        .map(|f| (f.line, f.rule))
+        .collect()
+}
+
+#[test]
+fn hash_iter_flags_unordered_sinks_only() {
+    let report = findings_at(
+        "crates/mobility/src/fixture.rs",
+        include_str!("fixtures/hash_iter.rs"),
+    );
+    // `leaky` (for over the map, pushing) and `leaky_chain`
+    // (`m.keys()` feeding push_str); `sorted` (sort-after-collect) and
+    // `commutative` (`.sum()`) are clean.
+    assert_eq!(report, vec![(7, "hash-iter"), (15, "hash-iter")]);
+}
+
+#[test]
+fn unseeded_rng_flags_entropy_and_underived_seeds() {
+    let report = findings_at(
+        "crates/mobility/src/fixture.rs",
+        include_str!("fixtures/unseeded_rng.rs"),
+    );
+    // `thread_rng`, `from_entropy`, and `seed_from_u64(x)` with an
+    // arbitrary variable; a `sequence_seed(..)`-derived seed and a
+    // constant literal are clean.
+    assert_eq!(
+        report,
+        vec![
+            (4, "unseeded-rng"),
+            (9, "unseeded-rng"),
+            (13, "unseeded-rng")
+        ]
+    );
+}
+
+#[test]
+fn wall_clock_flags_kernel_path_clock_reads() {
+    let report = findings_at(
+        "crates/pgm/src/fixture.rs",
+        include_str!("fixtures/wall_clock.rs"),
+    );
+    assert_eq!(report, vec![(4, "wall-clock"), (9, "wall-clock")]);
+}
+
+#[test]
+fn wall_clock_does_not_apply_outside_kernel_modules() {
+    // The same source at a non-kernel path (and in c2mn's exempted
+    // trainer) produces nothing.
+    let source = include_str!("fixtures/wall_clock.rs");
+    assert_eq!(
+        findings_at("crates/mobility/src/fixture.rs", source),
+        vec![]
+    );
+    assert_eq!(findings_at("crates/c2mn/src/trainer.rs", source), vec![]);
+}
+
+#[test]
+fn lib_panic_flags_aborts_outside_tests_and_assertions() {
+    let report = findings_at(
+        "crates/codec/src/fixture.rs",
+        include_str!("fixtures/lib_panic.rs"),
+    );
+    // unwrap, expect, indexing, panic!, todo!; the assert! interior and
+    // the #[cfg(test)] module are exempt.
+    assert_eq!(
+        report,
+        vec![
+            (4, "lib-panic"),
+            (8, "lib-panic"),
+            (12, "lib-panic"),
+            (16, "lib-panic"),
+            (20, "lib-panic"),
+        ]
+    );
+}
+
+#[test]
+fn lib_panic_only_applies_to_contract_crates() {
+    let source = include_str!("fixtures/lib_panic.rs");
+    assert_eq!(
+        findings_at("crates/mobility/src/fixture.rs", source),
+        vec![]
+    );
+}
+
+#[test]
+fn undocumented_unsafe_requires_safety_comments() {
+    let report = findings_at(
+        "crates/mobility/src/fixture.rs",
+        include_str!("fixtures/undocumented_unsafe.rs"),
+    );
+    // The bare `unsafe { *p }` and the bare `pub unsafe fn`; both
+    // documented variants are clean.
+    assert_eq!(
+        report,
+        vec![(4, "undocumented-unsafe"), (15, "undocumented-unsafe")]
+    );
+}
+
+#[test]
+fn pragmas_suppress_with_reasons_and_misuse_is_reported() {
+    let report = lint_file(
+        "crates/codec/src/fixture.rs",
+        include_str!("fixtures/pragmas.rs"),
+    );
+
+    // Both valid pragmas suppressed their finding and carry the reason.
+    let suppressed: Vec<(u32, &str, &str)> = report
+        .suppressed
+        .iter()
+        .map(|(f, reason)| (f.line, f.rule, reason.as_str()))
+        .collect();
+    assert_eq!(
+        suppressed,
+        vec![
+            (5, "lib-panic", "fixture: the caller checks emptiness first"),
+            (9, "lib-panic", "fixture: infallible by construction"),
+        ]
+    );
+
+    // The stale pragma, the unknown rule, and the reasonless pragma are
+    // findings themselves — and a reasonless pragma suppresses nothing,
+    // so the indexing under it still fires.
+    let findings: Vec<(u32, &str)> = report.findings.iter().map(|f| (f.line, f.rule)).collect();
+    assert_eq!(
+        findings,
+        vec![
+            (12, "bad-pragma"),
+            (17, "bad-pragma"),
+            (22, "bad-pragma"),
+            (24, "lib-panic"),
+        ]
+    );
+}

@@ -1,0 +1,29 @@
+//! hash-iter fixture: HashMap order leaking into ordered output.
+
+use std::collections::HashMap;
+
+pub fn leaky(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, _) in m {
+        out.push(*k);
+    }
+    out
+}
+
+pub fn leaky_chain(m: &HashMap<u32, u32>) -> String {
+    let mut s = String::new();
+    for k in m.keys() {
+        s.push_str(&k.to_string());
+    }
+    s
+}
+
+pub fn sorted(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+pub fn commutative(m: &HashMap<u32, u32>) -> u32 {
+    m.values().sum()
+}

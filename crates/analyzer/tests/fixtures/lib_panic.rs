@@ -1,0 +1,33 @@
+//! lib-panic fixture: aborts in a panic-free-contract crate.
+
+pub fn unwrapping(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn expecting(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn indexing(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+pub fn panicking() {
+    panic!("boom");
+}
+
+pub fn todoed() {
+    todo!()
+}
+
+pub fn asserted(xs: &[u32]) {
+    assert!(xs.is_empty(), "must be empty: {xs:?}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+//! allow-pragma fixture: suppression, trailing form, and misuse.
+
+// analyzer: allow(lib-panic) fixture: the caller checks emptiness first
+pub fn suppressed(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+pub fn trailing(v: Option<u32>) -> u32 {
+    v.unwrap() // analyzer: allow(lib-panic) fixture: infallible by construction
+}
+
+// analyzer: allow(lib-panic) stale pragma with nothing to suppress
+pub fn clean() -> u32 {
+    7
+}
+
+// analyzer: allow(made-up-rule) no such rule
+pub fn unknown() -> u32 {
+    7
+}
+
+// analyzer: allow(lib-panic)
+pub fn reasonless(xs: &[u32]) -> u32 {
+    xs[0]
+}

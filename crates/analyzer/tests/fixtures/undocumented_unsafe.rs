@@ -1,0 +1,15 @@
+//! undocumented-unsafe fixture: every `unsafe` needs a `// SAFETY:`.
+
+pub fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn documented(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}
+
+// SAFETY: fixture demonstrating a documented unsafe fn.
+pub unsafe fn documented_fn() {}
+
+pub unsafe fn undocumented_fn() {}

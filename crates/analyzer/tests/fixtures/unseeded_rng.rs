@@ -1,0 +1,22 @@
+//! unseeded-rng fixture: OS entropy and underived seeds.
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.random()
+}
+
+pub fn reseeded() -> StdRng {
+    StdRng::from_entropy()
+}
+
+pub fn laundered(x: u64) -> StdRng {
+    StdRng::seed_from_u64(x)
+}
+
+pub fn derived(base_seed: u64, i: u64) -> StdRng {
+    StdRng::seed_from_u64(sequence_seed(base_seed, i))
+}
+
+pub fn constant() -> StdRng {
+    StdRng::seed_from_u64(0xDEAD_BEEF)
+}

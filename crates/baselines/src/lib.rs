@@ -18,6 +18,7 @@
 //! follow by `ism_mobility::merge_labels` exactly as for C2MN.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod hmm_dc;
 mod sap;

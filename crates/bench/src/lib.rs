@@ -15,6 +15,7 @@
 //! reproduces; absolute numbers depend on scale.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 use ism_baselines::{HmmDc, HmmDcConfig, SapConfig, SapDa, SapDv, Smot, SmotConfig};
 use ism_c2mn::{

@@ -40,6 +40,7 @@
 //!   thread count.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod batch;
 mod config;

@@ -17,6 +17,7 @@
 //! *border* points; the rest is *noise*.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 use ism_geometry::Point2;
 use serde::{Deserialize, Serialize};

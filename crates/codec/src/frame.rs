@@ -68,6 +68,7 @@ pub fn write_header(out: &mut Vec<u8>, kind: ArtifactKind) {
 
 /// Validates the header at the start of `buf` and returns the offset of
 /// the first frame ([`HEADER_LEN`]).
+// analyzer: allow(lib-panic) every byte access is guarded by the HEADER_LEN length check at the top
 pub fn read_header(buf: &[u8], expected: ArtifactKind) -> Result<usize, CodecError> {
     if buf.len() < HEADER_LEN {
         return Err(CodecError::Truncated {
@@ -110,6 +111,7 @@ pub fn read_header(buf: &[u8], expected: ArtifactKind) -> Result<usize, CodecErr
 /// If `payload` exceeds `u32::MAX` bytes — single frames of 4 GiB are far
 /// outside this system's artifact sizes, and encoding (unlike decoding) is
 /// allowed to assert on programmer error.
+// analyzer: allow(lib-panic) encoding asserts on programmer error by contract (see # Panics above)
 pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) {
     let len = u32::try_from(payload.len()).expect("frame payload exceeds u32::MAX bytes");
     write_u32(out, len);
@@ -152,6 +154,7 @@ impl<'a> FrameIter<'a> {
         self.index
     }
 
+    // analyzer: allow(lib-panic) all indices are guarded by the FRAME_OVERHEAD and len checks above each access
     fn read_frame(&mut self) -> Result<&'a [u8], CodecError> {
         let remaining = self.buf.len() - self.pos;
         if remaining < FRAME_OVERHEAD {

@@ -38,6 +38,8 @@
 //! round-trip and cross-process-resume tests compare artifacts byte for
 //! byte.
 
+#![forbid(unsafe_code)]
+
 mod error;
 mod file;
 mod frame;

@@ -33,6 +33,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Takes the next `n` bytes, or fails with [`CodecError::Truncated`].
+    // analyzer: allow(lib-panic) the range is guarded by the remaining-length check above it
     pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if n > self.remaining() {
             return Err(CodecError::Truncated {
@@ -51,18 +52,21 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads a little-endian `u16`.
+    // analyzer: allow(lib-panic) `bytes(2)` returned a length-2 slice
     pub fn u16(&mut self) -> Result<u16, CodecError> {
         let b = self.bytes(2)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     /// Reads a little-endian `u32`.
+    // analyzer: allow(lib-panic) `bytes(4)` returned a length-4 slice
     pub fn u32(&mut self) -> Result<u32, CodecError> {
         let b = self.bytes(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Reads a little-endian `u64`.
+    // analyzer: allow(lib-panic) `bytes(8)` returned a length-8 slice
     pub fn u64(&mut self) -> Result<u64, CodecError> {
         let b = self.bytes(8)?;
         Ok(u64::from_le_bytes([

@@ -113,6 +113,7 @@ impl QueryCache {
 }
 
 /// Whether two ascending region slices share an element (two-pointer walk).
+// analyzer: allow(lib-panic) `i < a.len()` and `j < b.len()` are the loop condition
 fn intersects_sorted(a: &[RegionId], b: &[RegionId]) -> bool {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {

@@ -25,8 +25,8 @@
 use ism_mobility::{MobilitySemantics, PositioningRecord};
 use ism_queries::ShardedSemanticsStore;
 use ism_runtime::SubmissionQueue;
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::BTreeMap;
-use std::sync::{Condvar, Mutex, RwLock};
 
 /// One submitted-but-undecoded sequence: `(object_id, p-records)`.
 pub(crate) type PendingItem = (u64, Vec<PositioningRecord>);
@@ -87,7 +87,7 @@ impl IngestShared {
         let mut store = None;
         while let Some((object_id, semantics)) = state.ready.remove(&state.next_commit) {
             store
-                .get_or_insert_with(|| self.store.write().expect("store lock poisoned"))
+                .get_or_insert_with(|| self.store.write())
                 .append(object_id, semantics);
             state.next_commit += 1;
         }

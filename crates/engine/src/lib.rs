@@ -63,6 +63,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod cache;
 mod error;
@@ -90,7 +91,9 @@ use ism_queries::{
 use ism_runtime::{PoolStats, WorkerPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 /// Default capacity of an ingest session's submission queue: how many
 /// submitted-but-undecoded p-sequences buffer before a chunk fans out.
@@ -312,7 +315,7 @@ impl std::fmt::Debug for SemanticsEngine<'_> {
 /// take the write side of the same lock, so don't hold a guard across
 /// long pauses while sessions are streaming.
 pub struct StoreGuard<'e> {
-    guard: std::sync::RwLockReadGuard<'e, ShardedSemanticsStore>,
+    guard: parking_lot::RwLockReadGuard<'e, ShardedSemanticsStore>,
 }
 
 impl std::ops::Deref for StoreGuard<'_> {
@@ -412,14 +415,14 @@ impl<'a> SemanticsEngine<'a> {
 
     /// Distinct objects with sealed m-semantics.
     pub fn num_objects(&self) -> usize {
-        self.shared.store.read().expect("store lock poisoned").len()
+        self.shared.store.read().len()
     }
 
     /// Read access to the live store (sealed data). The guard holds the
     /// store's read lock until dropped.
     pub fn store(&self) -> StoreGuard<'_> {
         StoreGuard {
-            guard: self.shared.store.read().expect("store lock poisoned"),
+            guard: self.shared.store.read(),
         }
     }
 
@@ -429,7 +432,7 @@ impl<'a> SemanticsEngine<'a> {
         // Sessions borrow the engine, so none are open; wait out any
         // still-running pipelined decodes and take the store.
         self.wait_inflight();
-        let mut store = self.shared.store.write().expect("store lock poisoned");
+        let mut store = self.shared.store.write();
         let empty = ShardedSemanticsStore::new(store.num_shards());
         std::mem::replace(&mut *store, empty)
     }
@@ -440,7 +443,6 @@ impl<'a> SemanticsEngine<'a> {
         self.shared
             .store
             .read()
-            .expect("store lock poisoned")
             .get(object_id)
             .map(<[MobilitySemantics]>::to_vec)
     }
@@ -454,27 +456,16 @@ impl<'a> SemanticsEngine<'a> {
     }
 
     /// The ingest ledger, locked.
-    pub(crate) fn state(&self) -> std::sync::MutexGuard<'_, ingest::IngestState> {
-        self.shared
-            .state
-            .lock()
-            .expect("ingest state lock poisoned")
+    pub(crate) fn state(&self) -> parking_lot::MutexGuard<'_, ingest::IngestState> {
+        self.shared.state.lock()
     }
 
     /// Blocks until no pipelined decode task is running (they borrow the
     /// boxed model raw, so the engine must outlive them).
     fn wait_inflight(&self) {
-        let mut state = self
-            .shared
-            .state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut state = self.shared.state.lock();
         while state.inflight > 0 {
-            state = self
-                .shared
-                .progress
-                .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            self.shared.progress.wait(&mut state);
         }
     }
 
@@ -504,18 +495,16 @@ impl<'a> SemanticsEngine<'a> {
     /// Answers are served from the engine's result cache when the same
     /// (normalised) query was evaluated before and no seal since touched
     /// any of its regions.
+    // analyzer: allow(lib-panic) the cache stores PRQ answers under PRQ keys and a one-query batch yields one answer
     pub fn tk_prq(&self, query: &[RegionId], k: usize, qt: TimePeriod) -> Vec<(RegionId, usize)> {
         let key = CacheKey::new(true, query, k, qt);
-        if let Some(hit) = self.cache.lock().expect("query cache lock").get(&key) {
+        if let Some(hit) = self.cache.lock().get(&key) {
             return hit.into_prq().expect("a PRQ caches as PRQ");
         }
         let mut batch = QueryBatch::new();
         batch.tk_prq(query, k, qt);
         let answer = self.run_batch(&batch).pop().expect("one answer per query");
-        self.cache
-            .lock()
-            .expect("query cache lock")
-            .insert(key, answer.clone());
+        self.cache.lock().insert(key, answer.clone());
         answer.into_prq().expect("a PRQ answers as PRQ")
     }
 
@@ -523,6 +512,7 @@ impl<'a> SemanticsEngine<'a> {
     /// over all sealed data, evaluated on the engine's pool.
     ///
     /// Cached like [`tk_prq`](SemanticsEngine::tk_prq).
+    // analyzer: allow(lib-panic) the cache stores FRPQ answers under FRPQ keys and a one-query batch yields one answer
     pub fn tk_frpq(
         &self,
         query: &[RegionId],
@@ -530,16 +520,13 @@ impl<'a> SemanticsEngine<'a> {
         qt: TimePeriod,
     ) -> Vec<((RegionId, RegionId), usize)> {
         let key = CacheKey::new(false, query, k, qt);
-        if let Some(hit) = self.cache.lock().expect("query cache lock").get(&key) {
+        if let Some(hit) = self.cache.lock().get(&key) {
             return hit.into_frpq().expect("an FRPQ caches as FRPQ");
         }
         let mut batch = QueryBatch::new();
         batch.tk_frpq(query, k, qt);
         let answer = self.run_batch(&batch).pop().expect("one answer per query");
-        self.cache
-            .lock()
-            .expect("query cache lock")
-            .insert(key, answer.clone());
+        self.cache.lock().insert(key, answer.clone());
         answer.into_frpq().expect("an FRPQ answers as FRPQ")
     }
 
@@ -547,13 +534,13 @@ impl<'a> SemanticsEngine<'a> {
     /// store on the engine's pool (answers in submission order). The batch
     /// path bypasses the result cache — it is the bulk interface.
     pub fn run_batch(&self, batch: &QueryBatch) -> Vec<QueryAnswer> {
-        let store = self.shared.store.read().expect("store lock poisoned");
+        let store = self.shared.store.read();
         batch.run(&store, &self.pool)
     }
 
     /// Cache counters of the one-shot query methods.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("query cache lock").stats()
+        self.cache.lock().stats()
     }
 
     /// Registers a standing TkPRQ over everything sealed so far; every
@@ -562,10 +549,10 @@ impl<'a> SemanticsEngine<'a> {
     /// byte-identical to re-running [`tk_prq`](SemanticsEngine::tk_prq).
     pub fn standing_tk_prq(&self, query: &[RegionId], k: usize, qt: TimePeriod) -> StandingQueryId {
         let state = {
-            let store = self.shared.store.read().expect("store lock poisoned");
+            let store = self.shared.store.read();
             StandingTkPrq::new(query, k, qt, &store, &self.pool)
         };
-        let mut standing = self.standing.lock().expect("standing lock poisoned");
+        let mut standing = self.standing.lock();
         standing.push(Some(StandingState::Prq(state)));
         StandingQueryId(standing.len() - 1)
     }
@@ -581,10 +568,10 @@ impl<'a> SemanticsEngine<'a> {
         qt: TimePeriod,
     ) -> StandingQueryId {
         let state = {
-            let store = self.shared.store.read().expect("store lock poisoned");
+            let store = self.shared.store.read();
             StandingTkFrpq::new(query, k, qt, &store, &self.pool)
         };
-        let mut standing = self.standing.lock().expect("standing lock poisoned");
+        let mut standing = self.standing.lock();
         standing.push(Some(StandingState::Frpq(state)));
         StandingQueryId(standing.len() - 1)
     }
@@ -592,7 +579,7 @@ impl<'a> SemanticsEngine<'a> {
     /// The current ranking of a standing TkPRQ. `None` if the handle is
     /// unknown, cancelled, or names a TkFRPQ.
     pub fn standing_prq_result(&self, id: StandingQueryId) -> Option<Vec<(RegionId, usize)>> {
-        let standing = self.standing.lock().expect("standing lock poisoned");
+        let standing = self.standing.lock();
         match standing.get(id.0)?.as_ref()? {
             StandingState::Prq(state) => Some(state.result()),
             StandingState::Frpq(_) => None,
@@ -605,7 +592,7 @@ impl<'a> SemanticsEngine<'a> {
         &self,
         id: StandingQueryId,
     ) -> Option<Vec<((RegionId, RegionId), usize)>> {
-        let standing = self.standing.lock().expect("standing lock poisoned");
+        let standing = self.standing.lock();
         match standing.get(id.0)?.as_ref()? {
             StandingState::Frpq(state) => Some(state.result()),
             StandingState::Prq(_) => None,
@@ -615,7 +602,7 @@ impl<'a> SemanticsEngine<'a> {
     /// Cancels a standing query; returns whether the handle was live.
     /// Other handles are unaffected.
     pub fn cancel_standing(&self, id: StandingQueryId) -> bool {
-        let mut standing = self.standing.lock().expect("standing lock poisoned");
+        let mut standing = self.standing.lock();
         match standing.get_mut(id.0) {
             Some(slot) => slot.take().is_some(),
             None => false,
@@ -624,7 +611,7 @@ impl<'a> SemanticsEngine<'a> {
 
     /// Standing queries currently registered (cancelled ones excluded).
     pub fn num_standing(&self) -> usize {
-        let standing = self.standing.lock().expect("standing lock poisoned");
+        let standing = self.standing.lock();
         standing.iter().flatten().count()
     }
 
@@ -714,7 +701,7 @@ impl<'a> SemanticsEngine<'a> {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     decode_one(model, base_seed, index, &records)
                 }));
-                let mut state = shared.state.lock().expect("ingest state lock poisoned");
+                let mut state = shared.state.lock();
                 state.inflight -= 1;
                 match result {
                     Ok(semantics) => {
@@ -775,11 +762,7 @@ impl<'a> SemanticsEngine<'a> {
             if state.inflight == 0 && state.ready.is_empty() {
                 return;
             }
-            state = self
-                .shared
-                .progress
-                .wait(state)
-                .expect("ingest state lock poisoned");
+            self.shared.progress.wait(&mut state);
         }
     }
 
@@ -796,7 +779,7 @@ impl<'a> SemanticsEngine<'a> {
             // set we log, so both are read under one store write guard.
             let state = self.state();
             let next_commit = state.next_commit;
-            let mut store = self.shared.store.write().expect("store lock poisoned");
+            let mut store = self.shared.store.write();
             drop(state);
             if store.num_pending() > 0 {
                 self.log_seal(next_commit, &store);
@@ -808,9 +791,8 @@ impl<'a> SemanticsEngine<'a> {
         }
         self.cache
             .lock()
-            .expect("query cache lock")
             .invalidate_touching(&summary.touched_regions);
-        let mut standing = self.standing.lock().expect("standing lock poisoned");
+        let mut standing = self.standing.lock();
         for state in standing.iter_mut().flatten() {
             match state {
                 StandingState::Prq(q) => q.observe_seal(&summary),

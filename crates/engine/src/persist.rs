@@ -194,7 +194,7 @@ impl SemanticsEngine<'_> {
             // sessions, so `next_commit` and the store stay consistent.
             let state = self.state();
             let next_commit = state.next_commit;
-            let store = self.shared.store.read().expect("store lock poisoned");
+            let store = self.shared.store.read();
             drop(state);
             let mut out = Vec::new();
             write_u64(&mut out, self.base_seed);
@@ -205,7 +205,7 @@ impl SemanticsEngine<'_> {
         };
         write_artifact(path, ArtifactKind::EngineSnapshot, &payload)?;
         let log = SealLog::create(&log_path(path))?;
-        let mut slot = self.log.lock().expect("seal log lock poisoned");
+        let mut slot = self.log.lock();
         slot.log = Some(log);
         slot.error = None;
         Ok(())
@@ -215,11 +215,7 @@ impl SemanticsEngine<'_> {
     /// [`save_snapshot`](SemanticsEngine::save_snapshot) or
     /// [`EngineBuilder::open`], until a write failure detaches it).
     pub fn has_seal_log(&self) -> bool {
-        self.log
-            .lock()
-            .expect("seal log lock poisoned")
-            .log
-            .is_some()
+        self.log.lock().log.is_some()
     }
 
     /// The I/O error that detached the seal log, if one did. Sealing
@@ -228,18 +224,14 @@ impl SemanticsEngine<'_> {
     /// [`save_snapshot`](SemanticsEngine::save_snapshot), which starts a
     /// fresh log).
     pub fn log_error(&self) -> Option<PersistError> {
-        self.log
-            .lock()
-            .expect("seal log lock poisoned")
-            .error
-            .clone()
+        self.log.lock().error.clone()
     }
 
     /// Appends the store's pending entries as one seal frame, if a log is
     /// attached. Called by `seal_store` *before* the merge, under the
     /// store write lock. Failure detaches the log instead of panicking.
     pub(crate) fn log_seal(&self, next_commit: u64, store: &ShardedSemanticsStore) {
-        let mut slot = self.log.lock().expect("seal log lock poisoned");
+        let mut slot = self.log.lock();
         let Some(log) = slot.log.as_mut() else {
             return;
         };
@@ -336,7 +328,7 @@ impl EngineBuilder {
         let pool = self.pool();
         let model = C2mn::from_snapshot(space, snapshot);
         let engine = self.build_with_pool(model, pool)?;
-        *engine.log.lock().expect("seal log lock poisoned") = LogState {
+        *engine.log.lock() = LogState {
             log: Some(log),
             error: None,
         };

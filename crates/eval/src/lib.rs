@@ -10,6 +10,7 @@
 //! * train/test splitting and k-fold cross-validation index generation.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 use ism_indoor::RegionId;
 use ism_mobility::MobilityEvent;

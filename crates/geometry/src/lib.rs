@@ -15,6 +15,7 @@
 //! All routines are allocation-free and suitable for hot loops.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod circle;
 mod point;

@@ -20,6 +20,7 @@
 //!   "Vita-like" preset matching the synthetic-data experiments).
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod error;
 mod generator;

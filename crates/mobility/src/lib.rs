@@ -22,6 +22,7 @@
 //!   Table V statistics.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod dataset;
 mod merge;

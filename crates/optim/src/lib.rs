@@ -12,6 +12,7 @@
 //!   verification used by tests of the learning code.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod gradcheck;
 pub mod lbfgs;

@@ -19,6 +19,7 @@
 //! * [`util`] — numerically stable log-space helpers.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod chain_crf;
 pub mod gibbs;

@@ -32,6 +32,7 @@ pub(crate) fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
 
 /// Reads the varint at `buf[*pos..]`, advancing `pos` past it.
 #[inline]
+// analyzer: allow(lib-panic) callers only pass offsets produced by the matching encoder over the same buffer
 pub(crate) fn read_varint(buf: &[u8], pos: &mut usize) -> u64 {
     let mut v = 0u64;
     let mut shift = 0u32;

@@ -103,6 +103,7 @@ impl RegionPostings {
         // any bucket boundary.
         this.offsets.push(0);
         let mut i = 0;
+        // analyzer: allow(lib-panic) `i < postings.len()` is checked by the while condition before every access
         for b in 0..buckets {
             let mut prev_start: Option<u64> = None;
             while i < postings.len() && this.bucket_of(postings[i].period.start, buckets) <= b {
@@ -146,6 +147,7 @@ impl RegionPostings {
 
     /// Sequentially decodes every posting of buckets `lo..=hi` into `f`,
     /// in sorted order.
+    // analyzer: allow(lib-panic) `offsets` has buckets+1 entries and callers clamp `hi` below buckets
     fn for_each_decoded(&self, lo: usize, hi: usize, mut f: impl FnMut(Posting)) {
         let mut pos = self.offsets[lo];
         for b in lo..=hi {
@@ -333,6 +335,7 @@ impl ShardIndex {
         let visits = self.distinct_visits(query, qt);
         let mut counts: HashMap<(RegionId, RegionId), usize> = HashMap::new();
         let mut i = 0;
+        // analyzer: allow(lib-panic) `a < b < j <= visits.len()` by the loop bounds and while condition
         while i < visits.len() {
             let object = visits[i].0;
             let mut j = i;
@@ -347,7 +350,11 @@ impl ShardIndex {
             }
             i = j;
         }
-        counts.into_iter().collect()
+        // Emit in pair order: the counts accumulate in a HashMap, whose
+        // iteration order is arbitrary and must never leak into output.
+        let mut counts: Vec<_> = counts.into_iter().collect();
+        counts.sort_unstable_by_key(|&(pair, _)| pair);
+        counts
     }
 }
 

@@ -53,6 +53,7 @@
 //! thread counts {1, 2, 4}.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod batch;
 mod codec;

@@ -136,6 +136,7 @@ impl StandingTkFrpq {
         }
         let mut pair_counts: HashMap<(RegionId, RegionId), usize> = HashMap::new();
         for regions in visited.values() {
+            // analyzer: allow(lib-panic) `i < j < regions.len()` by the loop bounds
             for i in 0..regions.len() {
                 for j in i + 1..regions.len() {
                     *pair_counts.entry((regions[i], regions[j])).or_insert(0) += 1;

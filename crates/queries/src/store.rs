@@ -122,6 +122,7 @@ impl SemanticsStore {
     }
 
     /// The m-semantics of `object_id`, if present.
+    // analyzer: allow(lib-panic) `by_id` values are maintained as valid indices into `objects`
     pub fn get(&self, object_id: u64) -> Option<&[MobilitySemantics]> {
         self.by_id
             .get(&object_id)
@@ -254,6 +255,7 @@ impl ShardedSemanticsStore {
     /// duplicate folding as [`SemanticsStore::insert`] — so a store grown
     /// by any sequence of appends and seals equals one built from scratch
     /// over the same entries in the same order.
+    // analyzer: allow(lib-panic) `shard_of` returns a value below `num_shards` by construction
     pub fn append(&mut self, object_id: u64, semantics: Vec<MobilitySemantics>) {
         let shard = shard_of(object_id, self.shards.len());
         self.shards[shard].pending.push((object_id, semantics));
@@ -299,16 +301,13 @@ impl ShardedSemanticsStore {
         // `run` hands workers shared references, so each shard travels to
         // its worker through a take-once mutex slot (same pattern as
         // [`ShardedStoreBuilder::build_with`]).
-        let slots: Vec<std::sync::Mutex<Option<Shard>>> = std::mem::take(&mut self.shards)
+        let slots: Vec<parking_lot::Mutex<Option<Shard>>> = std::mem::take(&mut self.shards)
             .into_iter()
-            .map(|s| std::sync::Mutex::new(Some(s)))
+            .map(|s| parking_lot::Mutex::new(Some(s)))
             .collect();
+        // analyzer: allow(lib-panic) `run` hands out `s < slots.len()`, each exactly once — the take-once slot holds by the same claim
         let sealed = pool.run(slots.len(), |s| {
-            let mut shard = slots[s]
-                .lock()
-                .expect("shard slot lock")
-                .take()
-                .expect("each shard taken once");
+            let mut shard = slots[s].lock().take().expect("each shard taken once");
             let part = shard.seal();
             (shard, part)
         });
@@ -339,6 +338,7 @@ impl ShardedSemanticsStore {
     }
 
     /// The sealed m-semantics of `object_id`, if present.
+    // analyzer: allow(lib-panic) `shard_of` is below `num_shards` and `by_id` values index `objects`
     pub fn get(&self, object_id: u64) -> Option<&[MobilitySemantics]> {
         let shard = &self.shards[shard_of(object_id, self.shards.len())];
         shard
@@ -377,6 +377,7 @@ impl ShardedSemanticsStore {
     }
 
     /// Iterates `(object, m-semantics)` entries of shard `s`.
+    // analyzer: allow(lib-panic) `s < num_shards()` is the documented API contract of the shard accessors
     pub fn iter_shard(&self, s: usize) -> impl Iterator<Item = (u64, &[MobilitySemantics])> {
         self.shards[s]
             .objects
@@ -388,6 +389,7 @@ impl ShardedSemanticsStore {
     /// `s`, in append order. This is the exact per-shard segment the next
     /// seal will merge — the engine's durability layer writes it as one
     /// seal-log frame before sealing.
+    // analyzer: allow(lib-panic) `s < num_shards()` is the documented API contract of the shard accessors
     pub fn pending_of_shard(&self, s: usize) -> impl Iterator<Item = (u64, &[MobilitySemantics])> {
         self.shards[s]
             .pending
@@ -395,6 +397,7 @@ impl ShardedSemanticsStore {
             .map(|(id, sem)| (*id, sem.as_slice()))
     }
 
+    // analyzer: allow(lib-panic) `s < num_shards()` is the documented API contract of the shard accessors
     pub(crate) fn shard(&self, s: usize) -> &Shard {
         &self.shards[s]
     }
@@ -424,6 +427,7 @@ impl ShardedSemanticsStore {
 /// definition of duplicate-object-id folding, shared by
 /// [`SemanticsStore::insert`] and [`ShardedStoreBuilder`] coalescing so
 /// flat and sharded stores can never diverge on duplicate handling.
+// analyzer: allow(lib-panic) `by_id` values are maintained as valid indices into `objects`
 fn extend_or_push(
     objects: &mut Vec<(u64, Vec<MobilitySemantics>)>,
     by_id: &mut HashMap<u64, usize>,
@@ -499,6 +503,7 @@ impl ShardedStoreBuilder {
 
     /// Adds one entry tagged with an explicit `order` (parallel producers
     /// tag with the item index they processed).
+    // analyzer: allow(lib-panic) `shard_of` returns a value below `parts.len()` by construction
     pub fn insert_at(&mut self, order: u64, object_id: u64, semantics: Vec<MobilitySemantics>) {
         let shard = shard_of(object_id, self.parts.len());
         self.parts[shard].push((order, object_id, semantics));
@@ -543,17 +548,14 @@ impl ShardedStoreBuilder {
     pub fn build_with(self, pool: &WorkerPool) -> ShardedSemanticsStore {
         // `run` hands workers shared references, so each part travels to
         // its worker through a take-once mutex slot.
-        let parts: Vec<std::sync::Mutex<Option<Vec<TaggedEntry>>>> = self
+        let parts: Vec<parking_lot::Mutex<Option<Vec<TaggedEntry>>>> = self
             .parts
             .into_iter()
-            .map(|p| std::sync::Mutex::new(Some(p)))
+            .map(|p| parking_lot::Mutex::new(Some(p)))
             .collect();
+        // analyzer: allow(lib-panic) `run` hands out `s < parts.len()`, each exactly once — the take-once slot holds by the same claim
         let shards = pool.run(parts.len(), |s| {
-            let part = parts[s]
-                .lock()
-                .expect("shard part lock")
-                .take()
-                .expect("each shard part taken once");
+            let part = parts[s].lock().take().expect("each shard part taken once");
             Shard::build(Self::coalesce(part))
         });
         ShardedSemanticsStore { shards }

@@ -127,6 +127,7 @@ pub fn tk_frpq(
         }));
         visited.sort_unstable();
         visited.dedup();
+        // analyzer: allow(lib-panic) `i < j < visited.len()` by the loop bounds
         for i in 0..visited.len() {
             for j in i + 1..visited.len() {
                 *counts.entry((visited[i], visited[j])).or_insert(0) += 1;
@@ -151,7 +152,9 @@ pub fn tk_prq_sharded(
 ) -> Vec<(RegionId, usize)> {
     let mut batch = crate::QueryBatch::new();
     batch.tk_prq(query, k, qt);
+    // analyzer: allow(lib-panic) `run` answers each of the batch's queries in kind — a one-PRQ batch yields one PRQ
     let answer = batch.run(store, pool).pop().expect("one answer per query");
+    // analyzer: allow(lib-panic) same batch-kind invariant as the line above
     answer.into_prq().expect("a PRQ answers as PRQ")
 }
 
@@ -169,7 +172,9 @@ pub fn tk_frpq_sharded(
 ) -> Vec<((RegionId, RegionId), usize)> {
     let mut batch = crate::QueryBatch::new();
     batch.tk_frpq(query, k, qt);
+    // analyzer: allow(lib-panic) `run` answers each of the batch's queries in kind — a one-FRPQ batch yields one FRPQ
     let answer = batch.run(store, pool).pop().expect("one answer per query");
+    // analyzer: allow(lib-panic) same batch-kind invariant as the line above
     answer.into_frpq().expect("an FRPQ answers as FRPQ")
 }
 

@@ -1,0 +1,127 @@
+//! Regression tests pinning store iteration order.
+//!
+//! The determinism lint (`ism-analyzer`, rule `hash-iter`) guards against
+//! HashMap iteration order leaking into ordered output. These tests pin
+//! the complementary runtime contract: store iteration is a pure function
+//! of insertion order — identical across repeated builds, across seal
+//! thread counts, and stable for the flat and sharded stores alike.
+
+use ism_mobility::{MobilityEvent, MobilitySemantics, TimePeriod};
+use ism_queries::{SemanticsStore, ShardedSemanticsStore};
+use ism_runtime::WorkerPool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A short random timeline for `object`, deterministic in `rng`.
+fn timeline(rng: &mut StdRng) -> Vec<MobilitySemantics> {
+    let n = rng.random_range(1..4usize);
+    (0..n)
+        .map(|_| {
+            let start = rng.random_range(0.0..900.0);
+            MobilitySemantics {
+                region: ism_indoor::RegionId(rng.random_range(0..32)),
+                period: TimePeriod::new(start, start + rng.random_range(1.0..50.0)),
+                event: if rng.random_bool(0.7) {
+                    MobilityEvent::Stay
+                } else {
+                    MobilityEvent::Pass
+                },
+            }
+        })
+        .collect()
+}
+
+/// The insertion stream: object ids deliberately out of numeric order and
+/// with duplicates, so any "helpful" reordering would show.
+fn insertions(seed: u64) -> Vec<(u64, Vec<MobilitySemantics>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids = [7u64, 3, 11, 3, 40, 1, 7, 22, 5, 11, 90, 2];
+    ids.iter().map(|&id| (id, timeline(&mut rng))).collect()
+}
+
+fn flat_store(seed: u64) -> SemanticsStore {
+    let mut store = SemanticsStore::new();
+    for (id, sem) in insertions(seed) {
+        store.insert(id, sem);
+    }
+    store
+}
+
+fn sharded_store(seed: u64, shards: usize, threads: usize) -> ShardedSemanticsStore {
+    let pool = WorkerPool::new(threads);
+    let mut store = ShardedSemanticsStore::new(shards);
+    for (id, sem) in insertions(seed) {
+        store.append(id, sem);
+    }
+    store.seal_with(&pool);
+    store
+}
+
+/// Materialises an iteration as owned pairs so runs can be compared.
+fn collected<'a, I>(iter: I) -> Vec<(u64, Vec<MobilitySemantics>)>
+where
+    I: Iterator<Item = (u64, &'a [MobilitySemantics])>,
+{
+    iter.map(|(id, sem)| (id, sem.to_vec())).collect()
+}
+
+#[test]
+fn flat_store_iterates_in_first_insertion_order() {
+    let store = flat_store(9);
+    let order: Vec<u64> = store.iter().map(|(id, _)| id).collect();
+    // First occurrence of each id in the insertion stream, in stream order.
+    assert_eq!(order, vec![7, 3, 11, 40, 1, 22, 5, 90, 2]);
+}
+
+#[test]
+fn flat_store_iteration_is_identical_across_builds() {
+    let a = collected(flat_store(42).iter());
+    let b = collected(flat_store(42).iter());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn sharded_store_iteration_is_identical_across_builds_and_threads() {
+    let reference = collected(sharded_store(42, 4, 1).iter());
+    assert!(!reference.is_empty());
+    for threads in [1usize, 2, 4] {
+        for _ in 0..3 {
+            let run = collected(sharded_store(42, 4, threads).iter());
+            assert_eq!(
+                run, reference,
+                "iteration order drifted at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn shard_iteration_concatenates_to_full_iteration() {
+    let store = sharded_store(7, 3, 2);
+    let full = collected(store.iter());
+    let mut by_shard = Vec::new();
+    for s in 0..store.num_shards() {
+        by_shard.extend(collected(store.iter_shard(s)));
+    }
+    assert_eq!(by_shard, full);
+}
+
+#[test]
+fn sealing_in_chunks_matches_sealing_once() {
+    let pool = WorkerPool::new(2);
+    let mut once = ShardedSemanticsStore::new(4);
+    let mut chunked = ShardedSemanticsStore::new(4);
+    let stream = insertions(13);
+    for (id, sem) in &stream {
+        once.append(*id, sem.clone());
+    }
+    once.seal_with(&pool);
+    for (i, (id, sem)) in stream.iter().enumerate() {
+        chunked.append(*id, sem.clone());
+        if i % 3 == 2 {
+            chunked.seal_with(&pool);
+        }
+    }
+    chunked.seal_with(&pool);
+    assert_eq!(collected(chunked.iter()), collected(once.iter()));
+}

@@ -28,6 +28,7 @@
 //! created) that make the steady state observable.
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod pool;
 mod queue;

@@ -27,8 +27,10 @@ use std::fmt;
 use std::mem::{self, MaybeUninit};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread;
+
+use parking_lot::{Condvar, Mutex};
 
 /// A fire-and-forget task for [`WorkerPool::try_spawn`].
 pub type AsyncTask = Box<dyn FnOnce() + Send + 'static>;
@@ -91,27 +93,27 @@ impl CallState {
         // caller observing inflight == 0. Notify under the latch mutex so
         // a caller between its predicate check and `wait` cannot miss it.
         if self.inflight.fetch_sub(1, Ordering::Release) == 1 {
-            let _guard = self.done.lock().expect("call latch poisoned");
+            let _guard = self.done.lock();
             self.done_cv.notify_all();
         }
     }
 
     fn wait_quiescent(&self) {
-        let mut guard = self.done.lock().expect("call latch poisoned");
+        let mut guard = self.done.lock();
         while self.inflight.load(Ordering::Acquire) != 0 {
-            guard = self.done_cv.wait(guard).expect("call latch poisoned");
+            self.done_cv.wait(&mut guard);
         }
     }
 
     /// Records the first panic payload and stops further claims.
     fn abort(&self, payload: Box<dyn Any + Send>) {
-        let mut slot = self.panic.lock().expect("call panic slot poisoned");
+        let mut slot = self.panic.lock();
         slot.get_or_insert(payload);
         self.next.fetch_max(self.num_items, Ordering::Relaxed);
     }
 
     fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
-        self.panic.lock().expect("call panic slot poisoned").take()
+        self.panic.lock().take()
     }
 }
 
@@ -149,9 +151,16 @@ impl<T> OnceSlots<T> {
     /// # Safety
     /// Each index must be written at most once — guaranteed by the
     /// exactly-once claim counter.
+    // SAFETY: the claim counter in `run_with`'s participant body hands
+    // each index to exactly one participant, so the caller contract
+    // (one write per slot) holds at every call site in this crate.
+    // analyzer: allow(lib-panic) `i` comes from the claim counter, which stays below `slots.len()`
     unsafe fn set(&self, i: usize, value: T) {
         let slot = &self.slots[i];
         debug_assert!(!slot.set.load(Ordering::Relaxed), "slot {i} written twice");
+        // SAFETY: this participant owns index `i` exclusively (caller
+        // contract above), so no concurrent access touches this cell;
+        // readers wait for the Release store of `set` below.
         unsafe { (*slot.value.get()).write(value) };
         slot.set.store(true, Ordering::Release);
     }
@@ -206,7 +215,7 @@ struct WorkerHandle {
 
 impl WorkerHandle {
     fn push(&self, task: Task) {
-        let mut queue = self.shared.queue.lock().expect("worker queue poisoned");
+        let mut queue = self.shared.queue.lock();
         queue.push_back(task);
         drop(queue);
         self.shared.signal.notify_one();
@@ -216,14 +225,14 @@ impl WorkerHandle {
 fn worker_loop(shared: Arc<WorkerShared>, stats: Arc<StatsCells>) {
     loop {
         let task = {
-            let mut queue = shared.queue.lock().expect("worker queue poisoned");
+            let mut queue = shared.queue.lock();
             loop {
                 if let Some(task) = queue.pop_front() {
                     shared.idle.store(false, Ordering::Release);
                     break task;
                 }
                 shared.idle.store(true, Ordering::Release);
-                queue = shared.signal.wait(queue).expect("worker queue poisoned");
+                shared.signal.wait(&mut queue);
                 stats.idle_wakeups.fetch_add(1, Ordering::Relaxed);
             }
         };
@@ -250,6 +259,7 @@ struct PoolCore {
 
 impl PoolCore {
     /// Hands a fan-out call to `helpers` workers, idle ones first.
+    // analyzer: allow(lib-panic) `order` enumerates `0..workers.len()`, so every `w` is in bounds
     fn dispatch_call(&self, call: &Arc<ErasedCall>, helpers: usize) {
         let mut order: Vec<usize> = (0..self.workers.len()).collect();
         // Stable sort: idle workers first, original order within groups.
@@ -330,6 +340,7 @@ impl WorkerPool {
                 let join = thread::Builder::new()
                     .name(format!("ism-worker-{w}"))
                     .spawn(move || worker_loop(thread_shared, thread_stats))
+                    // analyzer: allow(lib-panic) thread-spawn failure at pool construction is unrecoverable by design
                     .expect("spawn persistent worker");
                 WorkerHandle {
                     shared,
@@ -379,6 +390,7 @@ impl WorkerPool {
     }
 
     /// Persistent workers this handle may use that are currently parked.
+    // analyzer: allow(lib-panic) `helper_limit()` is clamped to `workers.len()` at construction
     pub fn idle_workers(&self) -> usize {
         self.core.workers[..self.helper_limit()]
             .iter()
@@ -393,6 +405,7 @@ impl WorkerPool {
     /// This is the pipelined-ingest path: decode work overlaps arrival on
     /// workers that would otherwise sleep, and when none is free the
     /// caller keeps its bounded-buffer backpressure behaviour.
+    // analyzer: allow(lib-panic) `helper_limit()` is clamped to `workers.len()` at construction
     pub fn try_spawn(&self, task: AsyncTask) -> Result<(), AsyncTask> {
         for worker in &self.core.workers[..self.helper_limit()] {
             // Claim the idle flag so a burst of tasks spreads over
@@ -535,7 +548,7 @@ impl WorkerPool {
                     // Publish before releasing the participation token —
                     // the token is what keeps `accs` (caller frame) alive.
                     if let Some(acc) = acc {
-                        accs.lock().expect("map_reduce accumulators").push(acc);
+                        accs.lock().push(acc);
                     }
                 }));
                 if let Err(payload) = outcome {
@@ -547,7 +560,7 @@ impl WorkerPool {
         self.fan_out(body, helpers, &call);
 
         let mut total = init();
-        for acc in accs.into_inner().expect("map_reduce accumulators") {
+        for acc in accs.into_inner() {
             reduce(&mut total, acc);
         }
         total

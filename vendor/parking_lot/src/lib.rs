@@ -1,83 +1,331 @@
 //! Vendored, offline subset of `parking_lot` backed by `std::sync`.
 //!
-//! Provides `RwLock` and `Mutex` with parking_lot's non-poisoning API
-//! (`read()` / `write()` / `lock()` return guards directly). Poisoned std
-//! locks are recovered via `into_inner`, matching parking_lot's behaviour
-//! of ignoring panics in other threads.
+//! Provides [`Mutex`], [`RwLock`], and [`Condvar`] with parking_lot's
+//! non-poisoning API (`read()` / `write()` / `lock()` return guards
+//! directly). Poisoned std locks are recovered via `into_inner`, matching
+//! parking_lot's behaviour of ignoring panics in other threads.
+//!
+//! # Runtime lock-order checking (`lockdep`)
+//!
+//! With the `lockdep` feature enabled, every `Mutex`/`RwLock` is tagged
+//! with the source location that constructed it (its **site**), and every
+//! acquisition is checked against a process-global *acquired-before*
+//! graph:
+//!
+//! * each thread keeps a stack of the locks it currently holds;
+//! * acquiring lock `B` while holding lock `A` records the edge `A → B`
+//!   together with the acquisition chain that produced it;
+//! * an acquisition that would close a cycle in the graph — some other
+//!   chain already established `B → … → A` — **panics immediately**,
+//!   printing both conflicting chains, instead of waiting for the actual
+//!   deadlock to strike under a rare interleaving.
+//!
+//! Locks constructed at the same source location form one *class* (like
+//! kernel lockdep): nesting two same-class locks is reported as an
+//! inversion hazard too, because nothing ranks the instances. The checker
+//! is intentionally conservative — `RwLock` readers are treated like
+//! writers, so a read-read "cycle" is flagged even though it only
+//! deadlocks when a writer is waiting in between.
+//!
+//! The feature is a pure test/CI instrument: without it, the wrappers
+//! compile down to the plain `std::sync` primitives with zero overhead.
 
+#[cfg(feature = "lockdep")]
+pub mod lockdep;
+
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
 use std::sync;
 
-/// Re-export of the underlying read guard type.
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
-/// Re-export of the underlying write guard type.
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
-/// Re-export of the underlying mutex guard type.
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+#[cfg(feature = "lockdep")]
+use lockdep::{Acquired, LockKind, LockTag};
 
 /// A reader-writer lock with parking_lot's non-poisoning interface.
-#[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    tag: LockTag,
+    inner: sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
     /// Creates a new unlocked `RwLock`.
+    #[track_caller]
     pub const fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            #[cfg(feature = "lockdep")]
+            tag: LockTag::here(),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lockdep")]
+        let _acquired = lockdep::acquire(&self.tag, LockKind::RwLockRead);
+        RwLockReadGuard {
+            inner: ManuallyDrop::new(self.inner.read().unwrap_or_else(|e| e.into_inner())),
+            #[cfg(feature = "lockdep")]
+            _acquired,
+        }
     }
 
     /// Acquires an exclusive write lock, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lockdep")]
+        let _acquired = lockdep::acquire(&self.tag, LockKind::RwLockWrite);
+        RwLockWriteGuard {
+            inner: ManuallyDrop::new(self.inner.write().unwrap_or_else(|e| e.into_inner())),
+            #[cfg(feature = "lockdep")]
+            _acquired,
+        }
     }
 
     /// Returns a mutable reference to the inner value (no locking needed).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("RwLock").field(&&self.inner).finish()
     }
 }
 
 /// A mutual-exclusion lock with parking_lot's non-poisoning interface.
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    tag: LockTag,
+    inner: sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     /// Creates a new unlocked `Mutex`.
+    #[track_caller]
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            #[cfg(feature = "lockdep")]
+            tag: LockTag::here(),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lockdep")]
+        let acquired = lockdep::acquire(&self.tag, LockKind::Mutex);
+        MutexGuard {
+            inner: ManuallyDrop::new(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+            #[cfg(feature = "lockdep")]
+            tag: &self.tag,
+            #[cfg(feature = "lockdep")]
+            acquired: Some(acquired),
+        }
     }
 
     /// Returns a mutable reference to the inner value (no locking needed).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Mutex").field(&&self.inner).finish()
+    }
+}
+
+/// RAII guard of [`Mutex::lock`]; releases the lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    /// `ManuallyDrop` so [`Condvar::wait`] can move the std guard out
+    /// (the wait consumes and returns it) and write the reacquired one
+    /// back without an `Option` discriminant on the hot path.
+    inner: ManuallyDrop<sync::MutexGuard<'a, T>>,
+    #[cfg(feature = "lockdep")]
+    tag: &'a LockTag,
+    #[cfg(feature = "lockdep")]
+    acquired: Option<Acquired>,
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: `inner` is only ever vacated transiently inside
+        // `Condvar::wait`, which restores it before returning; at drop
+        // time it always holds a live guard, taken here exactly once.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// RAII guard of [`RwLock::read`]; releases the shared lock on drop.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: ManuallyDrop<sync::RwLockReadGuard<'a, T>>,
+    #[cfg(feature = "lockdep")]
+    /// Drop-only token: popping it releases this acquisition from the
+    /// thread's lockdep held stack.
+    _acquired: Acquired,
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: `inner` is never vacated for read guards (no condvar
+        // support), so it always holds a live guard, taken here exactly
+        // once.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// RAII guard of [`RwLock::write`]; releases the exclusive lock on drop.
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: ManuallyDrop<sync::RwLockWriteGuard<'a, T>>,
+    #[cfg(feature = "lockdep")]
+    /// Drop-only token: popping it releases this acquisition from the
+    /// thread's lockdep held stack.
+    _acquired: Acquired,
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: `inner` is never vacated for write guards (no condvar
+        // support), so it always holds a live guard, taken here exactly
+        // once.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`], mirroring
+/// parking_lot's `Condvar` (no poisoning, no spurious `Result`s).
+#[derive(Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Blocks until notified, atomically releasing the guard's mutex
+    /// while waiting and reacquiring it before returning.
+    ///
+    /// Spurious wakeups are possible, as with every condvar — callers
+    /// re-check their predicate in a loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // Under lockdep the wait is a genuine release + reacquire: the
+        // held-lock stack drops the mutex while blocked and re-records
+        // the acquisition (with ordering checks) on wakeup.
+        #[cfg(feature = "lockdep")]
+        let tag = {
+            guard.acquired = None;
+            guard.tag
+        };
+        // SAFETY: `take` vacates `inner`; the std wait consumes the guard
+        // and returns the reacquired one, which is written back below on
+        // every path — `sync::Condvar::wait` only "fails" with a
+        // `PoisonError` that still carries the guard, so `inner` is
+        // occupied again before `wait` returns.
+        let std_guard = unsafe { ManuallyDrop::take(&mut guard.inner) };
+        let reacquired = self.0.wait(std_guard).unwrap_or_else(|e| e.into_inner());
+        guard.inner = ManuallyDrop::new(reacquired);
+        #[cfg(feature = "lockdep")]
+        {
+            guard.acquired = Some(lockdep::acquire(tag, LockKind::Mutex));
+        }
+    }
+
+    /// Wakes one thread blocked in [`wait`](Condvar::wait) on this
+    /// condvar.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every thread blocked in [`wait`](Condvar::wait) on this
+    /// condvar.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{Mutex, RwLock};
+    use super::{Condvar, Mutex, RwLock};
+    use std::sync::Arc;
+    use std::thread;
 
     #[test]
     fn rwlock_read_write() {
@@ -97,9 +345,53 @@ mod tests {
 
     #[test]
     fn rwlock_many_readers() {
-        let lock = RwLock::new(1);
+        // Concurrent readers on different threads (same-thread nested
+        // reads are a deadlock hazard under writer-priority locks, and
+        // lockdep flags them).
+        let lock = Arc::new(RwLock::new(1));
         let a = lock.read();
-        let b = lock.read();
-        assert_eq!(*a + *b, 2);
+        let reader = {
+            let lock = Arc::clone(&lock);
+            thread::spawn(move || *lock.read())
+        };
+        assert_eq!(*a + reader.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn mutex_get_mut_needs_no_lock() {
+        let mut m = Mutex::new(7);
+        *m.get_mut() += 1;
+        assert_eq!(*m.lock(), 8);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let notifier = Arc::clone(&shared);
+        let handle = thread::spawn(move || {
+            let (flag, cv) = &*notifier;
+            *flag.lock() = true;
+            cv.notify_all();
+        });
+        let (flag, cv) = &*shared;
+        let mut ready = flag.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        drop(ready);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn guards_release_on_drop() {
+        let m = Mutex::new(0);
+        for i in 0..3 {
+            let mut g = m.lock();
+            *g += i;
+        }
+        assert_eq!(*m.lock(), 3);
+        let rw = RwLock::new(0);
+        *rw.write() = 9;
+        assert_eq!(*rw.read(), 9);
     }
 }
